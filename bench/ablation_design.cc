@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Ablations of design choices the paper fixes or leaves open:
+ *
+ *  1. Paging depth — 4-level (24-access full walk, Table II) versus
+ *     5-level paging / 5-level EPT (35 accesses), the scaling the
+ *     paper cites from the Intel white papers.
+ *  2. Partition granularity — the paper assigns one DevTLB row per
+ *     partition and notes "exploring the optimal number of
+ *     partitions and the number of devices per partition is left
+ *     outside the scope of this work"; this sweep explores it.
+ *  3. LFU counter width — the 4-bit choice (halve-on-saturate)
+ *     versus narrower and wider counters.
+ */
+
+#include "bench_common.hh"
+
+using namespace hypersio;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = core::BenchOptions::parse(argc, argv);
+    bench::banner("Ablations",
+                  "paging depth, partition granularity, LFU width",
+                  opts);
+
+    core::ExperimentRunner runner(opts.scale, opts.seed);
+    const auto tenants = core::paperTenantSweep(
+        std::min(opts.maxTenants, 256u));
+
+    // ---- 1. paging depth -------------------------------------------
+    {
+        std::vector<std::pair<std::string, std::vector<double>>>
+            series;
+        for (unsigned levels : {4u, 5u}) {
+            std::vector<double> values;
+            for (unsigned t : tenants) {
+                core::SystemConfig config =
+                    bench::partitionedPtbConfig(32);
+                config.iommu.pagingLevels = levels;
+                values.push_back(
+                    bench::runPoint(runner, config,
+                                    workload::Benchmark::Iperf3, t)
+                        .achievedGbps);
+            }
+            series.emplace_back(std::to_string(levels) + "-level",
+                                std::move(values));
+        }
+        core::printBandwidthTable(
+            std::cout,
+            "paging depth (partitioned, PTB=32, no prefetch, "
+            "iperf3 RR1)",
+            tenants, series);
+    }
+
+    // ---- 2. partition granularity -----------------------------------
+    {
+        std::vector<std::pair<std::string, std::vector<double>>>
+            series;
+        for (size_t partitions : {1u, 2u, 4u, 8u}) {
+            std::vector<double> values;
+            for (unsigned t : tenants) {
+                core::SystemConfig config = core::SystemConfig::base();
+                config.device.ptbEntries = 8;
+                config.device.devtlb.partitions = partitions;
+                values.push_back(
+                    bench::runPoint(runner, config,
+                                    workload::Benchmark::Iperf3, t)
+                        .achievedGbps);
+            }
+            series.emplace_back(
+                std::to_string(partitions) + "-part",
+                std::move(values));
+        }
+        core::printBandwidthTable(
+            std::cout,
+            "DevTLB partition count (PTB=8, iperf3 RR1) — more "
+            "partitions isolate more tenant groups but shrink each "
+            "group's reach",
+            tenants, series);
+    }
+
+    // ---- 3. LFU counter width ---------------------------------------
+    {
+        std::vector<std::pair<std::string, std::vector<double>>>
+            series;
+        for (unsigned bits : {2u, 4u, 8u}) {
+            std::vector<double> values;
+            for (unsigned t : tenants) {
+                core::SystemConfig config = core::SystemConfig::base();
+                config.device.devtlb.lfuBits = bits;
+                values.push_back(
+                    bench::runPoint(runner, config,
+                                    workload::Benchmark::Iperf3, t)
+                        .achievedGbps);
+            }
+            series.emplace_back(std::to_string(bits) + "-bit",
+                                std::move(values));
+        }
+        core::printBandwidthTable(
+            std::cout, "LFU counter width (Base, iperf3 RR1)",
+            tenants, series);
+    }
+    return 0;
+}

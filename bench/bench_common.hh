@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared helpers for the per-figure bench binaries: each binary
+ * regenerates one table or figure of the paper, printing the same
+ * rows/series the paper reports.
+ */
+
+#ifndef HYPERSIO_BENCH_COMMON_HH
+#define HYPERSIO_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "hypersio/hypersio.hh"
+
+namespace hypersio::bench
+{
+
+/** Runs one (config, workload) point and returns the results. */
+inline core::RunResults
+runPoint(core::ExperimentRunner &runner, core::SystemConfig config,
+         workload::Benchmark bench, unsigned tenants,
+         const std::string &il = "RR1", bool bypass = false)
+{
+    core::ExperimentPoint point;
+    point.label = config.name;
+    point.config = std::move(config);
+    point.bench = bench;
+    point.tenants = tenants;
+    point.interleave = trace::parseInterleaving(il);
+    point.bypassTranslation = bypass;
+    return runner.run(point).results;
+}
+
+/** Table IV "HyperTRIO without prefetching" configuration. */
+inline core::SystemConfig
+partitionedPtbConfig(unsigned ptb_entries)
+{
+    core::SystemConfig config = core::SystemConfig::hypertrio();
+    config.name = "part+ptb" + std::to_string(ptb_entries);
+    config.device.ptbEntries = ptb_entries;
+    config.device.prefetch.enabled = false;
+    return config;
+}
+
+/** Prints the standard bench banner. */
+inline void
+banner(const char *id, const char *what,
+       const core::BenchOptions &opts)
+{
+    std::printf("=== %s: %s ===\n", id, what);
+    std::printf("(scale %.3g, max %u tenants, seed %llu; "
+                "use --full for paper-sized traces)\n\n",
+                opts.scale, opts.maxTenants,
+                (unsigned long long)opts.seed);
+}
+
+} // namespace hypersio::bench
+
+#endif // HYPERSIO_BENCH_COMMON_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fig. 4 analogue: IOMMU TLB PTE miss rate versus number of parallel
+ * connections.
+ *
+ * The paper measured this on an AMD host with hardware IOMMU
+ * performance counters over a 10 Gb/s NIC: the miss rate stays below
+ * 0.1% up to ~80 connections, then climbs to ~4.3% at 120. We
+ * regenerate the experiment on the performance model with a 10 Gb/s
+ * link and an Intel-sized IOMMU translation cache, sweeping the
+ * connection count and reporting the chipset IOTLB miss rate and the
+ * nested (page-table) read count.
+ */
+
+#include "bench_common.hh"
+
+using namespace hypersio;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = core::BenchOptions::parse(argc, argv);
+    bench::banner("Fig. 4",
+                  "IOMMU TLB miss rate vs parallel connections "
+                  "(10 Gb/s, AMD-host analogue)",
+                  opts);
+
+    core::ExperimentRunner runner(opts.scale, opts.seed);
+
+    std::printf("%12s %16s %18s\n", "connections", "miss rate (%)",
+                "nested PT reads");
+    uint64_t reads_at_80 = 0;
+    for (unsigned conns : {40u, 60u, 80u, 90u, 100u, 110u, 120u}) {
+        core::SystemConfig config = core::SystemConfig::base();
+        config.name = "amd-analogue";
+        config.link.gbps = 10.0;
+        // Sized so the capacity knee falls inside the measured
+        // 80-120 connection window (8 hot pages per iperf3 tenant),
+        // mirroring the AMD host's counter-visible IOMMU TLB.
+        config.iommu.iotlb.entries = 768;
+        config.iommu.iotlb.ways = 8;
+
+        core::ExperimentPoint point;
+        point.label = config.name;
+        point.config = config;
+        point.bench = workload::Benchmark::Iperf3;
+        point.tenants = conns;
+        point.interleave = trace::parseInterleaving("RR1");
+
+        const auto row = runner.run(point);
+        const double miss_rate =
+            row.results.iommuRequests == 0
+                ? 0.0
+                : 100.0 *
+                      (1.0 - row.results.iotlbHitRate);
+        const uint64_t reads = row.results.walks;
+        if (conns == 80)
+            reads_at_80 = reads;
+        std::printf("%12u %16.2f %18llu\n", conns, miss_rate,
+                    (unsigned long long)reads);
+    }
+
+    std::printf("\npaper: <0.1%% below 80 connections, ~4.3%% at "
+                "120; nested reads grow >400x from 80 to 120\n");
+    if (reads_at_80 > 0)
+        std::printf("(model nested-read growth is reported in the "
+                    "table above)\n");
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Fig. 12b: effect of the Pending Translation Buffer depth on the
+ * partitioned design (no prefetching). The PTB hides translation
+ * latency by letting later packets start translating while earlier
+ * ones walk — hit-under-miss at the device. `--ablate` additionally
+ * sweeps the IOMMU walker-slot count, a design knob the paper keeps
+ * implicit (its model allows unlimited concurrent walks).
+ */
+
+#include <cstring>
+
+#include "bench_common.hh"
+
+using namespace hypersio;
+
+int
+main(int argc, char **argv)
+{
+    bool ablate = false;
+    std::vector<char *> args;
+    args.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--ablate") == 0)
+            ablate = true;
+        else
+            args.push_back(argv[i]);
+    }
+    const auto opts = core::BenchOptions::parse(
+        static_cast<int>(args.size()), args.data());
+    bench::banner("Fig. 12b",
+                  "Pending Translation Buffer size (partitioned "
+                  "design, no prefetch)",
+                  opts);
+
+    core::ExperimentRunner runner(opts.scale, opts.seed);
+    const auto tenants = core::paperTenantSweep(opts.maxTenants);
+
+    for (workload::Benchmark bench : workload::AllBenchmarks) {
+        std::vector<std::pair<std::string, std::vector<double>>>
+            series;
+        for (unsigned ptb : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+            std::vector<double> values;
+            for (unsigned t : tenants) {
+                values.push_back(
+                    bench::runPoint(runner,
+                                    bench::partitionedPtbConfig(ptb),
+                                    bench, t)
+                        .achievedGbps);
+            }
+            series.emplace_back("PTB" + std::to_string(ptb),
+                                std::move(values));
+        }
+        core::printBandwidthTable(
+            std::cout,
+            std::string("bandwidth (Gb/s), RR1 — ") +
+                workload::benchmarkName(bench),
+            tenants, series);
+    }
+
+    if (ablate) {
+        std::printf("\n--- ablation: IOMMU walker slots "
+                    "(PTB=32, partitioned, iperf3) ---\n");
+        std::vector<std::pair<std::string, std::vector<double>>>
+            series;
+        for (unsigned walkers : {4u, 8u, 16u, 32u, 0u}) {
+            std::vector<double> values;
+            for (unsigned t : tenants) {
+                core::SystemConfig config =
+                    bench::partitionedPtbConfig(32);
+                config.iommu.walkers = walkers;
+                values.push_back(
+                    bench::runPoint(runner, config,
+                                    workload::Benchmark::Iperf3, t)
+                        .achievedGbps);
+            }
+            series.emplace_back(walkers == 0
+                                    ? std::string("unlimited")
+                                    : "W" + std::to_string(walkers),
+                                std::move(values));
+        }
+        core::printBandwidthTable(std::cout,
+                                  "walker-slot ablation (Gb/s)",
+                                  tenants, series);
+    }
+
+    std::printf("\npaper: 8 PTB entries reach full bandwidth up to "
+                "16 tenants; 32 entries achieve ~136 Gb/s at 1024 "
+                "tenants; beyond that, growing the PTB stops "
+                "paying for its hardware\n");
+    return 0;
+}

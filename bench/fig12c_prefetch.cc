@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fig. 12c: contribution of the Translation Prefetching Scheme on
+ * top of the partitioned + PTB-32 design, plus the prefetcher
+ * sensitivity sweep the paper describes (Prefetch Buffer size and
+ * history length). Our model's prefetch path is shorter than the
+ * authors' testbed, so the calibrated optimum differs from the
+ * paper's (8-entry PB, 48-access stride) — the sweep makes the
+ * trade-off visible.
+ */
+
+#include "bench_common.hh"
+
+using namespace hypersio;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = core::BenchOptions::parse(argc, argv);
+    bench::banner("Fig. 12c",
+                  "translation prefetching gain over partitioned "
+                  "design with PTB=32",
+                  opts);
+
+    core::ExperimentRunner runner(opts.scale, opts.seed);
+    const auto tenants = core::paperTenantSweep(opts.maxTenants);
+
+    for (workload::Benchmark bench : workload::AllBenchmarks) {
+        std::vector<double> without;
+        std::vector<double> with_pf;
+        std::vector<double> pb_rate;
+        for (unsigned t : tenants) {
+            without.push_back(
+                bench::runPoint(runner,
+                                bench::partitionedPtbConfig(32),
+                                bench, t)
+                    .achievedGbps);
+            const auto r = bench::runPoint(
+                runner, core::SystemConfig::hypertrio(), bench, t);
+            with_pf.push_back(r.achievedGbps);
+            pb_rate.push_back(r.pbHitRate * 100.0);
+        }
+        core::printBandwidthTable(
+            std::cout,
+            std::string("bandwidth (Gb/s), RR1 — ") +
+                workload::benchmarkName(bench),
+            tenants,
+            {{"no-prefetch", without},
+             {"prefetch", with_pf},
+             {"PB-hit(%)", pb_rate}});
+    }
+
+    // Sensitivity: PB size x history length at the largest count.
+    const unsigned t = std::min(opts.maxTenants, 256u);
+    std::printf("\n--- prefetcher sensitivity at %u tenants "
+                "(iperf3 RR1) ---\n",
+                t);
+    std::printf("%8s %8s %12s %10s\n", "PB", "history",
+                "Gb/s", "PB-hit(%)");
+    for (unsigned pb : {8u, 16u, 32u}) {
+        for (unsigned h : {12u, 20u, 32u, 48u}) {
+            core::SystemConfig config =
+                core::SystemConfig::hypertrio();
+            config.device.prefetch.bufferEntries = pb;
+            config.device.prefetch.historyLength = h;
+            const auto r = bench::runPoint(
+                runner, config, workload::Benchmark::Iperf3, t);
+            std::printf("%8u %8u %12.1f %10.1f\n", pb, h,
+                        r.achievedGbps, r.pbHitRate * 100.0);
+        }
+    }
+
+    std::printf("\npaper: prefetching improves hyper-tenant link "
+                "utilisation by up to 30%% (websearch) and serves "
+                "~45%% of requests from the Prefetch Buffer at "
+                "1024 tenants; it scales better than growing the "
+                "PTB because buffer and history length stay fixed\n");
+    return 0;
+}

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the hot simulator structures:
+ * cache lookup/insert, replacement policies, event-queue churn,
+ * page-table translation, trace construction, and predictor
+ * training. Useful for keeping the simulator itself fast enough for
+ * paper-scale (1024-tenant) runs.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "hypersio/hypersio.hh"
+
+using namespace hypersio;
+
+namespace
+{
+
+void
+BM_CacheLookupHit(benchmark::State &state)
+{
+    cache::SetAssocCache<uint64_t> tlb(
+        {64, 8, 1, cache::ReplPolicyKind::LFU, 1});
+    for (uint64_t i = 0; i < 64; ++i)
+        tlb.insert(i, i, i);
+    uint64_t key = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tlb.lookup(key, key));
+        key = (key + 1) % 64;
+    }
+}
+BENCHMARK(BM_CacheLookupHit);
+
+void
+BM_CacheInsertEvict(benchmark::State &state)
+{
+    cache::SetAssocCache<uint64_t> tlb(
+        {64, 8, 1, cache::ReplPolicyKind::LFU, 1});
+    uint64_t key = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tlb.insert(key, key, key));
+        ++key;
+    }
+}
+BENCHMARK(BM_CacheInsertEvict);
+
+void
+BM_CachePartitionedLookup(benchmark::State &state)
+{
+    cache::SetAssocCache<uint64_t> tlb(
+        {64, 8, static_cast<size_t>(state.range(0)),
+         cache::ReplPolicyKind::LFU, 1});
+    for (uint64_t i = 0; i < 64; ++i)
+        tlb.insert(i, i, i, static_cast<uint32_t>(i));
+    uint64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            tlb.lookup(i % 64, i % 64, static_cast<uint32_t>(i % 64)));
+        ++i;
+    }
+}
+BENCHMARK(BM_CachePartitionedLookup)->Arg(1)->Arg(8);
+
+void
+BM_EventQueueChurn(benchmark::State &state)
+{
+    sim::EventQueue queue;
+    Tick when = 0;
+    for (auto _ : state) {
+        queue.schedule(when + 10, [] {});
+        queue.step();
+        ++when;
+    }
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void
+BM_PageTableTranslate(benchmark::State &state)
+{
+    mem::PageTable table(1, 42);
+    for (unsigned i = 0; i < 32; ++i)
+        table.map(0xbbe00000 + i * mem::PageSize2M,
+                  mem::PageSize::Size2M);
+    uint64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(table.translate(
+            0xbbe00000 + (i % 32) * mem::PageSize2M + (i % 4096)));
+        ++i;
+    }
+}
+BENCHMARK(BM_PageTableTranslate);
+
+void
+BM_SidPredictorTrain(benchmark::State &state)
+{
+    core::SidPredictor predictor(48);
+    trace::SourceId sid = 0;
+    for (auto _ : state) {
+        predictor.train(sid);
+        sid = (sid + 1) % 1024;
+    }
+}
+BENCHMARK(BM_SidPredictorTrain);
+
+void
+BM_TenantLogGeneration(benchmark::State &state)
+{
+    const auto profile =
+        workload::benchmarkProfile(workload::Benchmark::Iperf3);
+    workload::TenantLogGenerator gen(profile.pattern, 42);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            gen.generate(0, static_cast<uint64_t>(state.range(0))));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TenantLogGeneration)->Arg(1000)->Arg(10000);
+
+void
+BM_TraceConstruction(benchmark::State &state)
+{
+    auto logs = workload::generateLogs(
+        workload::Benchmark::Iperf3,
+        static_cast<unsigned>(state.range(0)), 42, 0.01);
+    const auto il = trace::parseInterleaving("RR1");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(trace::constructTrace(logs, il));
+    }
+}
+BENCHMARK(BM_TraceConstruction)->Arg(16)->Arg(64);
+
+void
+BM_EndToEndSmallRun(benchmark::State &state)
+{
+    auto logs = workload::generateLogs(workload::Benchmark::Iperf3,
+                                       8, 42, 0.01);
+    const auto tr =
+        trace::constructTrace(logs, trace::parseInterleaving("RR1"));
+    for (auto _ : state) {
+        core::System system(core::SystemConfig::hypertrio());
+        benchmark::DoNotOptimize(system.run(tr));
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<int64_t>(tr.packets.size()));
+}
+BENCHMARK(BM_EndToEndSmallRun);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Future-knowledge feed for Belady-oracle replacement.
+ *
+ * The simulator records the full key access sequence of a trace in a
+ * pre-pass, then replays it: before each access it calls advance(),
+ * after which nextUse(key) answers "at which global position will
+ * `key` be referenced next, strictly after the current one?" — the
+ * question Belady's algorithm needs.
+ */
+
+#ifndef HYPERSIO_CACHE_ORACLE_FEED_HH
+#define HYPERSIO_CACHE_ORACLE_FEED_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/replacement.hh"
+#include "util/logging.hh"
+
+namespace hypersio::cache
+{
+
+/**
+ * Stores, per key, the sorted list of positions at which the key is
+ * accessed, plus a cursor advanced in lockstep with the simulation.
+ */
+class OracleFeed : public FutureOracle
+{
+  public:
+    OracleFeed() = default;
+
+    /** Builds the per-key position lists from the full sequence. */
+    explicit OracleFeed(const std::vector<uint64_t> &sequence)
+    {
+        build(sequence);
+    }
+
+    /** (Re)builds from a full access sequence; resets the cursor. */
+    void
+    build(const std::vector<uint64_t> &sequence)
+    {
+        _positions.clear();
+        for (uint64_t pos = 0; pos < sequence.size(); ++pos)
+            _positions[sequence[pos]].uses.push_back(pos);
+        _now = 0;
+        _length = sequence.size();
+    }
+
+    /**
+     * Moves the cursor to the next access. Call exactly once per
+     * simulated access, *before* the cache lookup for that access.
+     */
+    void
+    advance()
+    {
+        HYPERSIO_ASSERT(_now < _length, "oracle feed overran sequence");
+        ++_now;
+    }
+
+    /** Current position (1-based after the first advance()). */
+    uint64_t position() const { return _now; }
+
+    /** Total sequence length. */
+    uint64_t length() const { return _length; }
+
+    /**
+     * Next position of `key` strictly after the current access (the
+     * access at position()-1), or UINT64_MAX if never used again.
+     * Unknown keys (never in the sequence) also return UINT64_MAX.
+     */
+    uint64_t
+    nextUse(uint64_t key) const override
+    {
+        auto it = _positions.find(key);
+        if (it == _positions.end())
+            return UINT64_MAX;
+        KeyInfo &info = it->second;
+        const auto &uses = info.uses;
+        // Lazily advance the per-key cursor past consumed positions.
+        while (info.cursor < uses.size() && uses[info.cursor] < _now)
+            ++info.cursor;
+        if (info.cursor == uses.size())
+            return UINT64_MAX;
+        return uses[info.cursor];
+    }
+
+    /** Rewinds the feed for a second simulation pass. */
+    void
+    rewind()
+    {
+        _now = 0;
+        for (auto &kv : _positions)
+            kv.second.cursor = 0;
+    }
+
+  private:
+    struct KeyInfo
+    {
+        std::vector<uint64_t> uses;
+        mutable size_t cursor = 0;
+    };
+
+    mutable std::unordered_map<uint64_t, KeyInfo> _positions;
+    uint64_t _now = 0;
+    uint64_t _length = 0;
+};
+
+} // namespace hypersio::cache
+
+#endif // HYPERSIO_CACHE_ORACLE_FEED_HH

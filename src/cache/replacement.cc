@@ -1,0 +1,61 @@
+#include "cache/replacement.hh"
+
+namespace hypersio::cache
+{
+
+ReplPolicyKind
+parseReplPolicy(const std::string &name)
+{
+    if (name == "lru" || name == "LRU")
+        return ReplPolicyKind::LRU;
+    if (name == "lfu" || name == "LFU")
+        return ReplPolicyKind::LFU;
+    if (name == "fifo" || name == "FIFO")
+        return ReplPolicyKind::FIFO;
+    if (name == "random" || name == "rand")
+        return ReplPolicyKind::Random;
+    if (name == "oracle" || name == "belady")
+        return ReplPolicyKind::Oracle;
+    fatal("unknown replacement policy '%s' "
+          "(expected lru|lfu|fifo|random|oracle)",
+          name.c_str());
+}
+
+const char *
+replPolicyName(ReplPolicyKind kind)
+{
+    switch (kind) {
+      case ReplPolicyKind::LRU:
+        return "lru";
+      case ReplPolicyKind::LFU:
+        return "lfu";
+      case ReplPolicyKind::FIFO:
+        return "fifo";
+      case ReplPolicyKind::Random:
+        return "random";
+      case ReplPolicyKind::Oracle:
+        return "oracle";
+    }
+    panic("unreachable replacement policy kind");
+}
+
+std::unique_ptr<ReplacementPolicy>
+makePolicy(ReplPolicyKind kind, uint64_t seed, unsigned lfu_bits)
+{
+    switch (kind) {
+      case ReplPolicyKind::LRU:
+        return std::make_unique<LruPolicy>();
+      case ReplPolicyKind::LFU:
+        return std::make_unique<LfuPolicy>(lfu_bits);
+      case ReplPolicyKind::FIFO:
+        return std::make_unique<FifoPolicy>();
+      case ReplPolicyKind::Random:
+        return std::make_unique<RandomPolicy>(seed);
+      case ReplPolicyKind::Oracle:
+        fatal("oracle policy needs a FutureOracle; construct "
+              "OraclePolicy directly");
+    }
+    panic("unreachable replacement policy kind");
+}
+
+} // namespace hypersio::cache

@@ -1,0 +1,376 @@
+/**
+ * @file
+ * Replacement policies for set-associative translation caches.
+ *
+ * The paper studies LRU, LFU (motivated by the three-frequency-group
+ * structure of tenant page accesses, Section IV-D), and a Belady
+ * oracle built from the full trace (Section V-C). FIFO and Random are
+ * included as additional baselines. The LFU implementation follows
+ * the paper: a 4-bit counter per entry, and all counters in a set are
+ * halved when any of them saturates.
+ */
+
+#ifndef HYPERSIO_CACHE_REPLACEMENT_HH
+#define HYPERSIO_CACHE_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace hypersio::cache
+{
+
+/** Replacement policy identifiers, parseable from strings. */
+enum class ReplPolicyKind
+{
+    LRU,
+    LFU,
+    FIFO,
+    Random,
+    Oracle,
+};
+
+/** Parses "lru"/"lfu"/"fifo"/"random"/"oracle"; fatal() on others. */
+ReplPolicyKind parseReplPolicy(const std::string &name);
+
+/** Human-readable policy name. */
+const char *replPolicyName(ReplPolicyKind kind);
+
+/**
+ * Interface a cache uses to drive its replacement policy. The cache
+ * calls init() once, then reports hits/insertions/invalidations and
+ * asks for victims. `set` is the global set index, `way` the way
+ * within the set, and `key` the full tag identity of the entry.
+ */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** Sizes internal state; called once before use. */
+    virtual void init(size_t num_sets, size_t num_ways) = 0;
+
+    /** An existing entry was re-referenced. */
+    virtual void touch(size_t set, size_t way, uint64_t key) = 0;
+
+    /** A new entry was installed in (set, way). */
+    virtual void insert(size_t set, size_t way, uint64_t key) = 0;
+
+    /** The entry in (set, way) was invalidated. */
+    virtual void invalidate(size_t set, size_t way) = 0;
+
+    /**
+     * Chooses a victim among the valid ways of `set`. `keys[w]` is
+     * the key resident in way w; all ways passed in are valid.
+     * @param ways the candidate way indices (all valid, all evictable)
+     */
+    virtual size_t victim(size_t set, const std::vector<size_t> &ways,
+                          const uint64_t *keys) = 0;
+
+    /** Clears all recency/frequency state. */
+    virtual void reset() = 0;
+};
+
+/** Least Recently Used: evicts the oldest-referenced way. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    void
+    init(size_t num_sets, size_t num_ways) override
+    {
+        _lastUse.assign(num_sets * num_ways, 0);
+        _ways = num_ways;
+        _seq = 0;
+    }
+
+    void
+    touch(size_t set, size_t way, uint64_t) override
+    {
+        _lastUse[set * _ways + way] = ++_seq;
+    }
+
+    void
+    insert(size_t set, size_t way, uint64_t) override
+    {
+        _lastUse[set * _ways + way] = ++_seq;
+    }
+
+    void invalidate(size_t set, size_t way) override
+    {
+        _lastUse[set * _ways + way] = 0;
+    }
+
+    size_t
+    victim(size_t set, const std::vector<size_t> &ways,
+           const uint64_t *) override
+    {
+        size_t best = ways.front();
+        uint64_t best_use = _lastUse[set * _ways + best];
+        for (size_t w : ways) {
+            uint64_t use = _lastUse[set * _ways + w];
+            if (use < best_use) {
+                best = w;
+                best_use = use;
+            }
+        }
+        return best;
+    }
+
+    void reset() override
+    {
+        std::fill(_lastUse.begin(), _lastUse.end(), 0);
+        _seq = 0;
+    }
+
+  private:
+    std::vector<uint64_t> _lastUse;
+    size_t _ways = 0;
+    uint64_t _seq = 0;
+};
+
+/**
+ * Least Frequently Used with saturating 4-bit counters. When any
+ * counter in a set saturates, every counter in that set is halved,
+ * aging out stale frequency information (cf. RRIP-style aging).
+ * Count ties break by recency (least recently used first), so stale
+ * low-count entries age out instead of pinning a set.
+ */
+class LfuPolicy : public ReplacementPolicy
+{
+  public:
+    /** @param counter_bits width of the per-entry counter (paper: 4). */
+    explicit LfuPolicy(unsigned counter_bits = 4)
+        : _maxCount((1u << counter_bits) - 1)
+    {
+        HYPERSIO_ASSERT(counter_bits >= 1 && counter_bits <= 16,
+                        "unsupported LFU counter width");
+    }
+
+    void
+    init(size_t num_sets, size_t num_ways) override
+    {
+        _count.assign(num_sets * num_ways, 0);
+        _lastUse.assign(num_sets * num_ways, 0);
+        _ways = num_ways;
+        _seq = 0;
+    }
+
+    void
+    touch(size_t set, size_t way, uint64_t) override
+    {
+        bump(set, way);
+        _lastUse[set * _ways + way] = ++_seq;
+    }
+
+    void
+    insert(size_t set, size_t way, uint64_t) override
+    {
+        _count[set * _ways + way] = 1;
+        _lastUse[set * _ways + way] = ++_seq;
+    }
+
+    void invalidate(size_t set, size_t way) override
+    {
+        _count[set * _ways + way] = 0;
+        _lastUse[set * _ways + way] = 0;
+    }
+
+    size_t
+    victim(size_t set, const std::vector<size_t> &ways,
+           const uint64_t *) override
+    {
+        size_t best = ways.front();
+        uint32_t best_count = _count[set * _ways + best];
+        uint64_t best_use = _lastUse[set * _ways + best];
+        for (size_t w : ways) {
+            const uint32_t count = _count[set * _ways + w];
+            const uint64_t use = _lastUse[set * _ways + w];
+            if (count < best_count ||
+                (count == best_count && use < best_use)) {
+                best = w;
+                best_count = count;
+                best_use = use;
+            }
+        }
+        return best;
+    }
+
+    void reset() override
+    {
+        std::fill(_count.begin(), _count.end(), 0);
+        std::fill(_lastUse.begin(), _lastUse.end(), 0);
+        _seq = 0;
+    }
+
+    /** Exposed for testing: current counter value of (set, way). */
+    uint32_t
+    counter(size_t set, size_t way) const
+    {
+        return _count[set * _ways + way];
+    }
+
+  private:
+    void
+    bump(size_t set, size_t way)
+    {
+        uint32_t &c = _count[set * _ways + way];
+        if (c < _maxCount) {
+            ++c;
+            return;
+        }
+        // Saturated: halve every counter in the row, then bump.
+        for (size_t w = 0; w < _ways; ++w)
+            _count[set * _ways + w] >>= 1;
+        ++c;
+    }
+
+    std::vector<uint32_t> _count;
+    std::vector<uint64_t> _lastUse;
+    size_t _ways = 0;
+    uint64_t _seq = 0;
+    const uint32_t _maxCount;
+};
+
+/** First-In First-Out: evicts the oldest-inserted way. */
+class FifoPolicy : public ReplacementPolicy
+{
+  public:
+    void
+    init(size_t num_sets, size_t num_ways) override
+    {
+        _inserted.assign(num_sets * num_ways, 0);
+        _ways = num_ways;
+        _seq = 0;
+    }
+
+    void touch(size_t, size_t, uint64_t) override {}
+
+    void
+    insert(size_t set, size_t way, uint64_t) override
+    {
+        _inserted[set * _ways + way] = ++_seq;
+    }
+
+    void invalidate(size_t set, size_t way) override
+    {
+        _inserted[set * _ways + way] = 0;
+    }
+
+    size_t
+    victim(size_t set, const std::vector<size_t> &ways,
+           const uint64_t *) override
+    {
+        size_t best = ways.front();
+        uint64_t best_seq = _inserted[set * _ways + best];
+        for (size_t w : ways) {
+            uint64_t seq = _inserted[set * _ways + w];
+            if (seq < best_seq) {
+                best = w;
+                best_seq = seq;
+            }
+        }
+        return best;
+    }
+
+    void reset() override
+    {
+        std::fill(_inserted.begin(), _inserted.end(), 0);
+        _seq = 0;
+    }
+
+  private:
+    std::vector<uint64_t> _inserted;
+    size_t _ways = 0;
+    uint64_t _seq = 0;
+};
+
+/** Uniform-random victim selection (deterministic from a seed). */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    explicit RandomPolicy(uint64_t seed = 1) : _rng(seed) {}
+
+    void init(size_t, size_t) override {}
+    void touch(size_t, size_t, uint64_t) override {}
+    void insert(size_t, size_t, uint64_t) override {}
+    void invalidate(size_t, size_t) override {}
+
+    size_t
+    victim(size_t, const std::vector<size_t> &ways,
+           const uint64_t *) override
+    {
+        return ways[_rng.below(ways.size())];
+    }
+
+    void reset() override {}
+
+  private:
+    Rng _rng;
+};
+
+/**
+ * Source of future-knowledge for the Belady oracle policy: returns
+ * the position of the next reference to `key` strictly after the
+ * current position, or UINT64_MAX if the key is never used again.
+ */
+class FutureOracle
+{
+  public:
+    virtual ~FutureOracle() = default;
+    virtual uint64_t nextUse(uint64_t key) const = 0;
+};
+
+/**
+ * Belady's optimal policy: evicts the resident entry whose next use
+ * lies furthest in the future. Requires a FutureOracle fed with the
+ * full access sequence (see OracleFeed).
+ */
+class OraclePolicy : public ReplacementPolicy
+{
+  public:
+    explicit OraclePolicy(const FutureOracle &oracle) : _oracle(oracle)
+    {}
+
+    void init(size_t, size_t) override {}
+    void touch(size_t, size_t, uint64_t) override {}
+    void insert(size_t, size_t, uint64_t) override {}
+    void invalidate(size_t, size_t) override {}
+
+    size_t
+    victim(size_t, const std::vector<size_t> &ways,
+           const uint64_t *keys) override
+    {
+        size_t best = ways.front();
+        uint64_t best_next = _oracle.nextUse(keys[best]);
+        for (size_t w : ways) {
+            uint64_t next = _oracle.nextUse(keys[w]);
+            if (next > best_next) {
+                best = w;
+                best_next = next;
+            }
+        }
+        return best;
+    }
+
+    void reset() override {}
+
+  private:
+    const FutureOracle &_oracle;
+};
+
+/**
+ * Factory for non-oracle policies. Oracle policies need a FutureOracle
+ * and are constructed explicitly by the caller.
+ * @param lfu_bits counter width used when kind is LFU
+ */
+std::unique_ptr<ReplacementPolicy>
+makePolicy(ReplPolicyKind kind, uint64_t seed = 1,
+           unsigned lfu_bits = 4);
+
+} // namespace hypersio::cache
+
+#endif // HYPERSIO_CACHE_REPLACEMENT_HH

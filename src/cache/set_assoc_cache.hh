@@ -1,0 +1,358 @@
+/**
+ * @file
+ * Generic set-associative, optionally partitioned translation cache.
+ *
+ * This single template backs every caching structure in the model:
+ * the Device TLB, the IOMMU's IOTLB, the paging-structure caches
+ * (L2/L3/L4 TLBs), the Context Cache, and the Prefetch Buffer (as a
+ * fully-associative instance).
+ *
+ * Partitioning implements the paper's P-DevTLB: the cache's sets are
+ * divided into `partitions` equal groups (a partition tag per row);
+ * a request may look up and allocate only inside the set group
+ * selected by its partition id (low bits of the Source ID). With
+ * partitions == 1 the cache behaves classically.
+ */
+
+#ifndef HYPERSIO_CACHE_SET_ASSOC_CACHE_HH
+#define HYPERSIO_CACHE_SET_ASSOC_CACHE_HH
+
+#include <optional>
+#include <vector>
+
+#include "cache/replacement.hh"
+#include "stats/stats.hh"
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace hypersio::cache
+{
+
+/** Geometry and policy configuration for a SetAssocCache. */
+struct CacheConfig
+{
+    /** Total entries; must be a multiple of `ways`. */
+    size_t entries = 64;
+    /** Associativity; `entries == ways` gives a fully-assoc cache. */
+    size_t ways = 8;
+    /** Number of row partitions (PTag groups); must divide the sets. */
+    size_t partitions = 1;
+    /** Replacement policy. */
+    ReplPolicyKind policy = ReplPolicyKind::LRU;
+    /** Seed for randomized policies. */
+    uint64_t seed = 1;
+    /**
+     * Select the set by hashing the full key instead of using the
+     * low index bits directly. Chipset-side structures (IOTLB) hash
+     * the domain into the index, spreading same-gIOVA tenants across
+     * sets; simple device-side TLBs do not — which is why identical
+     * guest drivers conflict there (Section IV-D).
+     */
+    bool hashIndex = false;
+    /** LFU counter width in bits (paper: 4). */
+    unsigned lfuBits = 4;
+
+    size_t sets() const { return entries / ways; }
+};
+
+/** Aggregate hit/miss statistics of one cache instance. */
+struct CacheStats
+{
+    uint64_t lookups = 0;
+    uint64_t hits = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    uint64_t invalidations = 0;
+
+    uint64_t misses() const { return lookups - hits; }
+    double
+    missRate() const
+    {
+        return lookups == 0
+                   ? 0.0
+                   : static_cast<double>(misses()) /
+                         static_cast<double>(lookups);
+    }
+};
+
+/**
+ * Set-associative cache mapping a 64-bit key to a value of type V.
+ *
+ * The *key* is the full identity used for tag matching (callers pack
+ * e.g. SID and page number into it). The *index* is the value whose
+ * low bits select the set inside the partition — kept separate from
+ * the key so that different tenants using the same gIOVA pages index
+ * to the same rows, which is exactly the conflict behaviour the paper
+ * analyses.
+ */
+template <typename V>
+class SetAssocCache
+{
+  public:
+    /** Result of an insertion: the evicted key, if any. */
+    struct Eviction
+    {
+        uint64_t key;
+        V value;
+    };
+
+    /**
+     * Constructs with an owned policy created from config.policy.
+     * For oracle replacement use the other constructor.
+     */
+    explicit SetAssocCache(const CacheConfig &config)
+        : SetAssocCache(config, makePolicy(config.policy, config.seed,
+                                           config.lfuBits))
+    {}
+
+    /** Constructs with an explicit (possibly oracle) policy. */
+    SetAssocCache(const CacheConfig &config,
+                  std::unique_ptr<ReplacementPolicy> policy)
+        : _config(config), _policy(std::move(policy))
+    {
+        HYPERSIO_ASSERT(_config.ways > 0 && _config.entries > 0,
+                        "cache must have entries");
+        HYPERSIO_ASSERT(_config.entries % _config.ways == 0,
+                        "entries (%zu) not a multiple of ways (%zu)",
+                        _config.entries, _config.ways);
+        const size_t sets = _config.sets();
+        HYPERSIO_ASSERT(_config.partitions >= 1 &&
+                            sets % _config.partitions == 0,
+                        "partitions (%zu) must divide sets (%zu)",
+                        _config.partitions, sets);
+        _setsPerPartition = sets / _config.partitions;
+        _lines.resize(sets * _config.ways);
+        _victimKeys.resize(_config.ways);
+        _policy->init(sets, _config.ways);
+    }
+
+    const CacheConfig &config() const { return _config; }
+    const CacheStats &stats() const { return _stats; }
+    size_t numSets() const { return _config.sets(); }
+    size_t numWays() const { return _config.ways; }
+    size_t numPartitions() const { return _config.partitions; }
+
+    /**
+     * Looks up `key`. `index` selects the set; `partition` selects
+     * the row group (ignored when the cache has one partition).
+     * @return pointer to the cached value, or nullptr on miss.
+     */
+    V *
+    lookup(uint64_t key, uint64_t index, uint32_t partition = 0)
+    {
+        ++_stats.lookups;
+        const size_t set = setFor(key, index, partition);
+        Line *line = findLine(set, key);
+        if (!line)
+            return nullptr;
+        ++_stats.hits;
+        _policy->touch(set, wayOf(set, line), key);
+        return &line->value;
+    }
+
+    /** Like lookup() but with no policy/statistics side effects. */
+    const V *
+    peek(uint64_t key, uint64_t index, uint32_t partition = 0) const
+    {
+        const size_t set = setFor(key, index, partition);
+        const Line *line = findLine(set, key);
+        return line ? &line->value : nullptr;
+    }
+
+    /**
+     * Inserts (or updates) key → value.
+     * @return the eviction that made room, if one occurred.
+     */
+    std::optional<Eviction>
+    insert(uint64_t key, uint64_t index, V value,
+           uint32_t partition = 0)
+    {
+        const size_t set = setFor(key, index, partition);
+        // Update in place on re-insertion.
+        if (Line *line = findLine(set, key)) {
+            line->value = std::move(value);
+            _policy->touch(set, wayOf(set, line), key);
+            return std::nullopt;
+        }
+
+        ++_stats.insertions;
+
+        // Use an invalid way if one exists.
+        for (size_t w = 0; w < _config.ways; ++w) {
+            Line &line = at(set, w);
+            if (!line.valid) {
+                line.valid = true;
+                line.key = key;
+                line.value = std::move(value);
+                _policy->insert(set, w, key);
+                return std::nullopt;
+            }
+        }
+
+        // All ways valid: ask the policy for a victim.
+        _victimWays.clear();
+        for (size_t w = 0; w < _config.ways; ++w) {
+            _victimWays.push_back(w);
+            _victimKeys[w] = at(set, w).key;
+        }
+        size_t victim = _policy->victim(set, _victimWays,
+                                        _victimKeys.data());
+        HYPERSIO_ASSERT(victim < _config.ways, "policy victim range");
+
+        Line &line = at(set, victim);
+        Eviction evicted{line.key, std::move(line.value)};
+        ++_stats.evictions;
+        line.key = key;
+        line.value = std::move(value);
+        _policy->insert(set, victim, key);
+        return evicted;
+    }
+
+    /** Invalidates `key` if present. @return true when removed. */
+    bool
+    invalidate(uint64_t key, uint64_t index, uint32_t partition = 0)
+    {
+        const size_t set = setFor(key, index, partition);
+        Line *line = findLine(set, key);
+        if (!line)
+            return false;
+        line->valid = false;
+        ++_stats.invalidations;
+        _policy->invalidate(set, wayOf(set, line));
+        return true;
+    }
+
+    /** Invalidates every entry (e.g. on tenant teardown). */
+    void
+    flush()
+    {
+        for (auto &line : _lines) {
+            if (line.valid) {
+                line.valid = false;
+                ++_stats.invalidations;
+            }
+        }
+        _policy->reset();
+    }
+
+    /** Number of currently valid entries (O(entries)). */
+    size_t
+    occupancy() const
+    {
+        size_t n = 0;
+        for (const auto &line : _lines)
+            n += line.valid ? 1 : 0;
+        return n;
+    }
+
+    /** Resets statistics but keeps contents. */
+    void resetStats() { _stats = CacheStats{}; }
+
+    /** Registers this cache's stats in a StatGroup (dump-time copy). */
+    void
+    exportStats(stats::StatGroup &group) const
+    {
+        // Lazily copied at dump time via scalars would need hooks;
+        // instead callers snapshot stats() — this helper emits a
+        // human-readable line for debugging.
+        (void)group;
+    }
+
+    /**
+     * Visits all valid entries: fn(key, value, set, way). Used by the
+     * oracle pre-pass and tests.
+     */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        const size_t sets = _config.sets();
+        for (size_t s = 0; s < sets; ++s) {
+            for (size_t w = 0; w < _config.ways; ++w) {
+                const Line &line = at(s, w);
+                if (line.valid)
+                    fn(line.key, line.value, s, w);
+            }
+        }
+    }
+
+    /** Computes the global set index for (key, index, partition). */
+    size_t
+    setFor(uint64_t key, uint64_t index, uint32_t partition) const
+    {
+        return setIndex(_config.hashIndex ? splitmix64(key) : index,
+                        partition);
+    }
+
+    /** Computes the global set index for (index, partition). */
+    size_t
+    setIndex(uint64_t index, uint32_t partition) const
+    {
+        const uint32_t part =
+            _config.partitions == 1
+                ? 0
+                : partition % static_cast<uint32_t>(_config.partitions);
+        return static_cast<size_t>(part) * _setsPerPartition +
+               static_cast<size_t>(index % _setsPerPartition);
+    }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        uint64_t key = 0;
+        V value{};
+    };
+
+    Line &at(size_t set, size_t way)
+    {
+        return _lines[set * _config.ways + way];
+    }
+    const Line &at(size_t set, size_t way) const
+    {
+        return _lines[set * _config.ways + way];
+    }
+
+    Line *
+    findLine(size_t set, uint64_t key)
+    {
+        for (size_t w = 0; w < _config.ways; ++w) {
+            Line &line = at(set, w);
+            if (line.valid && line.key == key)
+                return &line;
+        }
+        return nullptr;
+    }
+
+    const Line *
+    findLine(size_t set, uint64_t key) const
+    {
+        for (size_t w = 0; w < _config.ways; ++w) {
+            const Line &line = at(set, w);
+            if (line.valid && line.key == key)
+                return &line;
+        }
+        return nullptr;
+    }
+
+    size_t
+    wayOf(size_t set, const Line *line) const
+    {
+        return static_cast<size_t>(line - &_lines[set * _config.ways]);
+    }
+
+    CacheConfig _config;
+    std::unique_ptr<ReplacementPolicy> _policy;
+    std::vector<Line> _lines;
+    size_t _setsPerPartition = 1;
+    CacheStats _stats;
+
+    // Scratch buffers for victim selection (avoid per-miss alloc).
+    std::vector<size_t> _victimWays;
+    std::vector<uint64_t> _victimKeys;
+};
+
+} // namespace hypersio::cache
+
+#endif // HYPERSIO_CACHE_SET_ASSOC_CACHE_HH

@@ -1,0 +1,99 @@
+#include "core/chipset.hh"
+
+#include <algorithm>
+
+namespace hypersio::core
+{
+
+HistoryReader::HistoryReader(const PrefetchConfig &config,
+                             sim::EventQueue &queue,
+                             stats::StatGroup &parent,
+                             iommu::Iommu &iommu,
+                             mem::MemoryModel &memory, FillFn fill)
+    : SimObject("history_reader", queue, parent), _config(config),
+      _iommu(iommu), _memory(memory), _fill(std::move(fill)),
+      _started(statGroup().makeCounter("started",
+                                       "prefetches started")),
+      _deduped(statGroup().makeCounter(
+          "deduped", "prefetch requests dropped (already running)")),
+      _issued(statGroup().makeCounter(
+          "issued", "prefetch translations issued to the IOMMU"))
+{}
+
+void
+HistoryReader::observe(mem::DomainId did, mem::Iova iova,
+                       mem::PageSize size)
+{
+    // The history write happens off the critical path and costs no
+    // simulated time; only reads (on prefetch) are charged.
+    TenantHistory &hist = _history[did];
+    const mem::Addr base = mem::pageBase(iova, size);
+    auto it = std::find_if(hist.recent.begin(), hist.recent.end(),
+                           [&](const HistoryPage &p) {
+                               return p.pageBase == base;
+                           });
+    if (it != hist.recent.end()) {
+        // Move to front (most recent).
+        std::rotate(hist.recent.begin(), it, it + 1);
+        return;
+    }
+    hist.recent.insert(hist.recent.begin(), {base, size});
+    if (hist.recent.size() > _config.historyDepth)
+        hist.recent.pop_back();
+}
+
+void
+HistoryReader::prefetch(mem::DomainId did)
+{
+    TenantHistory &hist = _history[did];
+    if (hist.inFlight) {
+        ++_deduped;
+        return;
+    }
+    if (hist.recent.empty())
+        return; // nothing known about this tenant yet
+    hist.inFlight = true;
+    ++_started;
+
+    // Fetch the tenant's history from main memory, then translate.
+    _memory.access(_config.historyReadAccesses,
+                   [this, did]() { issueTranslations(did); });
+}
+
+void
+HistoryReader::issueTranslations(mem::DomainId did)
+{
+    TenantHistory &hist = _history[did];
+    const unsigned count = std::min<unsigned>(
+        _config.pagesPerPrefetch,
+        static_cast<unsigned>(hist.recent.size()));
+
+    if (count == 0) {
+        hist.inFlight = false;
+        return;
+    }
+
+    // The in-flight flag clears when the last translation lands, so
+    // a tenant has at most one prefetch burst outstanding.
+    auto remaining = std::make_shared<unsigned>(count);
+    for (unsigned i = 0; i < count; ++i) {
+        const HistoryPage page = hist.recent[i];
+        ++_issued;
+        iommu::IommuRequest req;
+        req.domain = did;
+        req.iova = page.pageBase;
+        req.size = page.size;
+        req.prefetch = true;
+        _iommu.translate(
+            req, [this, did, page, remaining](
+                     const iommu::IommuResponse &resp) {
+                if (resp.valid && _fill)
+                    _fill(did, page.pageBase, page.size,
+                          resp.hostAddr);
+                if (--*remaining == 0)
+                    _history[did].inFlight = false;
+            });
+    }
+}
+
+} // namespace hypersio::core

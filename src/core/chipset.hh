@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Chipset model: the IOMMU plus the IOVA History Reader of the
+ * translation-prefetching scheme (Fig. 6, right side).
+ *
+ * The History Reader keeps, per Device ID, the most recently used
+ * distinct gIOVA pages in main memory (an ample resource, as the
+ * paper notes), appending on every demand request the chipset
+ * receives. When the device's Prefetch Unit sends a predicted SID,
+ * the reader fetches that tenant's history from memory (a short
+ * dependent read chain) and issues IOMMU translation requests for
+ * the most recent pages. Completions flow back to the device's
+ * Prefetch Buffer and, as a side effect of walking, warm the IOTLB
+ * and paging-structure caches.
+ */
+
+#ifndef HYPERSIO_CORE_CHIPSET_HH
+#define HYPERSIO_CORE_CHIPSET_HH
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hh"
+#include "iommu/iommu.hh"
+#include "sim/sim_object.hh"
+
+namespace hypersio::core
+{
+
+/** One page in a tenant's gIOVA history. */
+struct HistoryPage
+{
+    mem::Iova pageBase = 0;
+    mem::PageSize size = mem::PageSize::Size4K;
+};
+
+/**
+ * The per-DID gIOVA history and the prefetch state machine. The
+ * hardware cost is independent of the tenant count: only the state
+ * machine lives in the chipset; histories live in main memory.
+ */
+class HistoryReader : public sim::SimObject
+{
+  public:
+    using FillFn = std::function<void(mem::DomainId, mem::Iova,
+                                      mem::PageSize, mem::Addr)>;
+
+    HistoryReader(const PrefetchConfig &config,
+                  sim::EventQueue &queue, stats::StatGroup &parent,
+                  iommu::Iommu &iommu, mem::MemoryModel &memory,
+                  FillFn fill);
+
+    /** Notes a demand access (updates the in-memory history). */
+    void observe(mem::DomainId did, mem::Iova iova,
+                 mem::PageSize size);
+
+    /** Starts a prefetch for `did` (deduplicated per tenant). */
+    void prefetch(mem::DomainId did);
+
+    uint64_t prefetchesStarted() const { return _started.count(); }
+    uint64_t prefetchesDeduped() const { return _deduped.count(); }
+
+  private:
+    struct TenantHistory
+    {
+        std::vector<HistoryPage> recent; ///< front = most recent
+        bool inFlight = false;
+    };
+
+    void issueTranslations(mem::DomainId did);
+
+    PrefetchConfig _config;
+    iommu::Iommu &_iommu;
+    mem::MemoryModel &_memory;
+    FillFn _fill;
+    std::unordered_map<mem::DomainId, TenantHistory> _history;
+
+    stats::Counter &_started;
+    stats::Counter &_deduped;
+    stats::Counter &_issued;
+};
+
+} // namespace hypersio::core
+
+#endif // HYPERSIO_CORE_CHIPSET_HH

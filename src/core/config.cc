@@ -1,0 +1,93 @@
+#include "core/config.hh"
+
+#include <sstream>
+
+#include "util/str.hh"
+
+namespace hypersio::core
+{
+
+SystemConfig
+SystemConfig::base()
+{
+    SystemConfig config;
+    config.name = "base";
+    config.device.ptbEntries = 1;
+    config.device.devtlb = {64, 8, 1, cache::ReplPolicyKind::LFU, 7};
+    config.device.prefetch.enabled = false;
+    config.iommu.l2tlb = {512, 16, 1, cache::ReplPolicyKind::LFU, 2};
+    config.iommu.l3tlb = {1024, 16, 1, cache::ReplPolicyKind::LFU, 3};
+    return config;
+}
+
+SystemConfig
+SystemConfig::hypertrio()
+{
+    SystemConfig config;
+    config.name = "hypertrio";
+    config.device.ptbEntries = 32;
+    config.device.devtlb = {64, 8, 8, cache::ReplPolicyKind::LFU, 7};
+    // The paper uses an 8-entry PB with a 48-access stride, tuned to
+    // its testbed's prefetch latency. Our model's prefetch path is
+    // shorter (~16 packet slots), so the calibrated defaults are a
+    // 32-entry PB with a 20-packet stride; bench/fig12c_prefetch
+    // sweeps both knobs (see EXPERIMENTS.md, calibration notes).
+    config.device.prefetch.enabled = true;
+    config.device.prefetch.bufferEntries = 32;
+    config.device.prefetch.historyLength = 20;
+    config.device.prefetch.pagesPerPrefetch = 2;
+    config.iommu.l2tlb = {512, 16, 32, cache::ReplPolicyKind::LFU, 2};
+    config.iommu.l3tlb = {1024, 16, 64, cache::ReplPolicyKind::LFU, 3};
+    return config;
+}
+
+std::string
+SystemConfig::describe() const
+{
+    std::ostringstream os;
+    os << "configuration '" << name << "'\n";
+    os << strprintf("  link              %.0f Gb/s, %u B packets "
+                    "(interval %.2f ns)\n",
+                    link.gbps, link.packetBytes,
+                    ticksToNs(link.packetInterval()));
+    os << strprintf("  PCIe one-way      %.0f ns\n",
+                    ticksToNs(pcieOneWay));
+    os << strprintf("  DRAM latency      %.0f ns\n",
+                    ticksToNs(memory.accessLatency));
+    os << strprintf("  PTB               %u entries\n",
+                    device.ptbEntries);
+    os << strprintf("  DevTLB            %zu entries, %zu-way, "
+                    "%zu partition(s), %s, hit %.0f ns\n",
+                    device.devtlb.entries, device.devtlb.ways,
+                    device.devtlb.partitions,
+                    cache::replPolicyName(device.devtlb.policy),
+                    ticksToNs(device.devtlbHitLatency));
+    os << strprintf("  IOTLB             %zu entries, %zu-way, %s, "
+                    "hit %.0f ns\n",
+                    iommu.iotlb.entries, iommu.iotlb.ways,
+                    cache::replPolicyName(iommu.iotlb.policy),
+                    ticksToNs(iommu.iotlbHitLatency));
+    os << strprintf("  L2TLB             %zu entries, %zu-way, "
+                    "%zu partition(s), %s\n",
+                    iommu.l2tlb.entries, iommu.l2tlb.ways,
+                    iommu.l2tlb.partitions,
+                    cache::replPolicyName(iommu.l2tlb.policy));
+    os << strprintf("  L3TLB             %zu entries, %zu-way, "
+                    "%zu partition(s), %s\n",
+                    iommu.l3tlb.entries, iommu.l3tlb.ways,
+                    iommu.l3tlb.partitions,
+                    cache::replPolicyName(iommu.l3tlb.policy));
+    os << strprintf("  walkers           %u\n", iommu.walkers);
+    if (device.prefetch.enabled) {
+        os << strprintf("  prefetch          %u-entry buffer, "
+                        "%u-access stride, %u page(s)/tenant\n",
+                        device.prefetch.bufferEntries,
+                        device.prefetch.historyLength,
+                        device.prefetch.pagesPerPrefetch);
+    } else {
+        os << "  prefetch          off\n";
+    }
+    return os.str();
+}
+
+} // namespace hypersio::core

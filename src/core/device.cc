@@ -1,0 +1,228 @@
+#include "core/device.hh"
+
+#include "util/debug.hh"
+
+namespace hypersio::core
+{
+
+namespace
+{
+
+debug::Flag DevTlbFlag("DevTLB", "device TLB lookups and fills");
+debug::Flag PtbFlag("PTB", "pending translation buffer activity");
+debug::Flag PrefetchFlag("Prefetch", "prefetch unit activity");
+
+/** DevTLB key/index/partition for one request of a packet. */
+struct DevtlbAddr
+{
+    uint64_t key;
+    uint64_t index;
+    uint32_t partition;
+};
+
+DevtlbAddr
+devtlbAddr(mem::DomainId did, trace::SourceId sid, mem::Iova iova,
+           mem::PageSize size)
+{
+    return {iommu::translationKey(did, iova, size),
+            iommu::translationIndex(iova, size), sid};
+}
+
+} // namespace
+
+Device::Device(const DeviceConfig &config, sim::EventQueue &queue,
+               stats::StatGroup &parent, DevicePorts ports,
+               cache::OracleFeed *oracle)
+    : SimObject("device", queue, parent), _config(config),
+      _ports(std::move(ports)), _ptb(config.ptbEntries),
+      _devtlb(config.devtlb,
+              oracle ? std::unique_ptr<cache::ReplacementPolicy>(
+                           std::make_unique<cache::OraclePolicy>(
+                               *oracle))
+                     : cache::makePolicy(config.devtlb.policy,
+                                         config.devtlb.seed,
+                                         config.devtlb.lfuBits)),
+      _context(config.contextCache),
+      _prefetchUnit(config.prefetch.enabled
+                        ? std::make_unique<PrefetchUnit>(
+                              config.prefetch)
+                        : nullptr),
+      _oracle(oracle),
+      _packets(statGroup().makeCounter("packets",
+                                       "packets accepted")),
+      _translations(statGroup().makeCounter(
+          "translations", "translation requests issued")),
+      _devtlbHits(statGroup().makeCounter("devtlb_hits",
+                                          "DevTLB hits")),
+      _pbHits(statGroup().makeCounter("pb_hits",
+                                      "Prefetch Buffer hits")),
+      _prefetchesSent(statGroup().makeCounter(
+          "prefetches_sent", "prefetch requests sent to chipset")),
+      _prefetchFills(statGroup().makeCounter(
+          "prefetch_fills", "prefetched translations installed")),
+      _packetLatency(statGroup().makeHistogram(
+          "packet_latency_ns", "accept-to-complete latency", 0,
+          20000, 40))
+{
+    HYPERSIO_ASSERT(_ports.translate != nullptr,
+                    "device needs a translate port");
+}
+
+void
+Device::accept(const trace::PacketRecord &packet,
+               std::function<void()> done)
+{
+    const int idx = _ptb.allocate(packet, now());
+    HYPERSIO_ASSERT(idx >= 0, "accept() called with a full PTB");
+    ++_packets;
+    HYPERSIO_DPRINTF(PtbFlag, now(),
+                     "accept sid=%u ptb=%d in_use=%u", packet.sid,
+                     idx, _ptb.inUse());
+
+    if (_prefetchUnit)
+        _prefetchUnit->observePacket(packet.sid);
+
+    auto state = std::make_shared<Inflight>(
+        Inflight{static_cast<unsigned>(idx), std::move(done)});
+    issueNext(static_cast<unsigned>(idx), std::move(state));
+}
+
+void
+Device::issueNext(unsigned idx, std::shared_ptr<Inflight> state)
+{
+    PtbEntry &entry = _ptb.entry(idx);
+    if (entry.nextReq >= trace::NumReqClasses) {
+        // All three translations done: packet fully processed.
+        _packetLatency.sample(ticksToNs(now() - entry.accepted));
+        _ptb.release(idx);
+        state->done();
+        return;
+    }
+    const auto cls = static_cast<trace::ReqClass>(entry.nextReq);
+    ++entry.nextReq;
+    resolve(idx, cls, std::move(state));
+}
+
+void
+Device::resolve(unsigned idx, trace::ReqClass cls,
+                std::shared_ptr<Inflight> state)
+{
+    PtbEntry &entry = _ptb.entry(idx);
+    const trace::PacketRecord &pkt = entry.packet;
+    const mem::Iova iova = pkt.iova(cls);
+    const mem::PageSize size = pkt.pageSize(cls);
+    ++_translations;
+
+    // Context Cache: SID → DID. Device-resident per-VF state; a
+    // miss is filled from the hypervisor-maintained context table
+    // (modelled as part of the next chipset round trip).
+    const iommu::ContextEntry *ce =
+        _context.lookup(pkt.sid, pkt.pasid);
+    mem::DomainId did;
+    if (ce) {
+        did = ce->domain;
+    } else {
+        const iommu::ContextEntry fresh =
+            iommu::ContextCache::resolve(pkt.sid, pkt.pasid);
+        _context.fill(pkt.sid, pkt.pasid, fresh);
+        did = fresh.domain;
+    }
+
+    // Belady feed advances once per DevTLB lookup, in accept order.
+    if (_oracle)
+        _oracle->advance();
+
+    // Prefetch Buffer and DevTLB are checked concurrently.
+    bool pb_hit = false;
+    mem::Addr pb_addr = 0;
+    if (_prefetchUnit &&
+        _prefetchUnit->lookup(did, iova, size, pb_addr)) {
+        pb_hit = true;
+        ++_pbHits;
+    }
+
+    const DevtlbAddr addr = devtlbAddr(did, pkt.sid, iova, size);
+    const bool tlb_hit =
+        _devtlb.lookup(addr.key, addr.index, addr.partition) !=
+        nullptr;
+    if (tlb_hit)
+        ++_devtlbHits;
+
+    HYPERSIO_DPRINTF(DevTlbFlag, now(),
+                     "%s sid=%u %s iova=%#llx%s%s",
+                     tlb_hit ? "hit" : "miss", pkt.sid,
+                     trace::reqClassName(cls),
+                     (unsigned long long)iova,
+                     pb_hit ? " (PB hit)" : "",
+                     size == mem::PageSize::Size2M ? " 2M" : "");
+
+    if (pb_hit || tlb_hit) {
+        eventQueue().scheduleAfter(
+            _config.devtlbHitLatency,
+            [this, idx, state = std::move(state)]() mutable {
+                issueNext(idx, std::move(state));
+            });
+        return;
+    }
+
+    // Miss in both: consult the SID-predictor (prefetch trigger; at
+    // most one prefetch per packet) and send the request on.
+    if (!entry.prefetchIssued) {
+        entry.prefetchIssued = true;
+        maybePrefetch(pkt.sid);
+    }
+
+    _ports.translate(
+        did, iova, size,
+        [this, idx, did, sid = pkt.sid, iova, size,
+         state = std::move(state)](
+            const iommu::IommuResponse &resp) mutable {
+            if (resp.valid) {
+                const DevtlbAddr fill =
+                    devtlbAddr(did, sid, iova, size);
+                _devtlb.insert(fill.key, fill.index, resp.hostAddr,
+                               fill.partition);
+            }
+            issueNext(idx, std::move(state));
+        });
+}
+
+void
+Device::maybePrefetch(trace::SourceId sid)
+{
+    if (!_prefetchUnit || !_ports.prefetch)
+        return;
+    const auto predicted = _prefetchUnit->predict(sid);
+    if (!predicted)
+        return;
+    ++_prefetchesSent;
+    HYPERSIO_DPRINTF(PrefetchFlag, now(),
+                     "predict sid=%u -> sid=%u", sid, *predicted);
+    // DID == SID for predicted tenants too (hypervisor assignment).
+    _ports.prefetch(
+        iommu::ContextCache::resolve(*predicted).domain);
+}
+
+void
+Device::prefetchFill(mem::DomainId did, mem::Iova iova,
+                     mem::PageSize size, mem::Addr host_addr)
+{
+    if (!_prefetchUnit)
+        return;
+    ++_prefetchFills;
+    _prefetchUnit->fill(did, iova, size, host_addr);
+}
+
+void
+Device::invalidatePage(mem::DomainId did, mem::Iova iova,
+                       mem::PageSize size)
+{
+    // Partition tags are per SID; recover it from the DID encoding.
+    const trace::SourceId sid = iommu::ContextCache::sidOf(did);
+    const DevtlbAddr addr = devtlbAddr(did, sid, iova, size);
+    _devtlb.invalidate(addr.key, addr.index, addr.partition);
+    if (_prefetchUnit)
+        _prefetchUnit->invalidate(did, iova, size);
+}
+
+} // namespace hypersio::core

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The shared multi-tenant I/O device (Fig. 3 / Fig. 6).
+ *
+ * Owns the packet-handling front end: Context Cache, Pending
+ * Translation Buffer, (optionally partitioned) Device TLB, and the
+ * Prefetch Unit. The device does not know about the chipset's
+ * internals: translation and prefetch requests leave through
+ * callbacks the System wires up with PCIe latency in between.
+ */
+
+#ifndef HYPERSIO_CORE_DEVICE_HH
+#define HYPERSIO_CORE_DEVICE_HH
+
+#include <functional>
+#include <memory>
+#include <unordered_set>
+
+#include "cache/oracle_feed.hh"
+#include "core/config.hh"
+#include "core/prefetch.hh"
+#include "core/ptb.hh"
+#include "iommu/context_cache.hh"
+#include "iommu/iommu.hh"
+#include "sim/sim_object.hh"
+
+namespace hypersio::core
+{
+
+/**
+ * Device-to-chipset ports, wired by the System. `translate` must
+ * eventually call the response function exactly once; `prefetch`
+ * is fire-and-forget (results come back via prefetchFill()).
+ */
+struct DevicePorts
+{
+    using ResponseFn =
+        std::function<void(const iommu::IommuResponse &)>;
+
+    std::function<void(mem::DomainId, mem::Iova, mem::PageSize,
+                       ResponseFn)>
+        translate;
+    std::function<void(mem::DomainId)> prefetch;
+};
+
+/** The I/O device performance model. */
+class Device : public sim::SimObject
+{
+  public:
+    /**
+     * @param oracle future-knowledge feed for Belady DevTLB
+     *        replacement, or nullptr for ordinary policies
+     */
+    Device(const DeviceConfig &config, sim::EventQueue &queue,
+           stats::StatGroup &parent, DevicePorts ports,
+           cache::OracleFeed *oracle = nullptr);
+
+    /** True when no PTB entry is available. */
+    bool ptbFull() const { return _ptb.full(); }
+
+    /**
+     * Accepts a packet (the caller applied its page ops already) and
+     * starts its translation chain. `done` fires when all three
+     * translations complete; the packet is then fully processed.
+     */
+    void accept(const trace::PacketRecord &packet,
+                std::function<void()> done);
+
+    /** Installs a prefetched translation into the Prefetch Buffer. */
+    void prefetchFill(mem::DomainId did, mem::Iova iova,
+                      mem::PageSize size, mem::Addr host_addr);
+
+    /** Driver unmap: drops cached translations of the page. */
+    void invalidatePage(mem::DomainId did, mem::Iova iova,
+                        mem::PageSize size);
+
+    const cache::CacheStats &devtlbStats() const
+    {
+        return _devtlb.stats();
+    }
+    const cache::CacheStats &contextStats() const
+    {
+        return _context.stats();
+    }
+    const cache::CacheStats *
+    prefetchBufferStats() const
+    {
+        return _prefetchUnit ? &_prefetchUnit->bufferStats() : nullptr;
+    }
+
+    uint64_t translationsIssued() const
+    {
+        return _translations.count();
+    }
+    uint64_t pbHits() const { return _pbHits.count(); }
+    uint64_t prefetchesSent() const { return _prefetchesSent.count(); }
+
+  private:
+    struct Inflight
+    {
+        unsigned ptbIdx;
+        std::function<void()> done;
+    };
+
+    /** Issues the next translation request of PTB entry `idx`. */
+    void issueNext(unsigned idx, std::shared_ptr<Inflight> state);
+    /** One translation of the packet completed. */
+    void requestDone(unsigned idx, std::shared_ptr<Inflight> state);
+    /** Resolves one request through PB → DevTLB → chipset. */
+    void resolve(unsigned idx, trace::ReqClass cls,
+                 std::shared_ptr<Inflight> state);
+    /** Triggers a SID prediction + prefetch on a PB miss. */
+    void maybePrefetch(trace::SourceId sid);
+
+    DeviceConfig _config;
+    DevicePorts _ports;
+    PendingTranslationBuffer _ptb;
+    cache::SetAssocCache<mem::Addr> _devtlb;
+    iommu::ContextCache _context;
+    std::unique_ptr<PrefetchUnit> _prefetchUnit;
+    cache::OracleFeed *_oracle;
+
+    stats::Counter &_packets;
+    stats::Counter &_translations;
+    stats::Counter &_devtlbHits;
+    stats::Counter &_pbHits;
+    stats::Counter &_prefetchesSent;
+    stats::Counter &_prefetchFills;
+    stats::Histogram &_packetLatency;
+};
+
+} // namespace hypersio::core
+
+#endif // HYPERSIO_CORE_DEVICE_HH

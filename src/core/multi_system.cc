@@ -1,0 +1,200 @@
+#include "core/multi_system.hh"
+
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace hypersio::core
+{
+
+MultiSystem::MultiSystem(const SystemConfig &config,
+                         unsigned num_devices)
+    : _config(config), _stats("system"), _tables(config.seed)
+{
+    if (num_devices == 0)
+        fatal("multi-device system needs at least one device");
+    if (config.device.devtlb.policy == cache::ReplPolicyKind::Oracle)
+        fatal("oracle DevTLB replacement is not supported in "
+              "multi-device mode");
+
+    _memory = std::make_unique<mem::MemoryModel>(_config.memory,
+                                                 _queue, _stats);
+    _iommu = std::make_unique<iommu::Iommu>(
+        _config.iommu, _queue, _stats, *_memory, _tables);
+
+    const Tick pcie = _config.pcieOneWay;
+    _devices.reserve(num_devices);
+    _historyReaders.reserve(num_devices);
+    _links.resize(num_devices);
+
+    for (unsigned d = 0; d < num_devices; ++d) {
+        stats::StatGroup &dev_stats =
+            _stats.child("dev" + std::to_string(d));
+
+        HistoryReader *reader = nullptr;
+        if (_config.device.prefetch.enabled) {
+            // Fills route back to this device (set post-construction
+            // via the captured index into _devices).
+            auto fill = [this, d](mem::DomainId did, mem::Iova iova,
+                                  mem::PageSize size,
+                                  mem::Addr host) {
+                _queue.scheduleAfter(
+                    _config.pcieOneWay,
+                    [this, d, did, iova, size, host]() {
+                        _devices[d]->prefetchFill(did, iova, size,
+                                                  host);
+                    });
+            };
+            _historyReaders.push_back(
+                std::make_unique<HistoryReader>(
+                    _config.device.prefetch, _queue, dev_stats,
+                    *_iommu, *_memory, std::move(fill)));
+            reader = _historyReaders.back().get();
+        }
+
+        DevicePorts ports;
+        ports.translate = [this, reader, pcie](
+                              mem::DomainId did, mem::Iova iova,
+                              mem::PageSize size,
+                              DevicePorts::ResponseFn done) {
+            _queue.scheduleAfter(
+                pcie, [this, reader, pcie, did, iova, size,
+                       done = std::move(done)]() mutable {
+                    if (reader)
+                        reader->observe(did, iova, size);
+                    iommu::IommuRequest req;
+                    req.domain = did;
+                    req.iova = iova;
+                    req.size = size;
+                    _iommu->translate(
+                        req,
+                        [this, pcie, done = std::move(done)](
+                            const iommu::IommuResponse &resp) {
+                            _queue.scheduleAfter(
+                                pcie,
+                                [done = std::move(done), resp]() {
+                                    done(resp);
+                                });
+                        });
+                });
+        };
+        if (reader) {
+            ports.prefetch = [this, reader,
+                              pcie](mem::DomainId did) {
+                _queue.scheduleAfter(
+                    pcie, [reader, did]() { reader->prefetch(did); });
+            };
+        }
+
+        _devices.push_back(std::make_unique<Device>(
+            _config.device, _queue, dev_stats, std::move(ports)));
+    }
+}
+
+MultiSystem::~MultiSystem() = default;
+
+void
+MultiSystem::applyOps(const trace::HyperTrace &trace,
+                      const trace::PacketRecord &pkt, unsigned dev)
+{
+    const mem::DomainId did =
+        iommu::ContextCache::resolve(pkt.sid, pkt.pasid)
+            .domain;
+    for (uint16_t i = 0; i < pkt.opCount; ++i) {
+        const trace::PageOp &op = trace.ops[pkt.opBegin + i];
+        mem::PageTable &table = _tables.get(did);
+        if (op.isMap) {
+            table.map(op.pageBase, op.size);
+        } else {
+            table.unmap(op.pageBase);
+            _devices[dev]->invalidatePage(did, op.pageBase,
+                                          op.size);
+            _iommu->invalidate(did, op.pageBase, op.size);
+        }
+    }
+}
+
+MultiRunResults
+MultiSystem::run(const trace::HyperTrace &trace)
+{
+    HYPERSIO_ASSERT(!_ran, "MultiSystem::run() may only run once");
+    _ran = true;
+
+    const auto n = static_cast<unsigned>(_devices.size());
+    MultiRunResults results;
+    results.perDeviceGbps.assign(n, 0.0);
+    if (trace.packets.empty())
+        return results;
+
+    // Pre-split the trace: tenant t's packets drive device t % N,
+    // keeping each tenant's packet order intact.
+    for (uint32_t i = 0; i < trace.packets.size(); ++i) {
+        const unsigned dev = trace.packets[i].sid % n;
+        _links[dev].packetIdx.push_back(i);
+    }
+
+    const Tick interval = _config.link.packetInterval();
+
+    // One independent arrival process per device link.
+    std::vector<std::function<void()>> arrivals(n);
+    for (unsigned d = 0; d < n; ++d) {
+        arrivals[d] = [this, d, n, interval, &trace, &arrivals]() {
+            LinkState &link = _links[d];
+            if (link.cursor >= link.packetIdx.size())
+                return;
+            const trace::PacketRecord &pkt =
+                trace.packets[link.packetIdx[link.cursor]];
+
+            if (_devices[d]->ptbFull()) {
+                ++link.dropped;
+            } else {
+                applyOps(trace, pkt, d);
+                ++link.cursor;
+                const uint64_t bytes =
+                    pkt.wireBytes ? pkt.wireBytes
+                                  : _config.link.packetBytes;
+                _devices[d]->accept(pkt, [this, d, bytes]() {
+                    ++_links[d].processed;
+                    _links[d].bytes += bytes;
+                    _lastCompletion = _queue.now();
+                });
+            }
+            if (link.cursor < link.packetIdx.size())
+                _queue.scheduleAfter(interval, arrivals[d]);
+        };
+        if (!_links[d].packetIdx.empty())
+            _queue.schedule(0, arrivals[d]);
+    }
+
+    _queue.run();
+
+    results.elapsed = _lastCompletion + interval;
+    for (unsigned d = 0; d < n; ++d) {
+        results.packetsProcessed += _links[d].processed;
+        results.packetsDropped += _links[d].dropped;
+        results.perDeviceGbps[d] =
+            achievedGbps(_links[d].bytes, results.elapsed);
+        results.totalGbps += results.perDeviceGbps[d];
+    }
+    results.utilization =
+        results.totalGbps / (_config.link.gbps * n);
+
+    const auto &iotlb = _iommu->iotlbStats();
+    results.iotlbHitRate =
+        iotlb.lookups == 0
+            ? 0.0
+            : static_cast<double>(iotlb.hits) /
+                  static_cast<double>(iotlb.lookups);
+    const auto *walks = _stats.child("iommu").find("walks");
+    results.walks =
+        walks ? static_cast<uint64_t>(walks->value()) : 0;
+    return results;
+}
+
+void
+MultiSystem::dumpStats(std::ostream &os) const
+{
+    _stats.dump(os);
+}
+
+} // namespace hypersio::core

@@ -1,0 +1,252 @@
+#include "core/overrides.hh"
+
+#include <fstream>
+#include <functional>
+
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace hypersio::core
+{
+
+namespace
+{
+
+using Setter =
+    std::function<void(SystemConfig &, const std::string &)>;
+
+uint64_t
+parseUnsignedOrDie(const std::string &key, const std::string &value)
+{
+    uint64_t out = 0;
+    if (!parseU64(value, out))
+        fatal("override %s: '%s' is not an unsigned integer",
+              key.c_str(), value.c_str());
+    return out;
+}
+
+double
+parseDoubleOrDie(const std::string &key, const std::string &value)
+{
+    double out = 0.0;
+    if (!parseDouble(value, out))
+        fatal("override %s: '%s' is not a number", key.c_str(),
+              value.c_str());
+    return out;
+}
+
+bool
+parseBoolOrDie(const std::string &key, const std::string &value)
+{
+    if (value == "1" || value == "true" || value == "on" ||
+        value == "yes")
+        return true;
+    if (value == "0" || value == "false" || value == "off" ||
+        value == "no")
+        return false;
+    fatal("override %s: '%s' is not a boolean", key.c_str(),
+          value.c_str());
+}
+
+/** The authoritative key table. */
+const std::vector<std::pair<std::string, Setter>> &
+setters()
+{
+    auto u = [](const std::string &k, const std::string &v) {
+        return parseUnsignedOrDie(k, v);
+    };
+    static const std::vector<std::pair<std::string, Setter>> table = {
+        {"link.gbps",
+         [](SystemConfig &c, const std::string &v) {
+             c.link.gbps = parseDoubleOrDie("link.gbps", v);
+         }},
+        {"link.packet_bytes",
+         [u](SystemConfig &c, const std::string &v) {
+             c.link.packetBytes = static_cast<unsigned>(
+                 u("link.packet_bytes", v));
+         }},
+        {"pcie.oneway_ns",
+         [u](SystemConfig &c, const std::string &v) {
+             c.pcieOneWay = u("pcie.oneway_ns", v) * TicksPerNs;
+         }},
+        {"dram.latency_ns",
+         [u](SystemConfig &c, const std::string &v) {
+             c.memory.accessLatency =
+                 u("dram.latency_ns", v) * TicksPerNs;
+         }},
+        {"dram.max_outstanding",
+         [u](SystemConfig &c, const std::string &v) {
+             c.memory.maxOutstanding = static_cast<unsigned>(
+                 u("dram.max_outstanding", v));
+         }},
+        {"ptb.entries",
+         [u](SystemConfig &c, const std::string &v) {
+             c.device.ptbEntries =
+                 static_cast<unsigned>(u("ptb.entries", v));
+         }},
+        {"devtlb.entries",
+         [u](SystemConfig &c, const std::string &v) {
+             c.device.devtlb.entries = u("devtlb.entries", v);
+         }},
+        {"devtlb.ways",
+         [u](SystemConfig &c, const std::string &v) {
+             c.device.devtlb.ways = u("devtlb.ways", v);
+         }},
+        {"devtlb.partitions",
+         [u](SystemConfig &c, const std::string &v) {
+             c.device.devtlb.partitions = u("devtlb.partitions", v);
+         }},
+        {"devtlb.policy",
+         [](SystemConfig &c, const std::string &v) {
+             c.device.devtlb.policy = cache::parseReplPolicy(v);
+         }},
+        {"devtlb.hit_ns",
+         [u](SystemConfig &c, const std::string &v) {
+             c.device.devtlbHitLatency =
+                 u("devtlb.hit_ns", v) * TicksPerNs;
+         }},
+        {"devtlb.lfu_bits",
+         [u](SystemConfig &c, const std::string &v) {
+             c.device.devtlb.lfuBits =
+                 static_cast<unsigned>(u("devtlb.lfu_bits", v));
+         }},
+        {"iotlb.entries",
+         [u](SystemConfig &c, const std::string &v) {
+             c.iommu.iotlb.entries = u("iotlb.entries", v);
+         }},
+        {"iotlb.ways",
+         [u](SystemConfig &c, const std::string &v) {
+             c.iommu.iotlb.ways = u("iotlb.ways", v);
+         }},
+        {"iotlb.policy",
+         [](SystemConfig &c, const std::string &v) {
+             c.iommu.iotlb.policy = cache::parseReplPolicy(v);
+         }},
+        {"iotlb.hashed",
+         [](SystemConfig &c, const std::string &v) {
+             c.iommu.iotlb.hashIndex =
+                 parseBoolOrDie("iotlb.hashed", v);
+         }},
+        {"l2tlb.entries",
+         [u](SystemConfig &c, const std::string &v) {
+             c.iommu.l2tlb.entries = u("l2tlb.entries", v);
+         }},
+        {"l2tlb.ways",
+         [u](SystemConfig &c, const std::string &v) {
+             c.iommu.l2tlb.ways = u("l2tlb.ways", v);
+         }},
+        {"l2tlb.partitions",
+         [u](SystemConfig &c, const std::string &v) {
+             c.iommu.l2tlb.partitions = u("l2tlb.partitions", v);
+         }},
+        {"l3tlb.entries",
+         [u](SystemConfig &c, const std::string &v) {
+             c.iommu.l3tlb.entries = u("l3tlb.entries", v);
+         }},
+        {"l3tlb.ways",
+         [u](SystemConfig &c, const std::string &v) {
+             c.iommu.l3tlb.ways = u("l3tlb.ways", v);
+         }},
+        {"l3tlb.partitions",
+         [u](SystemConfig &c, const std::string &v) {
+             c.iommu.l3tlb.partitions = u("l3tlb.partitions", v);
+         }},
+        {"iommu.walkers",
+         [u](SystemConfig &c, const std::string &v) {
+             c.iommu.walkers =
+                 static_cast<unsigned>(u("iommu.walkers", v));
+         }},
+        {"iommu.paging_levels",
+         [u](SystemConfig &c, const std::string &v) {
+             c.iommu.pagingLevels = static_cast<unsigned>(
+                 u("iommu.paging_levels", v));
+         }},
+        {"prefetch.enabled",
+         [](SystemConfig &c, const std::string &v) {
+             c.device.prefetch.enabled =
+                 parseBoolOrDie("prefetch.enabled", v);
+         }},
+        {"prefetch.buffer",
+         [u](SystemConfig &c, const std::string &v) {
+             c.device.prefetch.bufferEntries =
+                 static_cast<unsigned>(u("prefetch.buffer", v));
+         }},
+        {"prefetch.history",
+         [u](SystemConfig &c, const std::string &v) {
+             c.device.prefetch.historyLength =
+                 static_cast<unsigned>(u("prefetch.history", v));
+         }},
+        {"prefetch.pages",
+         [u](SystemConfig &c, const std::string &v) {
+             c.device.prefetch.pagesPerPrefetch =
+                 static_cast<unsigned>(u("prefetch.pages", v));
+         }},
+        {"seed",
+         [u](SystemConfig &c, const std::string &v) {
+             c.seed = u("seed", v);
+         }},
+    };
+    return table;
+}
+
+} // namespace
+
+void
+applyOverride(SystemConfig &config, const std::string &text)
+{
+    const size_t eq = text.find('=');
+    if (eq == std::string::npos)
+        fatal("override '%s' is not of the form key=value",
+              text.c_str());
+    const std::string key(trim(text.substr(0, eq)));
+    const std::string value(trim(text.substr(eq + 1)));
+    for (const auto &[name, setter] : setters()) {
+        if (name == key) {
+            setter(config, value);
+            return;
+        }
+    }
+    fatal("unknown configuration key '%s' (see "
+          "supportedOverrideKeys())",
+          key.c_str());
+}
+
+void
+applyOverrides(SystemConfig &config,
+               const std::vector<std::string> &overrides)
+{
+    for (const auto &text : overrides)
+        applyOverride(config, text);
+}
+
+void
+loadConfigFile(SystemConfig &config, const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open config file '%s'", path.c_str());
+    std::string line;
+    unsigned lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        const std::string_view body = trim(line);
+        if (body.empty())
+            continue;
+        applyOverride(config, std::string(body));
+    }
+}
+
+std::vector<std::string>
+supportedOverrideKeys()
+{
+    std::vector<std::string> keys;
+    keys.reserve(setters().size());
+    for (const auto &[name, setter] : setters())
+        keys.push_back(name);
+    return keys;
+}
+
+} // namespace hypersio::core

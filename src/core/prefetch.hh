@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Device-side Prefetch Unit: Prefetch Buffer + SID-predictor
+ * (Section III, "Translation Prefetching Scheme").
+ *
+ * The SID-predictor is a direct-mapped table from the currently
+ * accessed Source ID to a predicted future Source ID, trained online
+ * from the observed SID stream with a host-configured history-length
+ * register: the prediction for SID s is the SID that arrived
+ * `historyLength` packets after s's last arrival. Under round-robin
+ * arbitration this converges to "the tenant scheduled H slots later",
+ * giving the prefetcher exactly enough lead time to cover the
+ * translation latency.
+ *
+ * The Prefetch Buffer is a small fully-associative cache of
+ * gIOVA→hPA translations shared by all tenants, filled only by
+ * prefetch completions and checked concurrently with the DevTLB.
+ */
+
+#ifndef HYPERSIO_CORE_PREFETCH_HH
+#define HYPERSIO_CORE_PREFETCH_HH
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "cache/set_assoc_cache.hh"
+#include "core/config.hh"
+#include "iommu/keys.hh"
+#include "trace/record.hh"
+
+namespace hypersio::core
+{
+
+/** Online next-SID predictor with a configurable history stride. */
+class SidPredictor
+{
+  public:
+    explicit SidPredictor(unsigned history_length)
+        : _historyLength(history_length)
+    {}
+
+    /** Observes the SID of an arriving packet and trains the table. */
+    void
+    train(trace::SourceId sid)
+    {
+        _window.push_back(sid);
+        if (_window.size() > _historyLength) {
+            _table[_window.front()] = sid;
+            _window.pop_front();
+        }
+    }
+
+    /** Prediction for the tenant `historyLength` packets ahead. */
+    std::optional<trace::SourceId>
+    predict(trace::SourceId sid) const
+    {
+        auto it = _table.find(sid);
+        if (it == _table.end())
+            return std::nullopt;
+        return it->second;
+    }
+
+    /** Reconfigures the history-length register (hypervisor). */
+    void
+    setHistoryLength(unsigned length)
+    {
+        _historyLength = length;
+        while (_window.size() > _historyLength) {
+            _table[_window.front()] = _window.back();
+            _window.pop_front();
+        }
+    }
+
+    unsigned historyLength() const { return _historyLength; }
+    size_t tableSize() const { return _table.size(); }
+
+  private:
+    unsigned _historyLength;
+    std::deque<trace::SourceId> _window;
+    std::unordered_map<trace::SourceId, trace::SourceId> _table;
+};
+
+/** A translation held in the Prefetch Buffer. */
+struct PrefetchEntry
+{
+    mem::Addr hostAddr = 0;
+};
+
+/**
+ * The Prefetch Unit: owns the Prefetch Buffer and the SID-predictor.
+ * The device consults it in parallel with the DevTLB and notifies it
+ * of packet arrivals for training.
+ */
+class PrefetchUnit
+{
+  public:
+    explicit PrefetchUnit(const PrefetchConfig &config)
+        : _config(config),
+          _buffer({config.bufferEntries,
+                   config.bufferEntries, // fully associative
+                   1, cache::ReplPolicyKind::LRU, 13}),
+          _predictor(config.historyLength)
+    {}
+
+    const PrefetchConfig &config() const { return _config; }
+
+    /** Trains the predictor with an arriving packet's SID. */
+    void observePacket(trace::SourceId sid) { _predictor.train(sid); }
+
+    /**
+     * Checks the Prefetch Buffer for a translation. A hit consumes
+     * the entry: the buffer is a staging area between the prefetcher
+     * and the packet that needed the translation, and freeing on use
+     * keeps its eight entries available for upcoming fills.
+     * @return true on hit (with the host address in `host_addr`)
+     */
+    bool
+    lookup(mem::DomainId did, mem::Iova iova, mem::PageSize size,
+           mem::Addr &host_addr)
+    {
+        const uint64_t key = iommu::translationKey(did, iova, size);
+        const uint64_t index = iommu::translationIndex(iova, size);
+        PrefetchEntry *entry = _buffer.lookup(key, index);
+        if (!entry)
+            return false;
+        host_addr = entry->hostAddr;
+        _buffer.invalidate(key, index);
+        return true;
+    }
+
+    /** Installs a completed prefetch translation. */
+    void
+    fill(mem::DomainId did, mem::Iova iova, mem::PageSize size,
+         mem::Addr host_addr)
+    {
+        _buffer.insert(iommu::translationKey(did, iova, size),
+                       iommu::translationIndex(iova, size),
+                       PrefetchEntry{host_addr});
+    }
+
+    /** Drops a buffered translation (driver unmap). */
+    void
+    invalidate(mem::DomainId did, mem::Iova iova, mem::PageSize size)
+    {
+        _buffer.invalidate(iommu::translationKey(did, iova, size),
+                           iommu::translationIndex(iova, size));
+    }
+
+    /** SID to prefetch for, given the current packet's SID. */
+    std::optional<trace::SourceId>
+    predict(trace::SourceId sid) const
+    {
+        return _predictor.predict(sid);
+    }
+
+    SidPredictor &predictor() { return _predictor; }
+    const cache::CacheStats &bufferStats() const
+    {
+        return _buffer.stats();
+    }
+
+  private:
+    PrefetchConfig _config;
+    cache::SetAssocCache<PrefetchEntry> _buffer;
+    SidPredictor _predictor;
+};
+
+} // namespace hypersio::core
+
+#endif // HYPERSIO_CORE_PREFETCH_HH

@@ -1,0 +1,192 @@
+#include "core/runner.hh"
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace hypersio::core
+{
+
+ExperimentRunner::ExperimentRunner(double scale, uint64_t seed)
+    : _scale(scale), _seed(seed)
+{
+    if (scale <= 0.0)
+        fatal("experiment scale must be positive");
+}
+
+const trace::HyperTrace &
+ExperimentRunner::getTrace(workload::Benchmark bench,
+                           unsigned tenants,
+                           const trace::Interleaving &il)
+{
+    const std::string il_name = il.name();
+    for (const auto &cached : _traces) {
+        if (cached.bench == bench && cached.tenants == tenants &&
+            cached.interleave == il_name) {
+            return cached.trace;
+        }
+    }
+    auto logs = workload::generateLogs(bench, tenants, _seed, _scale);
+    CachedTrace cached;
+    cached.bench = bench;
+    cached.tenants = tenants;
+    cached.interleave = il_name;
+    cached.trace = trace::constructTrace(logs, il);
+    cached.trace.seed = _seed;
+    _traces.push_back(std::move(cached));
+    return _traces.back().trace;
+}
+
+ExperimentRow
+ExperimentRunner::run(const ExperimentPoint &point)
+{
+    const trace::HyperTrace &tr =
+        getTrace(point.bench, point.tenants, point.interleave);
+    SystemConfig config = point.config;
+    config.seed = _seed;
+    System system(config);
+    ExperimentRow row;
+    row.point = point;
+    row.results = system.run(tr, point.bypassTranslation);
+    return row;
+}
+
+std::vector<ExperimentRow>
+ExperimentRunner::runAll(const std::vector<ExperimentPoint> &points,
+                         std::ostream *progress)
+{
+    std::vector<ExperimentRow> rows;
+    rows.reserve(points.size());
+    for (const auto &point : points) {
+        if (progress) {
+            *progress << "  running " << point.label << " ("
+                      << workload::benchmarkName(point.bench) << ", "
+                      << point.tenants << " tenants, "
+                      << point.interleave.name() << ")..."
+                      << std::endl;
+        }
+        rows.push_back(run(point));
+    }
+    return rows;
+}
+
+std::vector<unsigned>
+paperTenantSweep(unsigned max_tenants)
+{
+    std::vector<unsigned> sweep;
+    for (unsigned t = 4; t <= max_tenants; t *= 2)
+        sweep.push_back(t);
+    return sweep;
+}
+
+void
+printBandwidthTable(
+    std::ostream &os, const std::string &title,
+    const std::vector<unsigned> &tenants,
+    const std::vector<std::pair<std::string, std::vector<double>>>
+        &series)
+{
+    os << "\n" << title << "\n";
+    os << std::left << std::setw(10) << "tenants";
+    for (const auto &[label, values] : series)
+        os << std::right << std::setw(14) << label;
+    os << "\n";
+    for (size_t i = 0; i < tenants.size(); ++i) {
+        os << std::left << std::setw(10) << tenants[i];
+        for (const auto &[label, values] : series) {
+            if (i < values.size())
+                os << std::right << std::setw(14) << std::fixed
+                   << std::setprecision(1) << values[i];
+            else
+                os << std::right << std::setw(14) << "-";
+        }
+        os << "\n";
+    }
+    os.unsetf(std::ios::fixed);
+}
+
+void
+writeCsv(const std::string &path,
+         const std::vector<unsigned> &tenants,
+         const std::vector<std::pair<std::string,
+                                     std::vector<double>>> &series)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        fatal("cannot open '%s' for writing", path.c_str());
+    out << "tenants";
+    for (const auto &[label, values] : series)
+        out << ',' << label;
+    out << '\n';
+    for (size_t i = 0; i < tenants.size(); ++i) {
+        out << tenants[i];
+        for (const auto &[label, values] : series) {
+            out << ',';
+            if (i < values.size())
+                out << values[i];
+        }
+        out << '\n';
+    }
+    if (!out)
+        fatal("write error on '%s'", path.c_str());
+}
+
+BenchOptions
+BenchOptions::parse(int argc, char **argv)
+{
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next_value = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc)
+                fatal("%s needs a value", flag);
+            return argv[++i];
+        };
+        if (arg == "--quick") {
+            opts.scale = 0.05;
+            opts.maxTenants = 256;
+        } else if (arg == "--full") {
+            opts.scale = 1.0;
+            opts.maxTenants = 1024;
+        } else if (arg == "--scale") {
+            double value = 0.0;
+            if (!parseDouble(next_value("--scale"), value) ||
+                value <= 0.0)
+                fatal("--scale needs a positive number");
+            opts.scale = value;
+        } else if (arg == "--tenants") {
+            uint64_t value = 0;
+            if (!parseU64(next_value("--tenants"), value) ||
+                value == 0)
+                fatal("--tenants needs a positive integer");
+            opts.maxTenants = static_cast<unsigned>(value);
+        } else if (arg == "--seed") {
+            uint64_t value = 0;
+            if (!parseU64(next_value("--seed"), value))
+                fatal("--seed needs an integer");
+            opts.seed = value;
+        } else if (arg == "--verbose" || arg == "-v") {
+            opts.verbose = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::puts(
+                "options:\n"
+                "  --quick         small traces, up to 256 tenants "
+                "(default)\n"
+                "  --full          paper-sized traces, up to 1024 "
+                "tenants\n"
+                "  --scale <f>     trace scale factor (0 < f <= 1)\n"
+                "  --tenants <n>   max tenant count in sweeps\n"
+                "  --seed <n>      workload seed\n"
+                "  --verbose       per-point progress output");
+            std::exit(0);
+        } else {
+            fatal("unknown option '%s' (try --help)", arg.c_str());
+        }
+    }
+    return opts;
+}
+
+} // namespace hypersio::core

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Experiment harness: builds traces, runs configuration sweeps, and
+ * prints paper-style result tables. All bench binaries are thin
+ * wrappers around this API.
+ */
+
+#ifndef HYPERSIO_CORE_RUNNER_HH
+#define HYPERSIO_CORE_RUNNER_HH
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+#include "trace/constructor.hh"
+#include "workload/benchmarks.hh"
+
+namespace hypersio::core
+{
+
+/** A named point in a sweep: configuration + workload. */
+struct ExperimentPoint
+{
+    std::string label;
+    SystemConfig config;
+    workload::Benchmark bench = workload::Benchmark::Iperf3;
+    unsigned tenants = 4;
+    trace::Interleaving interleave;
+    bool bypassTranslation = false;
+};
+
+/** One row of experiment output. */
+struct ExperimentRow
+{
+    ExperimentPoint point;
+    RunResults results;
+};
+
+/**
+ * Runs experiment points, reusing constructed traces across points
+ * that share (benchmark, tenants, interleaving, scale, seed).
+ */
+class ExperimentRunner
+{
+  public:
+    /**
+     * @param scale trace scale factor (1.0 = paper-sized logs);
+     *        quick runs use a small fraction
+     */
+    explicit ExperimentRunner(double scale = 0.05,
+                              uint64_t seed = 42);
+
+    /** Runs one point. */
+    ExperimentRow run(const ExperimentPoint &point);
+
+    /** Runs all points in order. */
+    std::vector<ExperimentRow>
+    runAll(const std::vector<ExperimentPoint> &points,
+           std::ostream *progress = nullptr);
+
+    /** Builds (and caches) the trace for a workload setting. */
+    const trace::HyperTrace &getTrace(workload::Benchmark bench,
+                                      unsigned tenants,
+                                      const trace::Interleaving &il);
+
+    double scale() const { return _scale; }
+    uint64_t seed() const { return _seed; }
+
+  private:
+    double _scale;
+    uint64_t _seed;
+
+    struct CachedTrace
+    {
+        workload::Benchmark bench;
+        unsigned tenants;
+        std::string interleave;
+        trace::HyperTrace trace;
+    };
+    std::vector<CachedTrace> _traces;
+};
+
+/** The tenant counts the paper sweeps in Figs. 9-12 (4..1024). */
+std::vector<unsigned> paperTenantSweep(unsigned max_tenants = 1024);
+
+/**
+ * Prints a bandwidth table: one row per tenant count, one column per
+ * series. `series` maps label → (tenants → Gb/s).
+ */
+void printBandwidthTable(
+    std::ostream &os, const std::string &title,
+    const std::vector<unsigned> &tenants,
+    const std::vector<
+        std::pair<std::string, std::vector<double>>> &series);
+
+/**
+ * Writes the same data as CSV (header: tenants,<label>,...), ready
+ * for gnuplot/matplotlib to regenerate the paper's figures.
+ */
+void writeCsv(const std::string &path,
+              const std::vector<unsigned> &tenants,
+              const std::vector<
+                  std::pair<std::string, std::vector<double>>>
+                  &series);
+
+/** Standard "--quick/--full/--scale" command line for benches. */
+struct BenchOptions
+{
+    double scale = 0.05;
+    unsigned maxTenants = 1024;
+    uint64_t seed = 42;
+    bool verbose = false;
+
+    /** Parses argv; fatal() on unknown flags. */
+    static BenchOptions parse(int argc, char **argv);
+};
+
+} // namespace hypersio::core
+
+#endif // HYPERSIO_CORE_RUNNER_HH

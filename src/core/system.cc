@@ -1,0 +1,262 @@
+#include "core/system.hh"
+
+#include <ostream>
+
+#include "iommu/keys.hh"
+#include "util/logging.hh"
+
+namespace hypersio::core
+{
+
+namespace
+{
+
+/**
+ * Wires the device-to-chipset ports with PCIe latency on each hop:
+ * demand path device → IOMMU → device, prefetch path device →
+ * history reader (which later fills back through its own callback).
+ */
+DevicePorts
+makePorts(System &system, sim::EventQueue &queue,
+          iommu::Iommu &iommu_unit, HistoryReader *history,
+          Tick pcie)
+{
+    (void)system;
+    DevicePorts ports;
+    ports.translate = [&queue, &iommu_unit, history, pcie](
+                          mem::DomainId did, mem::Iova iova,
+                          mem::PageSize size,
+                          DevicePorts::ResponseFn done) {
+        queue.scheduleAfter(pcie, [&queue, &iommu_unit, history, pcie,
+                                   did, iova, size,
+                                   done = std::move(done)]() mutable {
+            if (history)
+                history->observe(did, iova, size);
+            iommu::IommuRequest req;
+            req.domain = did;
+            req.iova = iova;
+            req.size = size;
+            iommu_unit.translate(
+                req, [&queue, pcie, done = std::move(done)](
+                         const iommu::IommuResponse &resp) {
+                    queue.scheduleAfter(
+                        pcie, [done = std::move(done), resp]() {
+                            done(resp);
+                        });
+                });
+        });
+    };
+    if (history) {
+        ports.prefetch = [&queue, history, pcie](mem::DomainId did) {
+            queue.scheduleAfter(
+                pcie, [history, did]() { history->prefetch(did); });
+        };
+    }
+    return ports;
+}
+
+} // namespace
+
+System::System(const SystemConfig &config)
+    : _config(config), _stats("system"), _tables(config.seed)
+{
+    _memory = std::make_unique<mem::MemoryModel>(_config.memory,
+                                                 _queue, _stats);
+    _iommu = std::make_unique<iommu::Iommu>(
+        _config.iommu, _queue, _stats, *_memory, _tables);
+
+    if (_config.device.prefetch.enabled) {
+        // Prefetch completions return to the device over PCIe.
+        auto fill = [this](mem::DomainId did, mem::Iova iova,
+                           mem::PageSize size, mem::Addr host_addr) {
+            _queue.scheduleAfter(
+                _config.pcieOneWay,
+                [this, did, iova, size, host_addr]() {
+                    _device->prefetchFill(did, iova, size, host_addr);
+                });
+        };
+        _historyReader = std::make_unique<HistoryReader>(
+            _config.device.prefetch, _queue, _stats, *_iommu,
+            *_memory, std::move(fill));
+    }
+
+    // With Belady replacement the device needs the future-knowledge
+    // feed, which is only available once run() sees the trace; the
+    // device is then built lazily there.
+    if (_config.device.devtlb.policy !=
+        cache::ReplPolicyKind::Oracle) {
+        _device = std::make_unique<Device>(
+            _config.device, _queue, _stats,
+            makePorts(*this, _queue, *_iommu, _historyReader.get(),
+                      _config.pcieOneWay));
+    }
+}
+
+System::~System() = default;
+
+void
+System::buildOracleFeed(const trace::HyperTrace &trace)
+{
+    // Pre-pass: the DevTLB key sequence in lookup order (three
+    // requests per packet, in Ring/Data/Notify order). Dropped
+    // packets never reach the DevTLB, so the feed — advanced once
+    // per performed lookup — stays aligned with the simulation.
+    std::vector<uint64_t> keys;
+    keys.reserve(trace.packets.size() * 3);
+    for (const auto &pkt : trace.packets) {
+        const mem::DomainId did =
+        iommu::ContextCache::resolve(pkt.sid, pkt.pasid)
+            .domain;
+        for (unsigned c = 0; c < trace::NumReqClasses; ++c) {
+            const auto cls = static_cast<trace::ReqClass>(c);
+            keys.push_back(iommu::translationKey(
+                did, pkt.iova(cls), pkt.pageSize(cls)));
+        }
+    }
+    _oracleFeed = std::make_unique<cache::OracleFeed>(keys);
+}
+
+RunResults
+System::run(const trace::HyperTrace &trace, bool bypass_translation)
+{
+    HYPERSIO_ASSERT(_cursor == 0 && _processed == 0,
+                    "System::run() may only be called once");
+
+    if (!_device) {
+        // Oracle-replacement run: build the feed, then the device.
+        buildOracleFeed(trace);
+        _device = std::make_unique<Device>(
+            _config.device, _queue, _stats,
+            makePorts(*this, _queue, *_iommu, _historyReader.get(),
+                      _config.pcieOneWay),
+            _oracleFeed.get());
+    }
+
+    if (trace.packets.empty()) {
+        RunResults empty;
+        empty.configName = _config.name;
+        return empty;
+    }
+
+    const Tick interval = _config.link.packetInterval();
+    const uint64_t total = trace.packets.size();
+
+    // The link arrival process: one event per arrival slot. Packets
+    // with an explicit wire size occupy the link for their own
+    // serialization time (small packets arrive faster, leaving less
+    // time per translation).
+    auto wire_bytes = [&](const trace::PacketRecord &pkt) {
+        return pkt.wireBytes != 0 ? pkt.wireBytes
+                                  : _config.link.packetBytes;
+    };
+    std::function<void()> arrival = [&]() {
+        const trace::PacketRecord &pkt = trace.packets[_cursor];
+        const uint64_t bytes = wire_bytes(pkt);
+
+        if (bypass_translation) {
+            // Native mode: no address translation at all.
+            ++_cursor;
+            ++_processed;
+            _bytesProcessed += bytes;
+            _lastCompletion = _queue.now();
+        } else if (_device->ptbFull()) {
+            // Dropped; the same packet retries next slot.
+            ++_dropped;
+        } else {
+            applyOps(trace, pkt);
+            ++_cursor;
+            _device->accept(pkt, [this, bytes]() {
+                ++_processed;
+                _bytesProcessed += bytes;
+                _lastCompletion = _queue.now();
+            });
+        }
+
+        if (_cursor < total) {
+            // The next arrival follows the serialization time of
+            // the packet now occupying the wire (the retried packet
+            // on a drop, the next one otherwise).
+            const Tick gap = serializationTicks(
+                wire_bytes(trace.packets[_cursor]),
+                _config.link.gbps);
+            _queue.scheduleAfter(gap == 0 ? interval : gap, arrival);
+        }
+    };
+
+    _queue.schedule(0, arrival);
+    _queue.run();
+
+    RunResults results;
+    results.configName = _config.name;
+    results.packetsProcessed = _processed;
+    results.packetsDropped = _dropped;
+    results.translations = _device->translationsIssued();
+    // The first packet occupies the wire for one serialization
+    // interval before its arrival event; include it so a perfectly
+    // translated run reports exactly the nominal link rate.
+    results.elapsed =
+        _lastCompletion +
+        serializationTicks(wire_bytes(trace.packets.front()),
+                           _config.link.gbps);
+    results.achievedGbps =
+        achievedGbps(_bytesProcessed, results.elapsed);
+    results.utilization = results.achievedGbps / _config.link.gbps;
+
+    const auto &devtlb = _device->devtlbStats();
+    results.devtlbHitRate =
+        devtlb.lookups == 0
+            ? 0.0
+            : static_cast<double>(devtlb.hits) /
+                  static_cast<double>(devtlb.lookups);
+    results.pbHitRate =
+        results.translations == 0
+            ? 0.0
+            : static_cast<double>(_device->pbHits()) /
+                  static_cast<double>(results.translations);
+    const auto &iotlb = _iommu->iotlbStats();
+    results.iotlbHitRate =
+        iotlb.lookups == 0
+            ? 0.0
+            : static_cast<double>(iotlb.hits) /
+                  static_cast<double>(iotlb.lookups);
+
+    const auto *walks = _stats.child("iommu").find("walks");
+    results.walks = walks ? static_cast<uint64_t>(walks->value()) : 0;
+    const auto *reqs = _stats.child("iommu").find("requests");
+    results.iommuRequests =
+        reqs ? static_cast<uint64_t>(reqs->value()) : 0;
+    const auto *lat =
+        _stats.child("device").find("packet_latency_ns");
+    results.avgPacketLatencyNs = lat ? lat->value() : 0.0;
+    return results;
+}
+
+void
+System::applyOps(const trace::HyperTrace &trace,
+                 const trace::PacketRecord &pkt)
+{
+    const mem::DomainId did =
+        iommu::ContextCache::resolve(pkt.sid, pkt.pasid)
+            .domain;
+    for (uint16_t i = 0; i < pkt.opCount; ++i) {
+        const trace::PageOp &op = trace.ops[pkt.opBegin + i];
+        mem::PageTable &table = _tables.get(did);
+        if (op.isMap) {
+            table.map(op.pageBase, op.size);
+        } else {
+            table.unmap(op.pageBase);
+            // Invalidate every cached copy of the dying translation:
+            // device TLB, prefetch buffer, and chipset IOTLB.
+            _device->invalidatePage(did, op.pageBase, op.size);
+            _iommu->invalidate(did, op.pageBase, op.size);
+        }
+    }
+}
+
+void
+System::dumpStats(std::ostream &os) const
+{
+    _stats.dump(os);
+}
+
+} // namespace hypersio::core

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The assembled device–chipset–memory system and the trace runner
+ * (HyperSIO's Performance Model, Section IV-C).
+ *
+ * The link model computes packet arrival times from the nominal
+ * bandwidth and packet size; a packet that finds the PTB full is
+ * dropped and retried at the next arrival slot. When the trace is
+ * exhausted and all in-flight work drains, the achieved bandwidth is
+ * total processed bytes divided by elapsed simulated time.
+ */
+
+#ifndef HYPERSIO_CORE_SYSTEM_HH
+#define HYPERSIO_CORE_SYSTEM_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "cache/oracle_feed.hh"
+#include "core/chipset.hh"
+#include "core/config.hh"
+#include "core/device.hh"
+#include "iommu/iommu.hh"
+#include "mem/memory_model.hh"
+#include "trace/record.hh"
+
+namespace hypersio::core
+{
+
+/** Summary of one simulation run. */
+struct RunResults
+{
+    std::string configName;
+    uint64_t packetsProcessed = 0;
+    uint64_t packetsDropped = 0;
+    uint64_t translations = 0;
+    Tick elapsed = 0;
+    double achievedGbps = 0.0;
+    double utilization = 0.0; ///< achievedGbps / nominal link rate
+
+    double devtlbHitRate = 0.0;
+    double pbHitRate = 0.0;    ///< PB hits / translation requests
+    double iotlbHitRate = 0.0; ///< chipset IOTLB
+    uint64_t walks = 0;
+    uint64_t iommuRequests = 0;
+    double avgPacketLatencyNs = 0.0;
+};
+
+/**
+ * One simulated system instance. Construct, then run() a trace.
+ * run() may be called once per System (state is not reset between
+ * traces; build a fresh System per experiment point).
+ */
+class System
+{
+  public:
+    explicit System(const SystemConfig &config);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /**
+     * Simulates the full trace and returns the results.
+     * @param bypass_translation "native" mode: packets complete at
+     *        link rate without any address translation (used by the
+     *        Fig. 5 motivation experiment)
+     */
+    RunResults run(const trace::HyperTrace &trace,
+                   bool bypass_translation = false);
+
+    const SystemConfig &config() const { return _config; }
+
+    /** Dumps the full statistics tree of the last run. */
+    void dumpStats(std::ostream &os) const;
+
+    /** Direct access for tests. */
+    Device &device() { return *_device; }
+    iommu::Iommu &iommuUnit() { return *_iommu; }
+    sim::EventQueue &eventQueue() { return _queue; }
+
+  private:
+    void applyOps(const trace::HyperTrace &trace,
+                  const trace::PacketRecord &pkt);
+    void buildOracleFeed(const trace::HyperTrace &trace);
+
+    SystemConfig _config;
+    sim::EventQueue _queue;
+    stats::StatGroup _stats;
+    std::unique_ptr<mem::MemoryModel> _memory;
+    iommu::PageTableDirectory _tables;
+    std::unique_ptr<iommu::Iommu> _iommu;
+    std::unique_ptr<HistoryReader> _historyReader;
+    std::unique_ptr<cache::OracleFeed> _oracleFeed;
+    std::unique_ptr<Device> _device;
+
+    // Link/run state.
+    uint64_t _cursor = 0;
+    uint64_t _processed = 0;
+    uint64_t _dropped = 0;
+    uint64_t _bytesProcessed = 0;
+    Tick _lastCompletion = 0;
+};
+
+} // namespace hypersio::core
+
+#endif // HYPERSIO_CORE_SYSTEM_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Umbrella header: the public API of the HyperSIO/HyperTRIO library.
+ *
+ * Typical use:
+ * @code
+ *   using namespace hypersio;
+ *   auto logs = workload::generateLogs(
+ *       workload::Benchmark::Iperf3, 64, 42, 0.1);
+ *   auto tr = trace::constructTrace(
+ *       logs, trace::parseInterleaving("RR1"));
+ *   core::System system(core::SystemConfig::hypertrio());
+ *   auto results = system.run(tr);
+ * @endcode
+ */
+
+#ifndef HYPERSIO_HYPERSIO_HH
+#define HYPERSIO_HYPERSIO_HH
+
+#include "cache/oracle_feed.hh"
+#include "cache/replacement.hh"
+#include "cache/set_assoc_cache.hh"
+#include "core/chipset.hh"
+#include "core/config.hh"
+#include "core/device.hh"
+#include "core/multi_system.hh"
+#include "core/overrides.hh"
+#include "core/prefetch.hh"
+#include "core/ptb.hh"
+#include "core/runner.hh"
+#include "core/system.hh"
+#include "iommu/context_cache.hh"
+#include "iommu/iommu.hh"
+#include "iommu/keys.hh"
+#include "mem/addr.hh"
+#include "mem/memory_model.hh"
+#include "mem/page_table.hh"
+#include "sim/event_queue.hh"
+#include "sim/sim_object.hh"
+#include "stats/stats.hh"
+#include "trace/constructor.hh"
+#include "trace/record.hh"
+#include "trace/trace_file.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/units.hh"
+#include "workload/benchmarks.hh"
+#include "workload/log_text.hh"
+#include "workload/tenant_model.hh"
+
+#endif // HYPERSIO_HYPERSIO_HH

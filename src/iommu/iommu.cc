@@ -1,0 +1,217 @@
+#include "iommu/iommu.hh"
+
+#include "util/debug.hh"
+
+namespace hypersio::iommu
+{
+
+namespace
+{
+debug::Flag IommuFlag("IOMMU", "IOMMU requests, walks, and fills");
+} // namespace
+
+Iommu::Iommu(const IommuConfig &config, sim::EventQueue &queue,
+             stats::StatGroup &parent, mem::MemoryModel &memory,
+             PageTableDirectory &tables)
+    : SimObject("iommu", queue, parent), _config(config),
+      _memory(memory), _tables(tables), _iotlb(config.iotlb),
+      _l2(config.l2tlb), _l3(config.l3tlb),
+      _requests(statGroup().makeCounter("requests",
+                                        "translation requests")),
+      _prefetchRequests(statGroup().makeCounter(
+          "prefetch_requests", "prefetch translation requests")),
+      _iotlbHits(
+          statGroup().makeCounter("iotlb_hits", "IOTLB hits")),
+      _walks(statGroup().makeCounter("walks",
+                                     "page-table walks started")),
+      _coalesced(statGroup().makeCounter(
+          "coalesced", "requests coalesced onto in-flight walks")),
+      _faults(statGroup().makeCounter("faults",
+                                      "translation faults")),
+      _walkAccessHist(statGroup().makeHistogram(
+          "walk_accesses", "memory accesses per walk", 0, 40, 40))
+{
+    if (config.pagingLevels != 4 && config.pagingLevels != 5)
+        fatal("pagingLevels must be 4 or 5 (got %u)",
+              config.pagingLevels);
+}
+
+void
+Iommu::translate(const IommuRequest &req, ResponseFn done)
+{
+    ++_requests;
+    if (req.prefetch)
+        ++_prefetchRequests;
+
+    const uint64_t key = translationKey(req.domain, req.iova, req.size);
+    const uint64_t index = translationIndex(req.iova, req.size);
+
+    // 1. IOTLB: final-translation cache.
+    if (IommuResponse *hit = _iotlb.lookup(key, index, req.domain)) {
+        ++_iotlbHits;
+        IommuResponse resp = *hit;
+        resp.iotlbHit = true;
+        eventQueue().scheduleAfter(
+            _config.iotlbHitLatency,
+            [done = std::move(done), resp]() { done(resp); });
+        return;
+    }
+
+    // 2. MSHR: coalesce onto an in-flight walk for the same page.
+    if (auto it = _mshr.find(key); it != _mshr.end()) {
+        ++_coalesced;
+        it->second.waiters.push_back(std::move(done));
+        return;
+    }
+
+    // 3. New walk.
+    Walk walk;
+    walk.req = req;
+    walk.key = key;
+    walk.waiters.push_back(std::move(done));
+    auto [it, inserted] = _mshr.emplace(key, std::move(walk));
+    HYPERSIO_ASSERT(inserted, "duplicate MSHR entry");
+
+    if (_config.walkers == 0 || _activeWalks < _config.walkers) {
+        ++_activeWalks;
+        startWalk(key);
+    } else if (req.prefetch) {
+        _prefetchQueue.push_back(key);
+    } else {
+        _demandQueue.push_back(key);
+    }
+}
+
+unsigned
+Iommu::walkAccessesFor(const IommuRequest &req)
+{
+    // The deepest paging-structure hit determines how many guest
+    // levels remain to be read (each costs a host walk of the guest
+    // PTE pointer plus the PTE read itself), followed by the final
+    // host walk of the guest-physical address. The leaf guest level
+    // is 1 for 4 KB pages, 2 for 2 MB.
+    const unsigned levels = _config.pagingLevels;
+    const unsigned leaf =
+        req.size == mem::PageSize::Size2M ? 2 : 1;
+
+    // L2 entry covers guest levels down to 2.
+    const uint64_t l2_key = pagingKey(req.domain, req.iova, 2);
+    const uint64_t l2_idx = pagingIndex(req.iova, 2);
+    if (_l2.lookup(l2_key, l2_idx, req.domain)) {
+        // 1 remaining level for 4K, 0 for 2M.
+        return mem::walkAccessesAtDepth(2 - leaf, levels);
+    }
+
+    // L3 entry covers guest levels down to 3.
+    const uint64_t l3_key = pagingKey(req.domain, req.iova, 3);
+    const uint64_t l3_idx = pagingIndex(req.iova, 3);
+    if (_l3.lookup(l3_key, l3_idx, req.domain)) {
+        // 2 remaining levels for 4K, 1 for 2M.
+        return mem::walkAccessesAtDepth(3 - leaf, levels);
+    }
+
+    // Full walk from the context entry's table root: 24 accesses
+    // for 4-level 4 KB pages (Table II), 35 for 5-level.
+    return mem::walkAccessesAtDepth(levels - leaf + 1, levels);
+}
+
+void
+Iommu::startWalk(uint64_t key)
+{
+    // The walk owns its MSHR entry; late arrivals keep appending to
+    // the entry's waiter list until the walk finishes.
+    auto it = _mshr.find(key);
+    HYPERSIO_ASSERT(it != _mshr.end(), "walk without MSHR entry");
+
+    ++_walks;
+    const unsigned accesses = walkAccessesFor(it->second.req);
+    _walkAccessHist.sample(accesses);
+    HYPERSIO_DPRINTF(IommuFlag, now(),
+                     "walk did=%u iova=%#llx accesses=%u%s",
+                     it->second.req.domain,
+                     (unsigned long long)it->second.req.iova,
+                     accesses,
+                     it->second.req.prefetch ? " (prefetch)" : "");
+
+    _memory.access(accesses, [this, key]() {
+        auto entry = _mshr.find(key);
+        HYPERSIO_ASSERT(entry != _mshr.end(), "finished walk lost");
+        Walk walk = std::move(entry->second);
+        _mshr.erase(entry);
+
+        const mem::Translation xlate =
+            _tables.get(walk.req.domain).translate(walk.req.iova);
+        finishWalk(walk, xlate);
+
+        --_activeWalks;
+        dispatchQueued();
+    });
+}
+
+void
+Iommu::finishWalk(Walk &walk, const mem::Translation &xlate)
+{
+    IommuResponse resp;
+    if (xlate.valid) {
+        resp.hostAddr = xlate.hostAddr;
+        resp.valid = true;
+        // Fill the translation caches. The IOTLB caches the final
+        // translation; the paging caches remember the intermediate
+        // table pointers so later walks can start deeper.
+        const uint64_t key = translationKey(
+            walk.req.domain, walk.req.iova, xlate.pageSize);
+        const uint64_t index =
+            translationIndex(walk.req.iova, xlate.pageSize);
+        _iotlb.insert(key, index, resp, walk.req.domain);
+        _l2.insert(pagingKey(walk.req.domain, walk.req.iova, 2),
+                   pagingIndex(walk.req.iova, 2), 1, walk.req.domain);
+        _l3.insert(pagingKey(walk.req.domain, walk.req.iova, 3),
+                   pagingIndex(walk.req.iova, 3), 1, walk.req.domain);
+    } else {
+        ++_faults;
+    }
+
+    for (auto &waiter : walk.waiters)
+        waiter(resp);
+}
+
+void
+Iommu::dispatchQueued()
+{
+    while ((_config.walkers == 0 || _activeWalks < _config.walkers) &&
+           (!_demandQueue.empty() || !_prefetchQueue.empty())) {
+        uint64_t key;
+        if (!_demandQueue.empty()) {
+            key = _demandQueue.front();
+            _demandQueue.pop_front();
+        } else {
+            key = _prefetchQueue.front();
+            _prefetchQueue.pop_front();
+        }
+        auto it = _mshr.find(key);
+        // The entry must still exist: queued walks hold their MSHR
+        // slot until they run.
+        HYPERSIO_ASSERT(it != _mshr.end(), "queued walk lost");
+        ++_activeWalks;
+        startWalk(key);
+    }
+}
+
+void
+Iommu::invalidate(mem::DomainId domain, mem::Iova iova,
+                  mem::PageSize size)
+{
+    const uint64_t key = translationKey(domain, iova, size);
+    const uint64_t index = translationIndex(iova, size);
+    _iotlb.invalidate(key, index, domain);
+}
+
+void
+Iommu::flushAll()
+{
+    _iotlb.flush();
+    _l2.flush();
+    _l3.flush();
+}
+
+} // namespace hypersio::iommu

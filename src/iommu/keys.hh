@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Key packing for translation caching structures.
+ *
+ * Every TLB-like structure in the model maps a 64-bit key to a value.
+ * Keys must uniquely identify (domain, page-size, page-frame) for
+ * final-translation caches, or (domain, level, gIOVA-prefix) for
+ * paging-structure caches. The *index* used for set selection is kept
+ * separate (the page frame / prefix alone) so that tenants that use
+ * identical gIOVAs — the common case the paper highlights — collide
+ * in the same cache rows.
+ */
+
+#ifndef HYPERSIO_IOMMU_KEYS_HH
+#define HYPERSIO_IOMMU_KEYS_HH
+
+#include "mem/addr.hh"
+#include "mem/page_table.hh"
+#include "util/logging.hh"
+
+namespace hypersio::iommu
+{
+
+/**
+ * Key of a final gIOVA→hPA translation: domain, page size bit, and
+ * page frame. Frames fit in 39 bits (we model a <= 2^51-byte gIOVA
+ * space), domains in 20 bits.
+ */
+constexpr uint64_t
+translationKey(mem::DomainId domain, mem::Iova iova,
+               mem::PageSize size)
+{
+    const uint64_t frame = mem::pageFrame(iova, size);
+    const uint64_t size_bit =
+        size == mem::PageSize::Size2M ? 1 : 0;
+    return (static_cast<uint64_t>(domain) << 40) | (size_bit << 39) |
+           frame;
+}
+
+/** Set-selection index of a final translation (its page frame). */
+constexpr uint64_t
+translationIndex(mem::Iova iova, mem::PageSize size)
+{
+    return mem::pageFrame(iova, size);
+}
+
+/**
+ * Key of a paging-structure cache entry at `level`: domain plus the
+ * gIOVA prefix covering levels 4..level.
+ */
+constexpr uint64_t
+pagingKey(mem::DomainId domain, mem::Iova iova, unsigned level)
+{
+    return (static_cast<uint64_t>(domain) << 40) |
+           (static_cast<uint64_t>(level) << 36) |
+           mem::levelPrefix(iova, level);
+}
+
+/** Set-selection index of a paging-structure entry (its prefix). */
+constexpr uint64_t
+pagingIndex(mem::Iova iova, unsigned level)
+{
+    return mem::levelPrefix(iova, level);
+}
+
+} // namespace hypersio::iommu
+
+#endif // HYPERSIO_IOMMU_KEYS_HH

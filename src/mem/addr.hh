@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Address types and paging geometry for x86-64-style 4-level paging
+ * with 4 KB and 2 MB pages, as used by the translation model.
+ */
+
+#ifndef HYPERSIO_MEM_ADDR_HH
+#define HYPERSIO_MEM_ADDR_HH
+
+#include <cstdint>
+
+#include "util/bitfield.hh"
+
+namespace hypersio::mem
+{
+
+/** A memory address (guest-virtual, guest-physical, or host-physical). */
+using Addr = uint64_t;
+
+/** Guest I/O virtual address (gIOVA in the paper). */
+using Iova = Addr;
+
+constexpr unsigned PageShift4K = 12;
+constexpr unsigned PageShift2M = 21;
+constexpr uint64_t PageSize4K = uint64_t(1) << PageShift4K;
+constexpr uint64_t PageSize2M = uint64_t(1) << PageShift2M;
+
+/** Number of paging levels in a 4-level table. */
+constexpr unsigned NumLevels = 4;
+/** Bits of index per level (512-entry tables). */
+constexpr unsigned LevelBits = 9;
+
+/** Page size selector for a mapping. */
+enum class PageSize : uint8_t
+{
+    Size4K,
+    Size2M,
+};
+
+/** Bytes covered by one page of the given size. */
+constexpr uint64_t
+pageBytes(PageSize size)
+{
+    return size == PageSize::Size4K ? PageSize4K : PageSize2M;
+}
+
+/** Page-offset shift for the given size. */
+constexpr unsigned
+pageShift(PageSize size)
+{
+    return size == PageSize::Size4K ? PageShift4K : PageShift2M;
+}
+
+/** Page-frame number of `addr` for the given page size. */
+constexpr uint64_t
+pageFrame(Addr addr, PageSize size = PageSize::Size4K)
+{
+    return addr >> pageShift(size);
+}
+
+/** Base address of the page containing `addr`. */
+constexpr Addr
+pageBase(Addr addr, PageSize size = PageSize::Size4K)
+{
+    return addr & ~(pageBytes(size) - 1);
+}
+
+/**
+ * Index into the level-`level` page table for `addr`. Levels are
+ * numbered 4 (root) down to 1 (leaf for 4 KB pages).
+ */
+constexpr uint64_t
+levelIndex(Addr addr, unsigned level)
+{
+    const unsigned shift = PageShift4K + LevelBits * (level - 1);
+    return bits(addr, shift + LevelBits - 1, shift);
+}
+
+/**
+ * The gIOVA prefix that a paging-structure cache entry for `level`
+ * covers: all index bits from the root down to and including that
+ * level. Entries at higher levels cover wider regions.
+ */
+constexpr uint64_t
+levelPrefix(Addr addr, unsigned level)
+{
+    const unsigned shift = PageShift4K + LevelBits * (level - 1);
+    return addr >> shift;
+}
+
+/** Number of leaf-walk levels a mapping of `size` needs (4 or 3). */
+constexpr unsigned
+walkLevels(PageSize size)
+{
+    return size == PageSize::Size4K ? NumLevels : NumLevels - 1;
+}
+
+} // namespace hypersio::mem
+
+#endif // HYPERSIO_MEM_ADDR_HH

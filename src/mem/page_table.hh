@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Synthetic per-tenant two-level (guest + host) page tables.
+ *
+ * In a virtualized setup every tenant's gIOVA is translated by a
+ * two-dimensional walk: the guest page table maps gIOVA → guest
+ * physical address, and every guest page-table access itself requires
+ * a host walk (Fig. 2 of the paper). The performance model only needs
+ * (a) the final hPA for each gIOVA, (b) deterministic per-level walk
+ * identity so paging-structure caches behave realistically, and
+ * (c) the number of memory accesses each partial walk costs.
+ *
+ * Frames are assigned deterministically from the (tenant seed, page
+ * frame) pair via SplitMix64, so two runs over the same trace produce
+ * identical translations without storing the tables densely.
+ */
+
+#ifndef HYPERSIO_MEM_PAGE_TABLE_HH
+#define HYPERSIO_MEM_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "mem/addr.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace hypersio::mem
+{
+
+/** Identifies a tenant's address space (the paper's Device ID). */
+using DomainId = uint32_t;
+
+/** The outcome of translating one gIOVA. */
+struct Translation
+{
+    Addr hostAddr = 0;        ///< final host-physical address
+    PageSize pageSize = PageSize::Size4K;
+    bool valid = false;
+};
+
+/**
+ * Cost model of a (possibly partial) two-dimensional walk.
+ *
+ * A full 4-level 2-D walk reads 5 memory words per guest level
+ * (4 host-table reads to translate the guest PTE pointer + 1 read of
+ * the guest PTE itself) plus 4 host-table reads to translate the
+ * final guest-physical address: 5*4 + 4 = 24 accesses, matching the
+ * paper's Table II. A walk that starts below level `start` (because a
+ * paging-structure cache supplied the entry covering levels above)
+ * performs 5*(start-1) + 4 accesses. 2 MB mappings skip the last
+ * guest level.
+ */
+constexpr unsigned
+walkAccesses(unsigned start_level, PageSize size = PageSize::Size4K)
+{
+    const unsigned leaf_levels = walkLevels(size);
+    const unsigned guest_levels =
+        start_level > leaf_levels ? leaf_levels : start_level;
+    return 5 * guest_levels + NumLevels;
+}
+
+/** Full-walk access count for a page size (24 for 4 KB, 19 for 2 MB). */
+constexpr unsigned
+fullWalkAccesses(PageSize size = PageSize::Size4K)
+{
+    return walkAccesses(NumLevels, size);
+}
+
+/**
+ * Walk cost for an arbitrary paging depth: each remaining guest
+ * level costs a `levels`-step host walk plus the guest PTE read,
+ * followed by the final host walk of the guest-physical address.
+ * 4-level/4 KB: 5*4+4 = 24; 5-level/4 KB: 6*5+5 = 35 (both match
+ * the Intel numbers the paper cites).
+ *
+ * @param remaining_guest_levels guest table reads still to perform
+ * @param levels paging depth of both dimensions (4 or 5)
+ */
+constexpr unsigned
+walkAccessesAtDepth(unsigned remaining_guest_levels, unsigned levels)
+{
+    return (levels + 1) * remaining_guest_levels + levels;
+}
+
+/** Guest levels of a full walk at `levels` depth for `size` pages. */
+constexpr unsigned
+fullGuestLevels(unsigned levels, PageSize size)
+{
+    // 2 MB mappings terminate one level early.
+    return size == PageSize::Size2M ? levels - 1 : levels;
+}
+
+/**
+ * One tenant's synthetic guest+host page table.
+ *
+ * Mappings must be installed (as the guest OS driver would) before
+ * translation; translating an unmapped gIOVA yields invalid, which
+ * the IOMMU reports as a translation fault.
+ */
+class PageTable
+{
+  public:
+    /**
+     * @param domain the tenant's DID
+     * @param seed global seed mixed into frame assignment
+     */
+    PageTable(DomainId domain, uint64_t seed)
+        : _domain(domain), _frameSeed(hashCombine(seed, domain))
+    {}
+
+    DomainId domain() const { return _domain; }
+
+    /**
+     * Maps the page containing `iova` with the given page size. The
+     * host frame is chosen deterministically. Remapping an existing
+     * page keeps its frame (idempotent).
+     */
+    void
+    map(Iova iova, PageSize size)
+    {
+        const Addr base = pageBase(iova, size);
+        auto [it, inserted] = _mappings.try_emplace(base);
+        if (!inserted) {
+            HYPERSIO_ASSERT(it->second.pageSize == size,
+                            "page size change on remap of %llx",
+                            (unsigned long long)base);
+            return;
+        }
+        Entry &entry = it->second;
+        entry.pageSize = size;
+        // Deterministic host frame: uniform over a 1 TB host space,
+        // aligned to the page size.
+        const uint64_t raw = hashCombine(_frameSeed, base);
+        const uint64_t space = uint64_t(1) << 40;
+        entry.hostBase =
+            roundDown(raw % space, pageBytes(size));
+    }
+
+    /** Removes the mapping covering `iova`; true if one existed. */
+    bool
+    unmap(Iova iova)
+    {
+        // Try 2 MB alignment first, then 4 KB.
+        if (_mappings.erase(pageBase(iova, PageSize::Size2M)) > 0)
+            return true;
+        return _mappings.erase(pageBase(iova, PageSize::Size4K)) > 0;
+    }
+
+    /** Translates `iova`; invalid when unmapped. */
+    Translation
+    translate(Iova iova) const
+    {
+        // A 2 MB mapping covers its whole range; look up both bases.
+        if (const Entry *e = find(pageBase(iova, PageSize::Size2M))) {
+            if (e->pageSize == PageSize::Size2M) {
+                return {e->hostBase +
+                            (iova - pageBase(iova, PageSize::Size2M)),
+                        PageSize::Size2M, true};
+            }
+        }
+        if (const Entry *e = find(pageBase(iova, PageSize::Size4K))) {
+            if (e->pageSize == PageSize::Size4K) {
+                return {e->hostBase +
+                            (iova - pageBase(iova, PageSize::Size4K)),
+                        PageSize::Size4K, true};
+            }
+        }
+        return {};
+    }
+
+    /** Number of installed mappings. */
+    size_t size() const { return _mappings.size(); }
+
+  private:
+    struct Entry
+    {
+        Addr hostBase = 0;
+        PageSize pageSize = PageSize::Size4K;
+    };
+
+    const Entry *
+    find(Addr base) const
+    {
+        auto it = _mappings.find(base);
+        return it == _mappings.end() ? nullptr : &it->second;
+    }
+
+    DomainId _domain;
+    uint64_t _frameSeed;
+    std::unordered_map<Addr, Entry> _mappings;
+};
+
+} // namespace hypersio::mem
+
+#endif // HYPERSIO_MEM_PAGE_TABLE_HH

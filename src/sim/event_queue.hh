@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * The performance model is an event-driven simulator: components
+ * schedule callbacks at absolute ticks, and the queue executes them in
+ * (tick, priority, sequence) order so simulation is fully
+ * deterministic. Events are heap-allocated callables owned by the
+ * queue; cancellation is supported via EventHandle.
+ */
+
+#ifndef HYPERSIO_SIM_EVENT_QUEUE_HH
+#define HYPERSIO_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace hypersio::sim
+{
+
+/** Scheduling priority; lower value runs first within the same tick. */
+using Priority = int;
+
+constexpr Priority DefaultPriority = 0;
+/** Used by components that must observe state before others mutate it. */
+constexpr Priority EarlyPriority = -10;
+/** Used by bookkeeping that must run after all same-tick activity. */
+constexpr Priority LatePriority = 10;
+
+/**
+ * Opaque handle to a scheduled event. Valid until the event fires or
+ * is cancelled; safe to keep after either (cancel becomes a no-op).
+ */
+class EventHandle
+{
+  public:
+    EventHandle() = default;
+
+    bool valid() const { return _id != 0; }
+
+  private:
+    friend class EventQueue;
+    explicit EventHandle(uint64_t id) : _id(id) {}
+    uint64_t _id = 0;
+};
+
+/**
+ * The central event queue. One instance drives one simulated system.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /** Number of events executed so far. */
+    uint64_t executed() const { return _executed; }
+
+    /** Number of events currently pending. */
+    size_t pending() const { return _heap.size() - _cancelled; }
+
+    /**
+     * Schedules `cb` to run at absolute tick `when` (>= now()).
+     * Same-tick events run in priority order, then insertion order.
+     */
+    EventHandle
+    schedule(Tick when, Callback cb,
+             Priority priority = DefaultPriority)
+    {
+        HYPERSIO_ASSERT(when >= _now,
+                        "scheduling in the past: %llu < %llu",
+                        (unsigned long long)when,
+                        (unsigned long long)_now);
+        uint64_t id = ++_nextId;
+        _heap.push(Entry{when, priority, id, std::move(cb), false});
+        return EventHandle(id);
+    }
+
+    /** Schedules `cb` to run `delay` ticks from now. */
+    EventHandle
+    scheduleAfter(Tick delay, Callback cb,
+                  Priority priority = DefaultPriority)
+    {
+        return schedule(_now + delay, std::move(cb), priority);
+    }
+
+    /**
+     * Cancels a scheduled event. Returns true if the event was still
+     * pending. Cancelled events stay in the heap as tombstones and are
+     * skipped on pop.
+     */
+    bool
+    cancel(EventHandle handle)
+    {
+        if (!handle.valid())
+            return false;
+        auto inserted = _dead.insert(handle._id).second;
+        if (inserted)
+            ++_cancelled;
+        return inserted;
+    }
+
+    /**
+     * Runs events until the queue drains or `limit` ticks elapse.
+     * @return the tick of the last executed event (or now()).
+     */
+    Tick
+    run(Tick limit = MaxTick)
+    {
+        while (!_heap.empty()) {
+            const Entry &top = _heap.top();
+            if (top.when > limit)
+                break;
+            if (_dead.erase(top.id)) {
+                --_cancelled;
+                _heap.pop();
+                continue;
+            }
+            // Move the callback out before popping.
+            Entry entry = std::move(const_cast<Entry &>(top));
+            _heap.pop();
+            HYPERSIO_ASSERT(entry.when >= _now, "time went backwards");
+            _now = entry.when;
+            ++_executed;
+            entry.cb();
+        }
+        if (_now < limit && limit != MaxTick)
+            _now = limit;
+        return _now;
+    }
+
+    /** Executes exactly one event if any is pending. */
+    bool
+    step()
+    {
+        while (!_heap.empty()) {
+            const Entry &top = _heap.top();
+            if (_dead.erase(top.id)) {
+                --_cancelled;
+                _heap.pop();
+                continue;
+            }
+            Entry entry = std::move(const_cast<Entry &>(top));
+            _heap.pop();
+            _now = entry.when;
+            ++_executed;
+            entry.cb();
+            return true;
+        }
+        return false;
+    }
+
+    /** True when no live events remain. */
+    bool empty() const { return pending() == 0; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        Priority priority;
+        uint64_t id;
+        Callback cb;
+        bool dead;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.id > b.id;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
+    std::unordered_set<uint64_t> _dead;
+    size_t _cancelled = 0;
+    Tick _now = 0;
+    uint64_t _nextId = 0;
+    uint64_t _executed = 0;
+};
+
+} // namespace hypersio::sim
+
+#endif // HYPERSIO_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Base class for all simulated components.
+ *
+ * A SimObject has a hierarchical name, a reference to the event queue
+ * of the system it belongs to, and a StatGroup for its statistics.
+ */
+
+#ifndef HYPERSIO_SIM_SIM_OBJECT_HH
+#define HYPERSIO_SIM_SIM_OBJECT_HH
+
+#include <string>
+
+#include "sim/event_queue.hh"
+#include "stats/stats.hh"
+
+namespace hypersio::sim
+{
+
+/** A named component attached to an event queue. */
+class SimObject
+{
+  public:
+    SimObject(std::string name, EventQueue &queue,
+              stats::StatGroup &parent_stats)
+        : _name(std::move(name)), _queue(queue),
+          _stats(parent_stats.child(_name))
+    {}
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return _name; }
+    Tick now() const { return _queue.now(); }
+
+  protected:
+    EventQueue &eventQueue() { return _queue; }
+    stats::StatGroup &statGroup() { return _stats; }
+
+  private:
+    std::string _name;
+    EventQueue &_queue;
+    stats::StatGroup &_stats;
+};
+
+} // namespace hypersio::sim
+
+#endif // HYPERSIO_SIM_SIM_OBJECT_HH

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Lightweight statistics package for the performance model.
+ *
+ * Components own a StatGroup and register named statistics in it.
+ * Supported kinds: Counter (monotonic count), Scalar (arbitrary
+ * value), Ratio (lazy quotient of two stats), and Histogram (fixed
+ * linear bins plus underflow/overflow). Groups nest, and a whole tree
+ * can be dumped as an aligned text table.
+ */
+
+#ifndef HYPERSIO_STATS_STATS_HH
+#define HYPERSIO_STATS_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hypersio::stats
+{
+
+/** Base class for all named statistics. */
+class StatBase
+{
+  public:
+    StatBase(std::string name, std::string desc)
+        : _name(std::move(name)), _desc(std::move(desc))
+    {}
+    virtual ~StatBase() = default;
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    /** Current value as a double, for dumping and formulas. */
+    virtual double value() const = 0;
+
+    /** Resets the statistic to its initial state. */
+    virtual void reset() = 0;
+
+    /** Writes one or more table rows describing this stat. */
+    virtual void dump(std::ostream &os, const std::string &prefix) const;
+
+  private:
+    std::string _name;
+    std::string _desc;
+};
+
+/** Monotonically increasing event count. */
+class Counter : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    Counter &operator++() { ++_count; return *this; }
+    Counter &operator+=(uint64_t n) { _count += n; return *this; }
+
+    uint64_t count() const { return _count; }
+    double value() const override
+    {
+        return static_cast<double>(_count);
+    }
+    void reset() override { _count = 0; }
+
+  private:
+    uint64_t _count = 0;
+};
+
+/** Arbitrary scalar value (can be set, not just incremented). */
+class Scalar : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    Scalar &operator=(double v) { _value = v; return *this; }
+    Scalar &operator+=(double v) { _value += v; return *this; }
+
+    double value() const override { return _value; }
+    void reset() override { _value = 0.0; }
+
+  private:
+    double _value = 0.0;
+};
+
+/**
+ * Lazy quotient of two other statistics, e.g. a miss rate. Evaluated
+ * at dump time; reports 0 when the denominator is 0.
+ */
+class Ratio : public StatBase
+{
+  public:
+    Ratio(std::string name, std::string desc, const StatBase &numer,
+          const StatBase &denom)
+        : StatBase(std::move(name), std::move(desc)), _numer(&numer),
+          _denom(&denom)
+    {}
+
+    double
+    value() const override
+    {
+        double d = _denom->value();
+        return d == 0.0 ? 0.0 : _numer->value() / d;
+    }
+    void reset() override {}
+
+  private:
+    const StatBase *_numer;
+    const StatBase *_denom;
+};
+
+/** Linear-binned histogram with underflow/overflow buckets. */
+class Histogram : public StatBase
+{
+  public:
+    /**
+     * @param lo lower bound of the first bin
+     * @param hi upper bound of the last bin (exclusive)
+     * @param nbins number of equal-width bins between lo and hi
+     */
+    Histogram(std::string name, std::string desc, double lo, double hi,
+              size_t nbins);
+
+    /** Records one sample. */
+    void sample(double v, uint64_t count = 1);
+
+    uint64_t samples() const { return _samples; }
+    double mean() const;
+    double stddev() const;
+    double min() const { return _min; }
+    double max() const { return _max; }
+    uint64_t binCount(size_t idx) const { return _bins.at(idx); }
+    uint64_t underflow() const { return _underflow; }
+    uint64_t overflow() const { return _overflow; }
+    size_t numBins() const { return _bins.size(); }
+
+    /** Mean; dumps the full distribution. */
+    double value() const override { return mean(); }
+    void reset() override;
+    void dump(std::ostream &os, const std::string &prefix) const override;
+
+  private:
+    double _lo;
+    double _hi;
+    std::vector<uint64_t> _bins;
+    uint64_t _underflow = 0;
+    uint64_t _overflow = 0;
+    uint64_t _samples = 0;
+    double _sum = 0.0;
+    double _sumSq = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+};
+
+/**
+ * A named collection of statistics and child groups. Components create
+ * stats through the make* factories; the group owns them.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &name() const { return _name; }
+
+    Counter &makeCounter(const std::string &name,
+                         const std::string &desc);
+    Scalar &makeScalar(const std::string &name, const std::string &desc);
+    Ratio &makeRatio(const std::string &name, const std::string &desc,
+                     const StatBase &numer, const StatBase &denom);
+    Histogram &makeHistogram(const std::string &name,
+                             const std::string &desc, double lo,
+                             double hi, size_t nbins);
+
+    /** Creates (or returns an existing) nested child group. */
+    StatGroup &child(const std::string &name);
+
+    /** Finds a stat by name in this group only; nullptr if missing. */
+    const StatBase *find(const std::string &name) const;
+
+    /** Resets all stats in this group and all children. */
+    void resetAll();
+
+    /** Dumps this group and children as "prefix.name value # desc". */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+  private:
+    std::string _name;
+    std::vector<std::unique_ptr<StatBase>> _stats;
+    std::vector<std::unique_ptr<StatGroup>> _children;
+};
+
+} // namespace hypersio::stats
+
+#endif // HYPERSIO_STATS_STATS_HH

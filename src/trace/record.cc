@@ -1,0 +1,31 @@
+#include "trace/record.hh"
+
+namespace hypersio::trace
+{
+
+const char *
+reqClassName(ReqClass cls)
+{
+    switch (cls) {
+      case ReqClass::Ring:
+        return "ring";
+      case ReqClass::Data:
+        return "data";
+      case ReqClass::Notify:
+        return "notify";
+    }
+    return "?";
+}
+
+std::vector<uint64_t>
+HyperTrace::perTenantPackets() const
+{
+    std::vector<uint64_t> counts(numTenants, 0);
+    for (const auto &pkt : packets) {
+        if (pkt.sid < counts.size())
+            ++counts[pkt.sid];
+    }
+    return counts;
+}
+
+} // namespace hypersio::trace

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Binary serialization of tenant logs and hyper-traces, plus a
+ * human-readable text dump. The binary format is versioned and
+ * validated on load; malformed files are user errors (fatal()) not
+ * simulator bugs.
+ *
+ * Layout (all little-endian, fixed-width):
+ *   magic    u32   'HSIO' (0x4f495348)
+ *   version  u32
+ *   kind     u32   0 = tenant log, 1 = hyper trace
+ *   tenants  u32   (hyper trace) or sid (tenant log)
+ *   seed     u64
+ *   npackets u64
+ *   nops     u64
+ *   packets  npackets * PacketRecordWire
+ *   ops      nops * PageOpWire
+ */
+
+#ifndef HYPERSIO_TRACE_TRACE_FILE_HH
+#define HYPERSIO_TRACE_TRACE_FILE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/record.hh"
+
+namespace hypersio::trace
+{
+
+/** Writes a hyper-trace to `path`; fatal() on I/O failure. */
+void saveTrace(const HyperTrace &trace, const std::string &path);
+
+/** Loads a hyper-trace from `path`; fatal() on malformed input. */
+HyperTrace loadTrace(const std::string &path);
+
+/** Writes a single tenant log to `path`. */
+void saveTenantLog(const TenantLog &log, const std::string &path);
+
+/** Loads a tenant log from `path`. */
+TenantLog loadTenantLog(const std::string &path);
+
+/**
+ * Dumps up to `max_packets` packets of a trace in a readable text
+ * form (one packet per line) for debugging and the trace_tools
+ * example.
+ */
+void dumpTraceText(const HyperTrace &trace, std::ostream &os,
+                   uint64_t max_packets = UINT64_MAX);
+
+} // namespace hypersio::trace
+
+#endif // HYPERSIO_TRACE_TRACE_FILE_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Bit-manipulation helpers used throughout the address-translation code.
+ */
+
+#ifndef HYPERSIO_UTIL_BITFIELD_HH
+#define HYPERSIO_UTIL_BITFIELD_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace hypersio
+{
+
+/** Extracts bits [first, last] (inclusive, last >= first) of `value`. */
+constexpr uint64_t
+bits(uint64_t value, unsigned last, unsigned first)
+{
+    const unsigned nbits = last - first + 1;
+    const uint64_t mask =
+        nbits >= 64 ? ~uint64_t(0) : ((uint64_t(1) << nbits) - 1);
+    return (value >> first) & mask;
+}
+
+/** Returns a mask with bits [first, last] set. */
+constexpr uint64_t
+mask(unsigned last, unsigned first)
+{
+    const unsigned nbits = last - first + 1;
+    const uint64_t low =
+        nbits >= 64 ? ~uint64_t(0) : ((uint64_t(1) << nbits) - 1);
+    return low << first;
+}
+
+/** True iff `value` is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** floor(log2(value)); value must be nonzero. */
+constexpr unsigned
+floorLog2(uint64_t value)
+{
+    return 63 - std::countl_zero(value);
+}
+
+/** ceil(log2(value)); value must be nonzero. */
+constexpr unsigned
+ceilLog2(uint64_t value)
+{
+    return value <= 1 ? 0 : floorLog2(value - 1) + 1;
+}
+
+/** Rounds `value` up to the next multiple of `align` (a power of two). */
+constexpr uint64_t
+roundUp(uint64_t value, uint64_t align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+/** Rounds `value` down to a multiple of `align` (a power of two). */
+constexpr uint64_t
+roundDown(uint64_t value, uint64_t align)
+{
+    return value & ~(align - 1);
+}
+
+} // namespace hypersio
+
+#endif // HYPERSIO_UTIL_BITFIELD_HH

@@ -1,0 +1,112 @@
+#include "util/debug.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace hypersio::debug
+{
+
+namespace
+{
+
+/** Registry of all live flags (static-init safe via function-local). */
+std::vector<Flag *> &
+registry()
+{
+    static std::vector<Flag *> flags;
+    return flags;
+}
+
+} // namespace
+
+Flag::Flag(const char *name, const char *desc)
+    : _name(name), _desc(desc)
+{
+    registry().push_back(this);
+}
+
+Flag::~Flag()
+{
+    auto &flags = registry();
+    flags.erase(std::remove(flags.begin(), flags.end(), this),
+                flags.end());
+}
+
+void
+enable(const std::string &names)
+{
+    for (const std::string &name : split(names, ',')) {
+        const std::string_view wanted = trim(name);
+        if (wanted.empty())
+            continue;
+        if (wanted == "All") {
+            for (Flag *flag : registry())
+                flag->setEnabled(true);
+            continue;
+        }
+        bool found = false;
+        for (Flag *flag : registry()) {
+            if (wanted == flag->name()) {
+                flag->setEnabled(true);
+                found = true;
+            }
+        }
+        if (!found) {
+            std::string known;
+            for (Flag *flag : registry()) {
+                known += flag->name();
+                known += ' ';
+            }
+            fatal("unknown debug flag '%.*s' (known: %s)",
+                  static_cast<int>(wanted.size()), wanted.data(),
+                  known.c_str());
+        }
+    }
+}
+
+void
+disableAll()
+{
+    for (Flag *flag : registry())
+        flag->setEnabled(false);
+}
+
+std::vector<std::pair<std::string, std::string>>
+listFlags()
+{
+    std::vector<std::pair<std::string, std::string>> out;
+    out.reserve(registry().size());
+    for (Flag *flag : registry())
+        out.emplace_back(flag->name(), flag->desc());
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+bool
+anyEnabled()
+{
+    for (Flag *flag : registry())
+        if (flag->enabled())
+            return true;
+    return false;
+}
+
+void
+dprintf(const Flag &flag, Tick when, const char *fmt, ...)
+{
+    if (!flag.enabled())
+        return;
+    std::FILE *out = Logger::instance().stream();
+    std::fprintf(out, "%10llu: %s: ",
+                 (unsigned long long)when, flag.name());
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(out, fmt, args);
+    va_end(args);
+    std::fputc('\n', out);
+}
+
+} // namespace hypersio::debug

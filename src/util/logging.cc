@@ -1,0 +1,86 @@
+#include "util/logging.hh"
+
+namespace hypersio
+{
+
+Logger &
+Logger::instance()
+{
+    static Logger logger;
+    return logger;
+}
+
+namespace detail
+{
+
+void
+logLine(LogLevel level, const char *prefix, const char *fmt, va_list args)
+{
+    Logger &logger = Logger::instance();
+    if (static_cast<int>(level) > static_cast<int>(logger.level()))
+        return;
+    std::FILE *out = logger.stream();
+    std::fputs(prefix, out);
+    std::vfprintf(out, fmt, args);
+    std::fputc('\n', out);
+    std::fflush(out);
+}
+
+} // namespace detail
+
+void
+inform(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    detail::logLine(LogLevel::Inform, "info: ", fmt, args);
+    va_end(args);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    detail::logLine(LogLevel::Warn, "warn: ", fmt, args);
+    va_end(args);
+}
+
+void
+debugLog(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    detail::logLine(LogLevel::Debug, "debug: ", fmt, args);
+    va_end(args);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::FILE *out = Logger::instance().stream();
+    std::fputs("fatal: ", out);
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(out, fmt, args);
+    va_end(args);
+    std::fputc('\n', out);
+    std::fflush(out);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::FILE *out = Logger::instance().stream();
+    std::fputs("panic: ", out);
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(out, fmt, args);
+    va_end(args);
+    std::fputc('\n', out);
+    std::fflush(out);
+    std::abort();
+}
+
+} // namespace hypersio

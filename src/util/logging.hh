@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers, in the spirit of gem5's
+ * logging interface.
+ *
+ * `panic()` is for conditions that indicate a bug in the simulator
+ * itself; it aborts. `fatal()` is for user errors (bad configuration,
+ * malformed trace files, invalid arguments); it exits with status 1.
+ * `warn()` and `inform()` never stop the simulation.
+ */
+
+#ifndef HYPERSIO_UTIL_LOGGING_HH
+#define HYPERSIO_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace hypersio
+{
+
+/** Verbosity levels for the global logger. */
+enum class LogLevel : int
+{
+    Quiet = 0,   ///< only fatal/panic messages
+    Warn = 1,    ///< warnings and above
+    Inform = 2,  ///< informational messages and above
+    Debug = 3,   ///< everything, including debug traces
+};
+
+/**
+ * Process-wide logger configuration. All free logging functions below
+ * route through this singleton.
+ */
+class Logger
+{
+  public:
+    static Logger &instance();
+
+    LogLevel level() const { return _level; }
+    void setLevel(LogLevel level) { _level = level; }
+
+    /** Redirect output (used by tests); nullptr restores stderr. */
+    void setStream(std::FILE *stream) { _stream = stream; }
+    std::FILE *stream() const { return _stream ? _stream : stderr; }
+
+  private:
+    Logger() = default;
+
+    LogLevel _level = LogLevel::Warn;
+    std::FILE *_stream = nullptr;
+};
+
+namespace detail
+{
+/** Formats and prints one log line with the given prefix. */
+void logLine(LogLevel level, const char *prefix, const char *fmt,
+             va_list args);
+} // namespace detail
+
+/** Informational status message; shown at LogLevel::Inform and above. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Warning about suspicious but non-fatal behaviour. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Debug-level trace message. */
+void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Unrecoverable *user* error (bad config, bad input file). Prints the
+ * message and exits with status 1.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Unrecoverable *internal* error (a simulator bug). Prints the message
+ * and aborts so a core dump / debugger can be used.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** panic() unless `cond` holds; message describes the broken invariant. */
+#define HYPERSIO_ASSERT(cond, fmt, ...)                                     \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::hypersio::panic("assertion '%s' failed at %s:%d: " fmt,       \
+                              #cond, __FILE__, __LINE__,                    \
+                              ##__VA_ARGS__);                               \
+        }                                                                   \
+    } while (0)
+
+} // namespace hypersio
+
+#endif // HYPERSIO_UTIL_LOGGING_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * All randomness in HyperSIO must be reproducible from a seed so that
+ * traces and simulation results are deterministic across runs. We use
+ * SplitMix64 for hashing/seeding and xoshiro256** as the main stream
+ * generator (both public-domain algorithms by Blackman & Vigna).
+ */
+
+#ifndef HYPERSIO_UTIL_RNG_HH
+#define HYPERSIO_UTIL_RNG_HH
+
+#include <cstdint>
+
+namespace hypersio
+{
+
+/**
+ * One SplitMix64 step: maps an arbitrary 64-bit value to a well-mixed
+ * 64-bit value. Useful as a stateless hash and for seeding.
+ */
+constexpr uint64_t
+splitmix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Mixes two 64-bit values into one (order-sensitive). */
+constexpr uint64_t
+hashCombine(uint64_t a, uint64_t b)
+{
+    return splitmix64(a ^ splitmix64(b));
+}
+
+/**
+ * xoshiro256** generator. Small, fast, and good statistical quality;
+ * plenty for workload synthesis and replacement-policy randomness.
+ */
+class Rng
+{
+  public:
+    /** Seeds the four state words via SplitMix64 expansion of `seed`. */
+    explicit Rng(uint64_t seed = 0x185706b82c2e03f8ULL)
+    {
+        uint64_t sm = seed;
+        for (auto &word : _state) {
+            sm = splitmix64(sm);
+            word = sm;
+        }
+    }
+
+    /** Next raw 64-bit output. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(_state[1] * 5, 7) * 9;
+        const uint64_t t = _state[1] << 17;
+
+        _state[2] ^= _state[0];
+        _state[3] ^= _state[1];
+        _state[1] ^= _state[2];
+        _state[0] ^= _state[3];
+        _state[2] ^= t;
+        _state[3] = rotl(_state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound == 0 returns 0. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        if (bound == 0)
+            return 0;
+        // Rejection sampling to avoid modulo bias.
+        const uint64_t threshold = -bound % bound;
+        for (;;) {
+            uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    uint64_t
+    range(uint64_t lo, uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli draw with probability `p` of returning true. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static constexpr uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t _state[4];
+};
+
+} // namespace hypersio
+
+#endif // HYPERSIO_UTIL_RNG_HH

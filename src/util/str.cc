@@ -1,0 +1,120 @@
+#include "util/str.hh"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hypersio
+{
+
+std::vector<std::string>
+split(std::string_view text, char sep)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    for (size_t i = 0; i <= text.size(); ++i) {
+        if (i == text.size() || text[i] == sep) {
+            out.emplace_back(text.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+std::string_view
+trim(std::string_view text)
+{
+    size_t begin = 0;
+    size_t end = text.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(
+                              text[begin]))) {
+        ++begin;
+    }
+    while (end > begin && std::isspace(static_cast<unsigned char>(
+                              text[end - 1]))) {
+        --end;
+    }
+    return text.substr(begin, end - begin);
+}
+
+bool
+parseU64(std::string_view text, uint64_t &out)
+{
+    text = trim(text);
+    if (text.empty())
+        return false;
+
+    uint64_t multiplier = 1;
+    char suffix = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(text.back())));
+    if (suffix == 'k' || suffix == 'm' || suffix == 'g') {
+        multiplier = suffix == 'k'   ? (uint64_t(1) << 10)
+                     : suffix == 'm' ? (uint64_t(1) << 20)
+                                     : (uint64_t(1) << 30);
+        text.remove_suffix(1);
+        if (text.empty())
+            return false;
+    }
+
+    std::string buf(text);
+    char *end = nullptr;
+    errno = 0;
+    uint64_t value = std::strtoull(buf.c_str(), &end, 0);
+    if (errno != 0 || end == buf.c_str() || *end != '\0')
+        return false;
+    out = value * multiplier;
+    return true;
+}
+
+bool
+parseDouble(std::string_view text, double &out)
+{
+    std::string buf(trim(text));
+    if (buf.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    double value = std::strtod(buf.c_str(), &end);
+    if (errno != 0 || end == buf.c_str() || *end != '\0')
+        return false;
+    out = value;
+    return true;
+}
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list copy;
+    va_copy(copy, args);
+    int len = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+
+    std::string out;
+    if (len > 0) {
+        out.resize(static_cast<size_t>(len));
+        std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+    }
+    va_end(args);
+    return out;
+}
+
+std::string
+formatBytes(uint64_t bytes)
+{
+    static const char *suffixes[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    int idx = 0;
+    double value = static_cast<double>(bytes);
+    while (value >= 1024.0 && idx < 4) {
+        value /= 1024.0;
+        ++idx;
+    }
+    if (idx == 0)
+        return strprintf("%llu%s", (unsigned long long)bytes,
+                         suffixes[idx]);
+    return strprintf("%.1f%s", value, suffixes[idx]);
+}
+
+} // namespace hypersio

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Small string utilities: splitting, trimming, and number parsing used
+ * by the command-line and config-file front ends.
+ */
+
+#ifndef HYPERSIO_UTIL_STR_HH
+#define HYPERSIO_UTIL_STR_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hypersio
+{
+
+/** Splits `text` at every occurrence of `sep`; keeps empty fields. */
+std::vector<std::string> split(std::string_view text, char sep);
+
+/** Removes leading and trailing whitespace. */
+std::string_view trim(std::string_view text);
+
+/**
+ * Parses an unsigned integer, accepting decimal, 0x-hex, and the
+ * suffixes k/m/g (powers of 1024). Returns false on malformed input.
+ */
+bool parseU64(std::string_view text, uint64_t &out);
+
+/** Parses a double. Returns false on malformed input. */
+bool parseDouble(std::string_view text, double &out);
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Formats a byte count with a human-readable suffix (e.g. "2MiB"). */
+std::string formatBytes(uint64_t bytes);
+
+} // namespace hypersio
+
+#endif // HYPERSIO_UTIL_STR_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Simulation time base and unit helpers.
+ *
+ * The simulator counts time in integer picoseconds (`Tick`), which
+ * represents the 61.68 ns packet inter-arrival time of a 200 Gb/s link
+ * exactly enough (61680 ps) while keeping event ordering integral.
+ */
+
+#ifndef HYPERSIO_UTIL_UNITS_HH
+#define HYPERSIO_UTIL_UNITS_HH
+
+#include <cstdint>
+
+namespace hypersio
+{
+
+/** Simulated time in picoseconds. */
+using Tick = uint64_t;
+
+/** Sentinel for "no tick / never". */
+constexpr Tick MaxTick = ~Tick(0);
+
+constexpr Tick TicksPerPs = 1;
+constexpr Tick TicksPerNs = 1000;
+constexpr Tick TicksPerUs = 1000 * TicksPerNs;
+constexpr Tick TicksPerMs = 1000 * TicksPerUs;
+constexpr Tick TicksPerSec = 1000 * TicksPerMs;
+
+/** Converts nanoseconds to ticks. */
+constexpr Tick
+nsToTicks(double ns)
+{
+    return static_cast<Tick>(ns * TicksPerNs);
+}
+
+/** Converts ticks to (fractional) nanoseconds. */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) / TicksPerNs;
+}
+
+/** Converts ticks to (fractional) seconds. */
+constexpr double
+ticksToSec(Tick t)
+{
+    return static_cast<double>(t) / TicksPerSec;
+}
+
+/**
+ * Time to serialize `bytes` at `gbps` gigabits per second, in ticks.
+ * E.g. packetTime(1542, 200.0) == 61680 ps.
+ */
+constexpr Tick
+serializationTicks(uint64_t bytes, double gbps)
+{
+    // bits / (Gb/s) = ns; * 1000 = ps.
+    return static_cast<Tick>(static_cast<double>(bytes) * 8.0 / gbps *
+                             TicksPerNs);
+}
+
+/** Achieved bandwidth in Gb/s for `bytes` transferred over `elapsed`. */
+constexpr double
+achievedGbps(uint64_t bytes, Tick elapsed)
+{
+    if (elapsed == 0)
+        return 0.0;
+    return static_cast<double>(bytes) * 8.0 /
+           static_cast<double>(elapsed) * TicksPerNs;
+}
+
+} // namespace hypersio
+
+#endif // HYPERSIO_UTIL_UNITS_HH

@@ -1,0 +1,285 @@
+#include "workload/tenant_model.hh"
+
+#include <algorithm>
+#include <deque>
+#include <list>
+#include <unordered_map>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace hypersio::workload
+{
+
+TenantLogGenerator::TenantLogGenerator(const TenantPattern &pattern,
+                                       uint64_t seed)
+    : _pattern(pattern), _seed(seed)
+{
+    HYPERSIO_ASSERT(pattern.streams >= 1, "need at least one stream");
+    HYPERSIO_ASSERT(pattern.numDataPages >= pattern.streams,
+                    "fewer data pages than streams");
+}
+
+namespace
+{
+
+/** State of one connection stream walking the data-buffer ring. */
+struct StreamState
+{
+    unsigned currentPage = 0;   ///< index into the tenant's page ring
+    unsigned accessesLeft = 0;  ///< before advancing to the next page
+    uint64_t offset = 0;        ///< byte offset within the page
+};
+
+} // namespace
+
+trace::TenantLog
+TenantLogGenerator::generate(trace::SourceId sid, uint64_t num_packets,
+                             bool include_init) const
+{
+    const TenantPattern &p = _pattern;
+    trace::TenantLog log;
+    log.sid = sid;
+    log.packets.reserve(num_packets);
+
+    // All randomness is tenant-local and deterministic.
+    Rng rng(hashCombine(_seed, hashCombine(0x7e4a37, sid)));
+
+    const mem::PageSize data_size = p.hugeDataPages
+                                        ? mem::PageSize::Size2M
+                                        : mem::PageSize::Size4K;
+    const uint64_t data_page_bytes = mem::pageBytes(data_size);
+
+    auto data_page_iova = [&](unsigned idx) {
+        return p.dataBase + static_cast<uint64_t>(idx) *
+                                data_page_bytes;
+    };
+
+    // Pending ops to attach to the next emitted packet.
+    std::vector<trace::PageOp> pending_ops;
+    auto map_page = [&](mem::Iova base, mem::PageSize size) {
+        pending_ops.push_back({base, size, true});
+    };
+    auto unmap_page = [&](mem::Iova base, mem::PageSize size) {
+        pending_ops.push_back({base, size, false});
+    };
+
+    uint64_t ring_cursor = 0;
+    unsigned current_pasid = 0;
+    auto emit_packet = [&](mem::Iova data_iova, bool huge) {
+        trace::PacketRecord pkt;
+        pkt.sid = sid;
+        pkt.pasid = static_cast<uint16_t>(current_pasid);
+        if (p.smallPacketBytes > 0 &&
+            rng.chance(p.smallPacketProb)) {
+            pkt.wireBytes = p.smallPacketBytes;
+        }
+        pkt.opBegin = static_cast<uint32_t>(log.ops.size());
+        pkt.opCount = static_cast<uint16_t>(pending_ops.size());
+        for (const auto &op : pending_ops)
+            log.ops.push_back(op);
+        pending_ops.clear();
+        pkt.dataHuge = huge;
+        // Ring descriptors cycle through the lower half of the
+        // control page; the mailbox sits in its upper 256 bytes.
+        pkt.ringIova =
+            p.ringPage + (ring_cursor * p.descriptorBytes) %
+                             (mem::PageSize4K / 2);
+        pkt.dataIova = data_iova;
+        pkt.notifyIova = p.mailboxPage + mem::PageSize4K - 256 +
+                         (sid % 64) * 4;
+        ++ring_cursor;
+        log.packets.push_back(pkt);
+    };
+
+    // Fixed hot pages are mapped up front by the driver.
+    map_page(p.ringPage, mem::PageSize::Size4K);
+    map_page(p.mailboxPage, mem::PageSize::Size4K);
+
+    uint64_t emitted = 0;
+
+    // --- Initialisation phase (group 3) ---------------------------
+    if (include_init) {
+        for (unsigned page = 0;
+             page < p.numInitPages && emitted < num_packets; ++page) {
+            const mem::Iova base =
+                p.initBase + static_cast<uint64_t>(page) *
+                                 mem::PageSize4K;
+            map_page(base, mem::PageSize::Size4K);
+            // Slightly varied access count, always < 100.
+            const unsigned accesses =
+                p.accessesPerInitPage == 0
+                    ? 0
+                    : static_cast<unsigned>(rng.range(
+                          p.accessesPerInitPage / 2,
+                          p.accessesPerInitPage));
+            for (unsigned a = 0;
+                 a < accesses && emitted < num_packets; ++a) {
+                emit_packet(base + (a * 64) % mem::PageSize4K, false);
+                ++emitted;
+            }
+        }
+    }
+
+    // --- Steady state (groups 1 + 2) ------------------------------
+    // Buffer pages stay mapped until the ring wraps around and the
+    // driver recycles them: the unmap/remap pair lands just before
+    // reuse, which invalidates stale cached translations exactly
+    // once per ring cycle (~accessesPerDataPage accesses, Fig. 8b).
+    std::vector<StreamState> streams(p.streams);
+    std::vector<bool> page_mapped(p.numDataPages, false);
+    unsigned next_free_page = 0;
+    auto assign_page = [&](StreamState &st) {
+        st.currentPage = next_free_page;
+        next_free_page = (next_free_page + 1) % p.numDataPages;
+        st.accessesLeft = p.accessesPerDataPage;
+        st.offset = 0;
+        const mem::Iova iova = data_page_iova(st.currentPage);
+        if (page_mapped[st.currentPage])
+            unmap_page(iova, data_size); // recycle: invalidate
+        map_page(iova, data_size);
+        page_mapped[st.currentPage] = true;
+    };
+    for (auto &st : streams)
+        assign_page(st);
+
+    unsigned rr_stream = 0;
+    while (emitted < num_packets) {
+        // Pick the stream for this packet.
+        unsigned s;
+        if (p.randomStreamOrder) {
+            s = static_cast<unsigned>(rng.below(p.streams));
+        } else {
+            s = rr_stream;
+            rr_stream = (rr_stream + 1) % p.streams;
+        }
+        StreamState &st = streams[s];
+        current_pasid = p.processesPerTenant > 1
+                            ? s % p.processesPerTenant
+                            : 0;
+
+        mem::Iova data_iova;
+        if (p.jitterProb > 0.0 && rng.chance(p.jitterProb)) {
+            // Irregular access: revisit a random still-mapped buffer
+            // page at a random offset (e.g. a retransmission or an
+            // out-of-order completion).
+            unsigned page =
+                static_cast<unsigned>(rng.below(p.numDataPages));
+            while (!page_mapped[page])
+                page = (page + 1) % p.numDataPages;
+            data_iova = data_page_iova(page) +
+                        rng.below(data_page_bytes / 64) * 64;
+        } else {
+            data_iova = data_page_iova(st.currentPage) + st.offset;
+            st.offset += p.bytesPerPacket;
+            if (st.offset + p.bytesPerPacket > data_page_bytes)
+                st.offset = 0;
+            if (--st.accessesLeft == 0)
+                assign_page(st); // advance to the next ring slot
+        }
+        emit_packet(data_iova, p.hugeDataPages);
+        ++emitted;
+    }
+
+    return log;
+}
+
+size_t
+PageAccessStats::pagesAbove(uint64_t threshold) const
+{
+    size_t n = 0;
+    for (const auto &pc : pages)
+        n += pc.count >= threshold ? 1 : 0;
+    return n;
+}
+
+PageAccessStats
+analyzeLog(const trace::TenantLog &log)
+{
+    struct Info
+    {
+        mem::PageSize size;
+        uint64_t count;
+    };
+    std::unordered_map<mem::Iova, Info> counts;
+
+    auto note = [&](mem::Iova iova, mem::PageSize size) {
+        const mem::Addr base = mem::pageBase(iova, size);
+        auto [it, inserted] = counts.try_emplace(base, Info{size, 0});
+        ++it->second.count;
+        (void)inserted;
+    };
+
+    for (const auto &pkt : log.packets) {
+        note(pkt.ringIova, mem::PageSize::Size4K);
+        note(pkt.dataIova, pkt.dataHuge ? mem::PageSize::Size2M
+                                        : mem::PageSize::Size4K);
+        note(pkt.notifyIova, mem::PageSize::Size4K);
+    }
+
+    PageAccessStats stats;
+    stats.pages.reserve(counts.size());
+    for (const auto &[page, info] : counts)
+        stats.pages.push_back({page, info.size, info.count});
+    std::sort(stats.pages.begin(), stats.pages.end(),
+              [](const auto &a, const auto &b) {
+                  return a.count > b.count;
+              });
+    return stats;
+}
+
+unsigned
+activeTranslationSet(const trace::TenantLog &log,
+                     double target_hit_rate, unsigned max_entries)
+{
+    // Simulate a fully-associative LRU TLB of growing size over the
+    // steady-state portion (skip the init phase: first packets whose
+    // data accesses fall in the init region are warmup).
+    std::vector<mem::Iova> seq;
+    seq.reserve(log.packets.size() * 3);
+    for (const auto &pkt : log.packets) {
+        seq.push_back(mem::pageBase(pkt.ringIova,
+                                    mem::PageSize::Size4K));
+        seq.push_back(mem::pageBase(
+            pkt.dataIova, pkt.dataHuge ? mem::PageSize::Size2M
+                                       : mem::PageSize::Size4K));
+        seq.push_back(mem::pageBase(pkt.notifyIova,
+                                    mem::PageSize::Size4K));
+    }
+
+    for (unsigned entries = 1; entries <= max_entries; ++entries) {
+        std::list<mem::Iova> lru;
+        std::unordered_map<mem::Iova,
+                           std::list<mem::Iova>::iterator>
+            where;
+        uint64_t hits = 0;
+        uint64_t lookups = 0;
+        for (mem::Iova page : seq) {
+            ++lookups;
+            auto it = where.find(page);
+            if (it != where.end()) {
+                ++hits;
+                lru.splice(lru.begin(), lru, it->second);
+            } else {
+                lru.push_front(page);
+                where[page] = lru.begin();
+                if (lru.size() > entries) {
+                    where.erase(lru.back());
+                    lru.pop_back();
+                }
+            }
+        }
+        // Ignore cold misses: compare against compulsory-only rate.
+        const uint64_t compulsory = where.size();
+        const double hit_rate =
+            lookups == 0
+                ? 1.0
+                : static_cast<double>(hits) /
+                      static_cast<double>(lookups - compulsory);
+        if (hit_rate >= target_hit_rate)
+            return entries;
+    }
+    return max_entries;
+}
+
+} // namespace hypersio::workload

@@ -1,0 +1,264 @@
+/** Unit tests for the set-associative cache: geometry, partitioning,
+ *  hashed indexing, eviction, invalidation, and statistics. */
+
+#include <gtest/gtest.h>
+
+#include "cache/set_assoc_cache.hh"
+
+namespace hypersio::cache
+{
+namespace
+{
+
+CacheConfig
+smallConfig()
+{
+    // 16 entries, 2-way, 8 sets, LRU.
+    return {16, 2, 1, ReplPolicyKind::LRU, 1};
+}
+
+TEST(SetAssocCache, MissThenHit)
+{
+    SetAssocCache<int> cache(smallConfig());
+    EXPECT_EQ(cache.lookup(100, 0), nullptr);
+    cache.insert(100, 0, 7);
+    int *v = cache.lookup(100, 0);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, 7);
+    EXPECT_EQ(cache.stats().lookups, 2u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(SetAssocCache, InsertUpdatesInPlace)
+{
+    SetAssocCache<int> cache(smallConfig());
+    cache.insert(1, 0, 10);
+    cache.insert(1, 0, 20);
+    EXPECT_EQ(*cache.lookup(1, 0), 20);
+    EXPECT_EQ(cache.stats().insertions, 1u); // update is not an insert
+    EXPECT_EQ(cache.occupancy(), 1u);
+}
+
+TEST(SetAssocCache, EvictionWhenSetFull)
+{
+    SetAssocCache<int> cache(smallConfig()); // 2-way
+    // Three keys mapping to the same set (index % 8 == 0).
+    cache.insert(100, 0, 1);
+    cache.insert(200, 8, 2);
+    auto evicted = cache.insert(300, 16, 3);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->key, 100u); // LRU victim
+    EXPECT_EQ(evicted->value, 1);
+    EXPECT_EQ(cache.lookup(100, 0), nullptr);
+    EXPECT_NE(cache.lookup(200, 8), nullptr);
+    EXPECT_NE(cache.lookup(300, 16), nullptr);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(SetAssocCache, DifferentSetsDoNotConflict)
+{
+    SetAssocCache<int> cache(smallConfig());
+    for (uint64_t i = 0; i < 8; ++i)
+        cache.insert(1000 + i, i, static_cast<int>(i));
+    EXPECT_EQ(cache.stats().evictions, 0u);
+    EXPECT_EQ(cache.occupancy(), 8u);
+}
+
+TEST(SetAssocCache, InvalidateRemovesEntry)
+{
+    SetAssocCache<int> cache(smallConfig());
+    cache.insert(5, 5, 50);
+    EXPECT_TRUE(cache.invalidate(5, 5));
+    EXPECT_FALSE(cache.invalidate(5, 5));
+    EXPECT_EQ(cache.lookup(5, 5), nullptr);
+    EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST(SetAssocCache, FlushEmptiesEverything)
+{
+    SetAssocCache<int> cache(smallConfig());
+    for (uint64_t i = 0; i < 16; ++i)
+        cache.insert(i, i, 1);
+    EXPECT_GT(cache.occupancy(), 0u);
+    cache.flush();
+    EXPECT_EQ(cache.occupancy(), 0u);
+    for (uint64_t i = 0; i < 16; ++i)
+        EXPECT_EQ(cache.peek(i, i), nullptr);
+}
+
+TEST(SetAssocCache, PeekHasNoSideEffects)
+{
+    SetAssocCache<int> cache(smallConfig());
+    cache.insert(9, 1, 90);
+    const auto before = cache.stats().lookups;
+    EXPECT_NE(cache.peek(9, 1), nullptr);
+    EXPECT_EQ(cache.peek(10, 1), nullptr);
+    EXPECT_EQ(cache.stats().lookups, before);
+}
+
+TEST(SetAssocCache, FullyAssociativeMode)
+{
+    CacheConfig config{8, 8, 1, ReplPolicyKind::LRU, 1};
+    SetAssocCache<int> cache(config);
+    EXPECT_EQ(cache.numSets(), 1u);
+    // All keys share the one set regardless of index.
+    for (uint64_t i = 0; i < 8; ++i)
+        cache.insert(i, i * 1000, 1);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+    cache.insert(99, 123456, 1);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(SetAssocCache, PartitionIsolation)
+{
+    // 4 partitions of 2 sets each; same index, different partitions
+    // never evict each other.
+    CacheConfig config{16, 2, 4, ReplPolicyKind::LRU, 1};
+    SetAssocCache<int> cache(config);
+    // Fill partition 0's set for index 0 to capacity.
+    cache.insert(1, 0, 1, 0);
+    cache.insert(2, 0, 2, 0);
+    // Insert into partition 1 with the same index.
+    cache.insert(3, 0, 3, 1);
+    // Partition 0 entries must survive.
+    EXPECT_NE(cache.lookup(1, 0, 0), nullptr);
+    EXPECT_NE(cache.lookup(2, 0, 0), nullptr);
+    EXPECT_NE(cache.lookup(3, 0, 1), nullptr);
+    // A third key in partition 0 evicts only within partition 0.
+    cache.insert(4, 0, 4, 0);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_NE(cache.lookup(3, 0, 1), nullptr);
+}
+
+TEST(SetAssocCache, PartitionIdWrapsAroundModulo)
+{
+    CacheConfig config{16, 2, 4, ReplPolicyKind::LRU, 1};
+    SetAssocCache<int> cache(config);
+    cache.insert(1, 0, 1, 1);
+    // Partition 5 maps to partition 1 (5 % 4).
+    EXPECT_NE(cache.lookup(1, 0, 5), nullptr);
+}
+
+TEST(SetAssocCache, SetIndexComputation)
+{
+    CacheConfig config{64, 8, 4, ReplPolicyKind::LRU, 1};
+    SetAssocCache<int> cache(config);
+    // 8 sets, 4 partitions → 2 sets per partition.
+    EXPECT_EQ(cache.setIndex(0, 0), 0u);
+    EXPECT_EQ(cache.setIndex(1, 0), 1u);
+    EXPECT_EQ(cache.setIndex(2, 0), 0u); // wraps inside partition
+    EXPECT_EQ(cache.setIndex(0, 1), 2u);
+    EXPECT_EQ(cache.setIndex(1, 3), 7u);
+}
+
+TEST(SetAssocCache, HashedIndexSpreadsSameIndexKeys)
+{
+    // With plain indexing, keys sharing an index collide in one set;
+    // with hashed indexing they spread across sets.
+    CacheConfig plain{64, 2, 1, ReplPolicyKind::LRU, 1, false};
+    CacheConfig hashed{64, 2, 1, ReplPolicyKind::LRU, 1, true};
+    SetAssocCache<int> a(plain);
+    SetAssocCache<int> b(hashed);
+    for (uint64_t t = 0; t < 16; ++t) {
+        const uint64_t key = (t << 40) | 0x34800; // same page
+        a.insert(key, 0x34800, 1);
+        b.insert(key, 0x34800, 1);
+    }
+    // Plain: all 16 in one 2-way set → 14 evictions.
+    EXPECT_EQ(a.stats().evictions, 14u);
+    // Hashed: spread over 32 sets → few or no evictions.
+    EXPECT_LT(b.stats().evictions, 4u);
+}
+
+TEST(SetAssocCache, ForEachVisitsAllValidEntries)
+{
+    SetAssocCache<int> cache(smallConfig());
+    cache.insert(1, 1, 10);
+    cache.insert(2, 2, 20);
+    cache.insert(3, 3, 30);
+    cache.invalidate(2, 2);
+    int sum = 0;
+    size_t count = 0;
+    cache.forEach([&](uint64_t, const int &v, size_t, size_t) {
+        sum += v;
+        ++count;
+    });
+    EXPECT_EQ(count, 2u);
+    EXPECT_EQ(sum, 40);
+}
+
+TEST(SetAssocCache, ResetStatsKeepsContents)
+{
+    SetAssocCache<int> cache(smallConfig());
+    cache.insert(1, 1, 10);
+    cache.lookup(1, 1);
+    cache.resetStats();
+    EXPECT_EQ(cache.stats().lookups, 0u);
+    EXPECT_NE(cache.lookup(1, 1), nullptr);
+}
+
+TEST(CacheStats, MissRateArithmetic)
+{
+    CacheStats stats;
+    EXPECT_DOUBLE_EQ(stats.missRate(), 0.0);
+    stats.lookups = 10;
+    stats.hits = 7;
+    EXPECT_EQ(stats.misses(), 3u);
+    EXPECT_DOUBLE_EQ(stats.missRate(), 0.3);
+}
+
+/** Geometry sweep: inserts never exceed capacity, lookups find what
+ *  fits, and occupancy is bounded for every (entries, ways) shape. */
+class CacheGeometryTest
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>>
+{};
+
+TEST_P(CacheGeometryTest, OccupancyNeverExceedsCapacity)
+{
+    const auto [entries, ways] = GetParam();
+    CacheConfig config{entries, ways, 1, ReplPolicyKind::LRU, 1};
+    SetAssocCache<int> cache(config);
+    for (uint64_t i = 0; i < entries * 4; ++i)
+        cache.insert(i, i * 2654435761u, 1);
+    EXPECT_LE(cache.occupancy(), entries);
+    const auto &s = cache.stats();
+    EXPECT_EQ(s.insertions, entries * 4);
+    EXPECT_EQ(s.insertions - s.evictions, cache.occupancy());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CacheGeometryTest,
+    ::testing::Values(std::pair<size_t, size_t>{8, 1},
+                      std::pair<size_t, size_t>{8, 8},
+                      std::pair<size_t, size_t>{64, 8},
+                      std::pair<size_t, size_t>{64, 2},
+                      std::pair<size_t, size_t>{1024, 16},
+                      std::pair<size_t, size_t>{512, 16}));
+
+/** Partition sweep: entries inserted via one partition are never
+ *  evicted by traffic in other partitions. */
+class PartitionIsolationTest : public ::testing::TestWithParam<size_t>
+{};
+
+TEST_P(PartitionIsolationTest, CrossPartitionTrafficCannotEvict)
+{
+    const size_t partitions = GetParam();
+    CacheConfig config{64, 8, partitions, ReplPolicyKind::LRU, 1};
+    SetAssocCache<int> cache(config);
+
+    // Pin one entry in partition 0.
+    cache.insert(0xAAAA, 0, 1, 0);
+
+    // Blast every other partition with conflicting traffic.
+    for (uint32_t p = 1; p < partitions; ++p)
+        for (uint64_t i = 0; i < 100; ++i)
+            cache.insert((uint64_t(p) << 32) | i, i, 2, p);
+
+    EXPECT_NE(cache.lookup(0xAAAA, 0, 0), nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitions, PartitionIsolationTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+} // namespace
+} // namespace hypersio::cache

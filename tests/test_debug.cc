@@ -1,0 +1,103 @@
+/** Tests for the debug-flag tracing facility. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "util/debug.hh"
+#include "util/logging.hh"
+
+namespace hypersio::debug
+{
+namespace
+{
+
+class DebugTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { disableAll(); }
+};
+
+TEST_F(DebugTest, FlagsRegisterAndList)
+{
+    Flag flag("TestFlagA", "a test flag");
+    const auto flags = listFlags();
+    bool found = false;
+    for (const auto &[name, desc] : flags) {
+        if (name == "TestFlagA") {
+            found = true;
+            EXPECT_EQ(desc, "a test flag");
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST_F(DebugTest, FlagsUnregisterOnDestruction)
+{
+    {
+        Flag flag("TestFlagB", "scoped");
+        EXPECT_EQ(listFlags().size(),
+                  listFlags().size()); // registered while alive
+    }
+    for (const auto &[name, desc] : listFlags())
+        EXPECT_NE(name, "TestFlagB");
+}
+
+TEST_F(DebugTest, EnableByName)
+{
+    Flag a("TestFlagC", "");
+    Flag b("TestFlagD", "");
+    EXPECT_FALSE(a.enabled());
+    enable("TestFlagC");
+    EXPECT_TRUE(a.enabled());
+    EXPECT_FALSE(b.enabled());
+}
+
+TEST_F(DebugTest, EnableCommaSeparatedList)
+{
+    Flag a("TestFlagE", "");
+    Flag b("TestFlagF", "");
+    enable("TestFlagE, TestFlagF");
+    EXPECT_TRUE(a.enabled());
+    EXPECT_TRUE(b.enabled());
+}
+
+TEST_F(DebugTest, EnableAll)
+{
+    Flag a("TestFlagG", "");
+    enable("All");
+    EXPECT_TRUE(a.enabled());
+    EXPECT_TRUE(anyEnabled());
+    disableAll();
+    EXPECT_FALSE(anyEnabled());
+}
+
+TEST_F(DebugTest, DprintfRespectsEnable)
+{
+    Flag flag("TestFlagH", "");
+
+    // Redirect the logger to a temp file and check output.
+    std::FILE *tmp = std::tmpfile();
+    ASSERT_NE(tmp, nullptr);
+    Logger::instance().setStream(tmp);
+
+    dprintf(flag, 100, "hidden %d", 1);
+    flag.setEnabled(true);
+    dprintf(flag, 200, "visible %d", 2);
+
+    std::fflush(tmp);
+    std::rewind(tmp);
+    char buffer[256] = {};
+    const size_t n = std::fread(buffer, 1, sizeof(buffer) - 1, tmp);
+    Logger::instance().setStream(nullptr);
+    std::fclose(tmp);
+
+    const std::string text(buffer, n);
+    EXPECT_EQ(text.find("hidden"), std::string::npos);
+    EXPECT_NE(text.find("visible 2"), std::string::npos);
+    EXPECT_NE(text.find("200"), std::string::npos);
+    EXPECT_NE(text.find("TestFlagH"), std::string::npos);
+}
+
+} // namespace
+} // namespace hypersio::debug

@@ -1,0 +1,264 @@
+/** Unit tests for the device model: the serialized translation chain
+ *  of a packet, DevTLB fills, prefetch triggering, and invalidation. */
+
+#include <gtest/gtest.h>
+
+#include "core/device.hh"
+
+namespace hypersio::core
+{
+namespace
+{
+
+struct Fixture
+{
+    sim::EventQueue queue;
+    stats::StatGroup stats{"test"};
+
+    struct Request
+    {
+        mem::DomainId did;
+        mem::Iova iova;
+        mem::PageSize size;
+        DevicePorts::ResponseFn done;
+    };
+    std::vector<Request> requests;
+    std::vector<mem::DomainId> prefetches;
+
+    DevicePorts
+    ports(Tick latency = 0)
+    {
+        DevicePorts p;
+        p.translate = [this, latency](mem::DomainId did,
+                                      mem::Iova iova,
+                                      mem::PageSize size,
+                                      DevicePorts::ResponseFn done) {
+            if (latency == 0) {
+                requests.push_back(
+                    {did, iova, size, std::move(done)});
+            } else {
+                queue.scheduleAfter(
+                    latency, [this, did, iova, size,
+                              done = std::move(done)]() mutable {
+                        iommu::IommuResponse resp;
+                        resp.valid = true;
+                        resp.hostAddr = 0xABC000 + iova;
+                        done(resp);
+                    });
+            }
+        };
+        p.prefetch = [this](mem::DomainId did) {
+            prefetches.push_back(did);
+        };
+        return p;
+    }
+
+    void
+    respondAll()
+    {
+        // Responses may issue follow-up requests synchronously, so
+        // drain a snapshot and keep the new arrivals.
+        std::vector<Request> batch;
+        batch.swap(requests);
+        for (auto &req : batch) {
+            iommu::IommuResponse resp;
+            resp.valid = true;
+            resp.hostAddr = 0xABC000;
+            req.done(resp);
+        }
+    }
+};
+
+trace::PacketRecord
+packet(trace::SourceId sid, mem::Iova data = 0xbbe00000)
+{
+    trace::PacketRecord pkt;
+    pkt.sid = sid;
+    pkt.ringIova = 0x34800000;
+    pkt.dataIova = data;
+    pkt.notifyIova = 0x34800f00;
+    pkt.dataHuge = true;
+    return pkt;
+}
+
+DeviceConfig
+deviceConfig(bool prefetch = false)
+{
+    DeviceConfig config;
+    config.ptbEntries = 4;
+    config.devtlb = {64, 8, 1, cache::ReplPolicyKind::LRU, 7};
+    config.prefetch.enabled = prefetch;
+    config.prefetch.historyLength = 2;
+    config.prefetch.bufferEntries = 8;
+    return config;
+}
+
+TEST(Device, RequestsAreSerializedWithinPacket)
+{
+    Fixture f;
+    Device device(deviceConfig(), f.queue, f.stats, f.ports());
+    bool done = false;
+    device.accept(packet(0), [&] { done = true; });
+    f.queue.run();
+
+    // Only the first (ring) request is outstanding: the data-buffer
+    // address depends on the ring descriptor read.
+    ASSERT_EQ(f.requests.size(), 1u);
+    EXPECT_EQ(f.requests[0].iova, 0x34800000u);
+    f.respondAll();
+    f.queue.run();
+    ASSERT_EQ(f.requests.size(), 1u); // now the data request
+    EXPECT_EQ(f.requests[0].iova, 0xbbe00000u);
+    EXPECT_EQ(f.requests[0].size, mem::PageSize::Size2M);
+    f.respondAll();
+    f.queue.run();
+    ASSERT_EQ(f.requests.size(), 0u); // notify hits the fresh fill
+    EXPECT_TRUE(done);
+}
+
+TEST(Device, DevtlbFillServesLaterPackets)
+{
+    Fixture f;
+    Device device(deviceConfig(), f.queue, f.stats,
+                  f.ports(100 * TicksPerNs));
+    int completed = 0;
+    device.accept(packet(0), [&] { ++completed; });
+    f.queue.run();
+    EXPECT_EQ(completed, 1);
+    const Tick after_first = f.queue.now();
+
+    // Same pages again: everything hits the DevTLB (2 ns per step).
+    device.accept(packet(0), [&] { ++completed; });
+    f.queue.run();
+    EXPECT_EQ(completed, 2);
+    EXPECT_EQ(f.queue.now() - after_first, 3 * 2 * TicksPerNs);
+}
+
+TEST(Device, PtbFullReportsBeforeAccept)
+{
+    Fixture f;
+    DeviceConfig config = deviceConfig();
+    config.ptbEntries = 1;
+    Device device(config, f.queue, f.stats, f.ports());
+    EXPECT_FALSE(device.ptbFull());
+    device.accept(packet(0), [] {});
+    f.queue.run();
+    EXPECT_TRUE(device.ptbFull()); // ring request outstanding
+    f.respondAll();
+    f.queue.run();
+    f.respondAll(); // data request
+    f.queue.run();
+    EXPECT_FALSE(device.ptbFull());
+}
+
+TEST(Device, InvalidTranslationDoesNotFillDevtlb)
+{
+    Fixture f;
+    Device device(deviceConfig(), f.queue, f.stats, f.ports());
+    device.accept(packet(0), [] {});
+    f.queue.run();
+    ASSERT_EQ(f.requests.size(), 1u);
+    iommu::IommuResponse fault;
+    fault.valid = false;
+    f.requests[0].done(fault);
+    f.requests.clear();
+    f.queue.run();
+    // The packet continues (data request), but the ring page is not
+    // cached: a new packet misses on it again.
+    EXPECT_EQ(device.devtlbStats().hits, 0u);
+}
+
+TEST(Device, PrefetchTriggersOncePerPacket)
+{
+    Fixture f;
+    Device device(deviceConfig(true), f.queue, f.stats, f.ports());
+    // Train the predictor: tenants 0,1,0,1 with history 2 → the
+    // table fills after 3 packets.
+    for (trace::SourceId s : {0u, 1u, 0u}) {
+        device.accept(packet(s), [] {});
+        f.queue.run();
+        f.respondAll();
+        f.queue.run();
+        f.respondAll();
+        f.queue.run();
+    }
+    f.prefetches.clear();
+    // A fresh data buffer forces DevTLB misses on this packet.
+    device.accept(packet(1, 0xcbe00000), [] {});
+    f.queue.run();
+    f.respondAll();
+    f.queue.run();
+    f.respondAll();
+    f.queue.run();
+    // Despite misses in the packet, only one prefetch went out.
+    ASSERT_EQ(f.prefetches.size(), 1u);
+    // Predicted SID (2 packets ahead) arrives as its domain id.
+    EXPECT_EQ(f.prefetches[0],
+              iommu::ContextCache::resolve(1).domain);
+}
+
+TEST(Device, PrefetchFillServesFromPb)
+{
+    Fixture f;
+    Device device(deviceConfig(true), f.queue, f.stats, f.ports());
+    device.prefetchFill(0, 0x34800000, mem::PageSize::Size4K,
+                        0xAA000);
+    device.prefetchFill(0, 0xbbe00000, mem::PageSize::Size2M,
+                        0xBB0000);
+    bool done = false;
+    device.accept(packet(0), [&] { done = true; });
+    f.queue.run();
+    // Ring and data hit the PB; only the notify request goes out
+    // (its ring-page PB entry was consumed by the ring request).
+    ASSERT_EQ(f.requests.size(), 1u);
+    EXPECT_EQ(f.requests[0].iova, 0x34800f00u);
+    EXPECT_EQ(device.pbHits(), 2u);
+    f.respondAll();
+    f.queue.run();
+    EXPECT_TRUE(done);
+}
+
+TEST(Device, InvalidatePageDropsDevtlbAndPb)
+{
+    Fixture f;
+    Device device(deviceConfig(true), f.queue, f.stats,
+                  f.ports(10));
+    int completed = 0;
+    device.accept(packet(0), [&] { ++completed; });
+    f.queue.run();
+    EXPECT_EQ(completed, 1);
+    device.prefetchFill(0, 0xbbe00000, mem::PageSize::Size2M, 0xBB);
+
+    device.invalidatePage(0, 0xbbe00000, mem::PageSize::Size2M);
+    const auto before = device.devtlbStats().hits;
+    device.accept(packet(0), [&] { ++completed; });
+    f.queue.run();
+    EXPECT_EQ(completed, 2);
+    // Ring and notify still hit; the data page had to re-translate.
+    EXPECT_EQ(device.devtlbStats().hits, before + 2);
+    EXPECT_EQ(device.pbHits(), 0u);
+}
+
+TEST(Device, ContextCacheWarmsOnFirstUse)
+{
+    Fixture f;
+    Device device(deviceConfig(), f.queue, f.stats, f.ports(10));
+    device.accept(packet(5), [] {});
+    f.queue.run();
+    EXPECT_EQ(device.contextStats().hits, 2u); // req 2 and 3
+    EXPECT_EQ(device.contextStats().misses(), 1u);
+}
+
+TEST(Device, TranslationCounterCountsAllRequests)
+{
+    Fixture f;
+    Device device(deviceConfig(), f.queue, f.stats, f.ports(10));
+    for (int i = 0; i < 5; ++i) {
+        device.accept(packet(0), [] {});
+        f.queue.run(); // complete before the next accept
+    }
+    EXPECT_EQ(device.translationsIssued(), 15u);
+}
+
+} // namespace
+} // namespace hypersio::core

@@ -1,0 +1,167 @@
+/** Unit tests for the discrete-event simulation kernel. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace hypersio::sim
+{
+namespace
+{
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+    EXPECT_EQ(q.executed(), 3u);
+}
+
+TEST(EventQueue, SameTickOrderedByPriorityThenInsertion)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&] { order.push_back(2); }, DefaultPriority);
+    q.schedule(5, [&] { order.push_back(3); }, LatePriority);
+    q.schedule(5, [&] { order.push_back(1); }, EarlyPriority);
+    q.schedule(5, [&] { order.push_back(21); }, DefaultPriority);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 21, 3}));
+}
+
+TEST(EventQueue, ScheduleAfterIsRelative)
+{
+    EventQueue q;
+    Tick seen = 0;
+    q.schedule(100, [&] {
+        q.scheduleAfter(50, [&] { seen = q.now(); });
+    });
+    q.run();
+    EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue q;
+    int count = 0;
+    std::function<void()> chain = [&] {
+        if (++count < 10)
+            q.scheduleAfter(1, chain);
+    };
+    q.schedule(0, chain);
+    q.run();
+    EXPECT_EQ(count, 10);
+    EXPECT_EQ(q.now(), 9u);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue q;
+    bool ran = false;
+    EventHandle h = q.schedule(10, [&] { ran = true; });
+    EXPECT_TRUE(q.cancel(h));
+    EXPECT_FALSE(q.cancel(h)); // second cancel is a no-op
+    q.run();
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(q.executed(), 0u);
+}
+
+TEST(EventQueue, CancelOneOfMany)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(1, [&] { order.push_back(1); });
+    EventHandle h = q.schedule(2, [&] { order.push_back(2); });
+    q.schedule(3, [&] { order.push_back(3); });
+    q.cancel(h);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, RunWithLimitStopsEarly)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(10, [&] { ++count; });
+    q.schedule(20, [&] { ++count; });
+    q.run(15);
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(q.now(), 15u);
+    q.run();
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, StepExecutesExactlyOne)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(1, [&] { ++count; });
+    q.schedule(2, [&] { ++count; });
+    EXPECT_TRUE(q.step());
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(q.step());
+    EXPECT_FALSE(q.step());
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, PendingTracksLiveEvents)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EventHandle a = q.schedule(1, [] {});
+    q.schedule(2, [] {});
+    EXPECT_EQ(q.pending(), 2u);
+    q.cancel(a);
+    EXPECT_EQ(q.pending(), 1u);
+    q.run();
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ZeroDelaySameTickExecution)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&] {
+        order.push_back(1);
+        q.scheduleAfter(0, [&] { order.push_back(2); });
+    });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(q.now(), 5u);
+}
+
+TEST(EventQueue, ManyEventsStaySorted)
+{
+    EventQueue q;
+    Tick last = 0;
+    bool monotonic = true;
+    // Pseudo-random insertion order.
+    for (uint64_t i = 0; i < 1000; ++i) {
+        Tick when = (i * 7919) % 10007;
+        q.schedule(when, [&, when] {
+            monotonic &= when >= last;
+            last = when;
+        });
+    }
+    q.run();
+    EXPECT_TRUE(monotonic);
+    EXPECT_EQ(q.executed(), 1000u);
+}
+
+TEST(EventHandle, DefaultIsInvalid)
+{
+    EventHandle h;
+    EXPECT_FALSE(h.valid());
+    EventQueue q;
+    EXPECT_FALSE(q.cancel(h));
+}
+
+} // namespace
+} // namespace hypersio::sim

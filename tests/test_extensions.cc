@@ -1,0 +1,335 @@
+/** Tests for the extension features: configuration overrides,
+ *  multi-device systems, and variable packet wire sizes. */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "core/multi_system.hh"
+#include "core/overrides.hh"
+#include "core/system.hh"
+#include "trace/constructor.hh"
+#include "trace/trace_file.hh"
+#include "workload/benchmarks.hh"
+
+namespace hypersio::core
+{
+namespace
+{
+
+TEST(Overrides, NumericKeys)
+{
+    SystemConfig config = SystemConfig::base();
+    applyOverride(config, "link.gbps=100");
+    applyOverride(config, "ptb.entries=16");
+    applyOverride(config, "devtlb.entries=128");
+    applyOverride(config, "pcie.oneway_ns=300");
+    applyOverride(config, "iommu.paging_levels=5");
+    EXPECT_DOUBLE_EQ(config.link.gbps, 100.0);
+    EXPECT_EQ(config.device.ptbEntries, 16u);
+    EXPECT_EQ(config.device.devtlb.entries, 128u);
+    EXPECT_EQ(config.pcieOneWay, 300 * TicksPerNs);
+    EXPECT_EQ(config.iommu.pagingLevels, 5u);
+}
+
+TEST(Overrides, PolicyAndBooleanKeys)
+{
+    SystemConfig config = SystemConfig::base();
+    applyOverride(config, "devtlb.policy=lru");
+    applyOverride(config, "prefetch.enabled=true");
+    applyOverride(config, "iotlb.hashed=off");
+    EXPECT_EQ(config.device.devtlb.policy,
+              cache::ReplPolicyKind::LRU);
+    EXPECT_TRUE(config.device.prefetch.enabled);
+    EXPECT_FALSE(config.iommu.iotlb.hashIndex);
+}
+
+TEST(Overrides, WhitespaceTolerant)
+{
+    SystemConfig config = SystemConfig::base();
+    applyOverride(config, "  seed =  99 ");
+    EXPECT_EQ(config.seed, 99u);
+}
+
+TEST(Overrides, ListAppliesInOrder)
+{
+    SystemConfig config = SystemConfig::base();
+    applyOverrides(config,
+                   {"ptb.entries=8", "ptb.entries=32"});
+    EXPECT_EQ(config.device.ptbEntries, 32u);
+}
+
+TEST(Overrides, SupportedKeysNonEmptyAndUnique)
+{
+    const auto keys = supportedOverrideKeys();
+    EXPECT_GE(keys.size(), 20u);
+    for (size_t i = 0; i < keys.size(); ++i)
+        for (size_t j = i + 1; j < keys.size(); ++j)
+            EXPECT_NE(keys[i], keys[j]);
+}
+
+TEST(Overrides, ConfigFileParsing)
+{
+    const auto path = std::filesystem::temp_directory_path() /
+                      "hypersio_overrides_test.cfg";
+    {
+        std::ofstream out(path);
+        out << "# comment line\n";
+        out << "link.gbps = 400   # trailing comment\n";
+        out << "\n";
+        out << "devtlb.partitions = 8\n";
+    }
+    SystemConfig config = SystemConfig::base();
+    loadConfigFile(config, path.string());
+    std::filesystem::remove(path);
+    EXPECT_DOUBLE_EQ(config.link.gbps, 400.0);
+    EXPECT_EQ(config.device.devtlb.partitions, 8u);
+}
+
+trace::HyperTrace
+smallTrace(unsigned tenants)
+{
+    auto logs = workload::generateLogs(workload::Benchmark::Iperf3,
+                                       tenants, 42, 0.02);
+    return trace::constructTrace(logs,
+                                 trace::parseInterleaving("RR1"));
+}
+
+TEST(MultiSystemTest, SingleDeviceMatchesSystem)
+{
+    const auto tr = smallTrace(8);
+    System single(SystemConfig::hypertrio());
+    MultiSystem multi(SystemConfig::hypertrio(), 1);
+    const RunResults rs = single.run(tr);
+    const MultiRunResults rm = multi.run(tr);
+    EXPECT_EQ(rm.packetsProcessed, rs.packetsProcessed);
+    EXPECT_NEAR(rm.totalGbps, rs.achievedGbps,
+                rs.achievedGbps * 0.01);
+}
+
+TEST(MultiSystemTest, ProcessesAllPacketsAcrossDevices)
+{
+    const auto tr = smallTrace(16);
+    MultiSystem multi(SystemConfig::hypertrio(), 4);
+    const MultiRunResults r = multi.run(tr);
+    EXPECT_EQ(r.packetsProcessed, tr.packets.size());
+    ASSERT_EQ(r.perDeviceGbps.size(), 4u);
+    for (double gbps : r.perDeviceGbps)
+        EXPECT_GT(gbps, 0.0);
+}
+
+TEST(MultiSystemTest, AggregateBandwidthScalesWithDevices)
+{
+    const auto tr = smallTrace(32);
+    MultiSystem one(SystemConfig::hypertrio(), 1);
+    MultiSystem four(SystemConfig::hypertrio(), 4);
+    const double g1 = one.run(tr).totalGbps;
+    const double g4 = four.run(tr).totalGbps;
+    // Four links carry strictly more aggregate traffic.
+    EXPECT_GT(g4, g1 * 2.0);
+}
+
+TEST(MultiSystemTest, UtilizationNormalisedToDeviceCount)
+{
+    const auto tr = smallTrace(16);
+    MultiSystem multi(SystemConfig::hypertrio(), 2);
+    const MultiRunResults r = multi.run(tr);
+    EXPECT_LE(r.utilization, 1.0 + 1e-9);
+    EXPECT_GT(r.utilization, 0.0);
+}
+
+TEST(WireBytes, SmallPacketsShortenArrivalIntervals)
+{
+    workload::TenantPattern pattern =
+        workload::benchmarkProfile(workload::Benchmark::Iperf3)
+            .pattern;
+    pattern.smallPacketBytes = 256;
+    pattern.smallPacketProb = 1.0; // every packet small
+    workload::TenantLogGenerator gen(pattern, 42);
+    std::vector<trace::TenantLog> logs{gen.generate(0, 512)};
+    const auto tr = trace::constructTrace(
+        logs, trace::parseInterleaving("RR1"));
+    for (const auto &pkt : tr.packets)
+        EXPECT_EQ(pkt.wireBytes, 256u);
+
+    // In native mode the run finishes ~6x faster than full-size.
+    System small(SystemConfig::base());
+    const RunResults rs = small.run(tr, /*bypass=*/true);
+
+    std::vector<trace::TenantLog> big_logs{
+        workload::TenantLogGenerator(
+            workload::benchmarkProfile(workload::Benchmark::Iperf3)
+                .pattern,
+            42)
+            .generate(0, 512)};
+    const auto big_tr = trace::constructTrace(
+        big_logs, trace::parseInterleaving("RR1"));
+    System big(SystemConfig::base());
+    const RunResults rb = big.run(big_tr, /*bypass=*/true);
+
+    EXPECT_LT(rs.elapsed, rb.elapsed / 4);
+    // Both still saturate their offered load in native mode.
+    EXPECT_NEAR(rs.utilization, 1.0, 1e-9);
+}
+
+TEST(WireBytes, MixedSizesRoundTripThroughTraceFiles)
+{
+    workload::TenantPattern pattern =
+        workload::benchmarkProfile(workload::Benchmark::Iperf3)
+            .pattern;
+    pattern.smallPacketBytes = 128;
+    pattern.smallPacketProb = 0.5;
+    workload::TenantLogGenerator gen(pattern, 7);
+    std::vector<trace::TenantLog> logs{gen.generate(0, 256)};
+    auto tr =
+        trace::constructTrace(logs, trace::parseInterleaving("RR1"));
+
+    const auto path = std::filesystem::temp_directory_path() /
+                      "hypersio_wirebytes_test.trace";
+    trace::saveTrace(tr, path.string());
+    const auto loaded = trace::loadTrace(path.string());
+    std::filesystem::remove(path);
+
+    ASSERT_EQ(loaded.packets.size(), tr.packets.size());
+    size_t small = 0;
+    for (size_t i = 0; i < loaded.packets.size(); ++i) {
+        EXPECT_EQ(loaded.packets[i].wireBytes,
+                  tr.packets[i].wireBytes);
+        small += loaded.packets[i].wireBytes == 128 ? 1 : 0;
+    }
+    // Roughly half the packets are small.
+    EXPECT_GT(small, loaded.packets.size() / 4);
+    EXPECT_LT(small, loaded.packets.size() * 3 / 4);
+}
+
+TEST(WireBytes, BandwidthAccountsActualBytes)
+{
+    workload::TenantPattern pattern =
+        workload::benchmarkProfile(workload::Benchmark::Iperf3)
+            .pattern;
+    pattern.smallPacketBytes = 256;
+    pattern.smallPacketProb = 1.0;
+    workload::TenantLogGenerator gen(pattern, 42);
+    std::vector<trace::TenantLog> logs{gen.generate(0, 256)};
+    const auto tr = trace::constructTrace(
+        logs, trace::parseInterleaving("RR1"));
+    System system(SystemConfig::hypertrio());
+    const RunResults r = system.run(tr);
+    // 256 packets x 256 B = 64 KiB: bandwidth must reflect actual
+    // bytes, never the 1542 B default.
+    const double max_gbps = 200.0;
+    EXPECT_LE(r.achievedGbps, max_gbps + 1e-9);
+    EXPECT_GT(r.achievedGbps, 0.0);
+    EXPECT_EQ(r.packetsProcessed, 256u);
+}
+
+TEST(ScalableIov, GeneratorAssignsPasidsPerProcess)
+{
+    workload::TenantPattern pattern =
+        workload::benchmarkProfile(workload::Benchmark::Iperf3)
+            .pattern;
+    pattern.processesPerTenant = 3;
+    workload::scaleInitPhase(pattern, 600);
+    workload::TenantLogGenerator gen(pattern, 42);
+    const trace::TenantLog log = gen.generate(0, 600);
+    std::set<uint16_t> pasids;
+    for (const auto &pkt : log.packets)
+        pasids.insert(pkt.pasid);
+    EXPECT_EQ(pasids.size(), 3u);
+}
+
+TEST(ScalableIov, ProcessesTranslateInSeparateAddressSpaces)
+{
+    // Same gIOVA, different PASID → different domain → different
+    // host frame.
+    const auto a = iommu::ContextCache::resolve(4, 0);
+    const auto b = iommu::ContextCache::resolve(4, 1);
+    EXPECT_NE(a.domain, b.domain);
+
+    iommu::PageTableDirectory tables(42);
+    tables.get(a.domain).map(0x1000, mem::PageSize::Size4K);
+    tables.get(b.domain).map(0x1000, mem::PageSize::Size4K);
+    EXPECT_NE(tables.get(a.domain).translate(0x1000).hostAddr,
+              tables.get(b.domain).translate(0x1000).hostAddr);
+}
+
+TEST(ScalableIov, EndToEndRunWithProcesses)
+{
+    workload::TenantPattern pattern =
+        workload::benchmarkProfile(workload::Benchmark::Iperf3)
+            .pattern;
+    pattern.processesPerTenant = 6;
+    workload::scaleInitPhase(pattern, 400);
+    workload::TenantLogGenerator gen(pattern, 42);
+    std::vector<trace::TenantLog> logs;
+    for (unsigned t = 0; t < 8; ++t)
+        logs.push_back(gen.generate(t, 400));
+    const auto tr = trace::constructTrace(
+        logs, trace::parseInterleaving("RR1"));
+
+    System system(SystemConfig::hypertrio());
+    const RunResults r = system.run(tr);
+    EXPECT_EQ(r.packetsProcessed, tr.packets.size());
+    EXPECT_GT(r.achievedGbps, 0.0);
+    // Extra address spaces must cost DevTLB hit rate relative to
+    // the single-process run.
+    workload::TenantPattern single =
+        workload::benchmarkProfile(workload::Benchmark::Iperf3)
+            .pattern;
+    workload::scaleInitPhase(single, 400);
+    workload::TenantLogGenerator gen1(single, 42);
+    std::vector<trace::TenantLog> logs1;
+    for (unsigned t = 0; t < 8; ++t)
+        logs1.push_back(gen1.generate(t, 400));
+    const auto tr1 = trace::constructTrace(
+        logs1, trace::parseInterleaving("RR1"));
+    System sys1(SystemConfig::hypertrio());
+    const RunResults r1 = sys1.run(tr1);
+    EXPECT_LT(r.devtlbHitRate, r1.devtlbHitRate);
+}
+
+TEST(ScalableIov, DidEncodingPreservesSidPartitioning)
+{
+    // Regression guard: the partitioned caches select their PTag row
+    // as "domain mod partitions", and the paper partitions by SID.
+    // The DID encoding must therefore keep the SID in its low bits:
+    // for every power-of-two partition count the paper uses (8, 32,
+    // 64), did % parts must equal sid % parts regardless of PASID.
+    for (uint32_t parts : {8u, 32u, 64u}) {
+        for (trace::SourceId sid : {0u, 5u, 123u, 1023u}) {
+            for (uint16_t pasid : {0, 1, 7, 255}) {
+                const auto did =
+                    iommu::ContextCache::resolve(sid, pasid).domain;
+                EXPECT_EQ(did % parts, sid % parts)
+                    << "sid=" << sid << " pasid=" << pasid;
+                EXPECT_EQ(iommu::ContextCache::sidOf(did), sid);
+            }
+        }
+    }
+}
+
+TEST(ScaleInitPhase, BoundsInitShare)
+{
+    workload::TenantPattern pattern =
+        workload::benchmarkProfile(workload::Benchmark::Mediastream)
+            .pattern;
+    workload::scaleInitPhase(pattern, 1000);
+    const uint64_t init_packets =
+        static_cast<uint64_t>(pattern.numInitPages) *
+        pattern.accessesPerInitPage;
+    EXPECT_LE(init_packets, 1000 / 100); // well under 1%... of log
+    EXPECT_GE(pattern.numInitPages, 1u);
+
+    // Long logs keep the full 70-page init group.
+    workload::TenantPattern big =
+        workload::benchmarkProfile(workload::Benchmark::Mediastream)
+            .pattern;
+    workload::scaleInitPhase(big, 10'000'000);
+    EXPECT_EQ(big.numInitPages, 70u);
+    EXPECT_EQ(big.accessesPerInitPage, 60u);
+}
+
+} // namespace
+} // namespace hypersio::core

@@ -1,0 +1,392 @@
+/** Unit tests for the IOMMU: IOTLB hit path, two-dimensional walk
+ *  costs, paging-cache warming, MSHR coalescing, walker-slot limits,
+ *  translation faults, and invalidation. */
+
+#include <gtest/gtest.h>
+
+#include "iommu/context_cache.hh"
+#include "iommu/iommu.hh"
+#include "iommu/keys.hh"
+
+namespace hypersio::iommu
+{
+namespace
+{
+
+struct Fixture
+{
+    sim::EventQueue queue;
+    stats::StatGroup stats{"test"};
+    mem::MemoryModel memory{{50 * TicksPerNs, 0}, queue, stats};
+    PageTableDirectory tables{42};
+
+    std::unique_ptr<Iommu> make(IommuConfig config = {})
+    {
+        return std::make_unique<Iommu>(config, queue, stats, memory,
+                                       tables);
+    }
+};
+
+TEST(Keys, TranslationKeyUniqueness)
+{
+    // Distinct domains, sizes, and frames make distinct keys.
+    const auto k1 = translationKey(1, 0x1000, mem::PageSize::Size4K);
+    const auto k2 = translationKey(2, 0x1000, mem::PageSize::Size4K);
+    const auto k3 = translationKey(1, 0x2000, mem::PageSize::Size4K);
+    const auto k4 = translationKey(1, 0x1000, mem::PageSize::Size2M);
+    EXPECT_NE(k1, k2);
+    EXPECT_NE(k1, k3);
+    EXPECT_NE(k1, k4);
+    // Same page, different offsets: same key.
+    EXPECT_EQ(k1, translationKey(1, 0x1fff, mem::PageSize::Size4K));
+}
+
+TEST(Keys, PagingKeyCoversPrefix)
+{
+    // Two addresses in the same 2 MB region share the level-2 key.
+    EXPECT_EQ(pagingKey(1, 0xbbe00000, 2),
+              pagingKey(1, 0xbbe12345, 2));
+    EXPECT_NE(pagingKey(1, 0xbbe00000, 2),
+              pagingKey(1, 0xbc000000, 2));
+    EXPECT_NE(pagingKey(1, 0xbbe00000, 2),
+              pagingKey(2, 0xbbe00000, 2));
+    EXPECT_NE(pagingKey(1, 0xbbe00000, 2),
+              pagingKey(1, 0xbbe00000, 3));
+}
+
+TEST(ContextCacheTest, MissThenFillThenHit)
+{
+    ContextCache cc({16, 4, 1, cache::ReplPolicyKind::LRU, 1});
+    EXPECT_EQ(cc.lookup(5), nullptr);
+    cc.fill(5, 0, ContextCache::resolve(5));
+    const ContextEntry *entry = cc.lookup(5);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->domain, 5u); // pasid 0 → did == sid
+    EXPECT_EQ(cc.stats().hits, 1u);
+
+    // Different PASIDs of the same SID map to distinct domains.
+    cc.fill(5, 7, ContextCache::resolve(5, 7));
+    const ContextEntry *proc = cc.lookup(5, 7);
+    ASSERT_NE(proc, nullptr);
+    EXPECT_EQ(proc->domain, 7u * ContextCache::SidSpace + 5);
+    EXPECT_NE(proc->domain, entry->domain);
+}
+
+TEST(IommuTest, FullWalkCostsTableII)
+{
+    Fixture f;
+    auto iommu = f.make();
+    f.tables.get(1).map(0x1000, mem::PageSize::Size4K);
+
+    Tick done_at = 0;
+    IommuResponse seen;
+    iommu->translate({1, 0x1000, mem::PageSize::Size4K, false},
+                     [&](const IommuResponse &resp) {
+                         seen = resp;
+                         done_at = f.queue.now();
+                     });
+    f.queue.run();
+    ASSERT_TRUE(seen.valid);
+    EXPECT_FALSE(seen.iotlbHit);
+    // Cold caches: full 24-access walk at 50 ns each.
+    EXPECT_EQ(done_at, 24 * 50 * TicksPerNs);
+}
+
+TEST(IommuTest, FullWalk2MCosts19Accesses)
+{
+    Fixture f;
+    auto iommu = f.make();
+    f.tables.get(1).map(0xbbe00000, mem::PageSize::Size2M);
+    Tick done_at = 0;
+    iommu->translate({1, 0xbbe00000, mem::PageSize::Size2M, false},
+                     [&](const IommuResponse &) {
+                         done_at = f.queue.now();
+                     });
+    f.queue.run();
+    EXPECT_EQ(done_at, 19 * 50 * TicksPerNs);
+}
+
+TEST(IommuTest, IotlbHitIsFast)
+{
+    Fixture f;
+    auto iommu = f.make();
+    f.tables.get(1).map(0x1000, mem::PageSize::Size4K);
+
+    iommu->translate({1, 0x1000, mem::PageSize::Size4K, false},
+                     [](const IommuResponse &) {});
+    f.queue.run();
+
+    Tick start = f.queue.now();
+    Tick done_at = 0;
+    IommuResponse seen;
+    iommu->translate({1, 0x1800, mem::PageSize::Size4K, false},
+                     [&](const IommuResponse &resp) {
+                         seen = resp;
+                         done_at = f.queue.now();
+                     });
+    f.queue.run();
+    ASSERT_TRUE(seen.valid);
+    EXPECT_TRUE(seen.iotlbHit);
+    EXPECT_EQ(done_at - start, 2 * TicksPerNs);
+}
+
+TEST(IommuTest, PagingCachesShortenLaterWalks)
+{
+    Fixture f;
+    auto iommu = f.make();
+    // Two 4 KB pages in the same 2 MB region: the second walk should
+    // hit the L2 paging cache and cost only 9 accesses.
+    f.tables.get(1).map(0x10000000, mem::PageSize::Size4K);
+    f.tables.get(1).map(0x10001000, mem::PageSize::Size4K);
+
+    iommu->translate({1, 0x10000000, mem::PageSize::Size4K, false},
+                     [](const IommuResponse &) {});
+    f.queue.run();
+
+    const Tick start = f.queue.now();
+    Tick done_at = 0;
+    iommu->translate({1, 0x10001000, mem::PageSize::Size4K, false},
+                     [&](const IommuResponse &) {
+                         done_at = f.queue.now();
+                     });
+    f.queue.run();
+    EXPECT_EQ(done_at - start, 9 * 50 * TicksPerNs);
+}
+
+TEST(IommuTest, L3CacheShortensCrossRegionWalks)
+{
+    Fixture f;
+    auto iommu = f.make();
+    // Same 1 GB region, different 2 MB regions: L3 hit → 14 accesses.
+    f.tables.get(1).map(0x10000000, mem::PageSize::Size4K);
+    f.tables.get(1).map(0x10200000, mem::PageSize::Size4K);
+
+    iommu->translate({1, 0x10000000, mem::PageSize::Size4K, false},
+                     [](const IommuResponse &) {});
+    f.queue.run();
+
+    const Tick start = f.queue.now();
+    Tick done_at = 0;
+    iommu->translate({1, 0x10200000, mem::PageSize::Size4K, false},
+                     [&](const IommuResponse &) {
+                         done_at = f.queue.now();
+                     });
+    f.queue.run();
+    EXPECT_EQ(done_at - start, 14 * 50 * TicksPerNs);
+}
+
+TEST(IommuTest, MshrCoalescesConcurrentSamePageWalks)
+{
+    Fixture f;
+    auto iommu = f.make();
+    f.tables.get(1).map(0x1000, mem::PageSize::Size4K);
+
+    int completions = 0;
+    for (int i = 0; i < 3; ++i) {
+        iommu->translate({1, 0x1000, mem::PageSize::Size4K, false},
+                         [&](const IommuResponse &resp) {
+                             EXPECT_TRUE(resp.valid);
+                             ++completions;
+                         });
+    }
+    f.queue.run();
+    EXPECT_EQ(completions, 3);
+    // One walk served all three requests.
+    const auto *walks = f.stats.child("iommu").find("walks");
+    const auto *coalesced = f.stats.child("iommu").find("coalesced");
+    EXPECT_DOUBLE_EQ(walks->value(), 1.0);
+    EXPECT_DOUBLE_EQ(coalesced->value(), 2.0);
+}
+
+TEST(IommuTest, WalkerLimitSerializesWalks)
+{
+    Fixture f;
+    IommuConfig config;
+    config.walkers = 1;
+    auto iommu = f.make(config);
+    f.tables.get(1).map(0x1000, mem::PageSize::Size4K);
+    f.tables.get(2).map(0x1000, mem::PageSize::Size4K);
+
+    std::vector<Tick> done;
+    iommu->translate({1, 0x1000, mem::PageSize::Size4K, false},
+                     [&](const IommuResponse &) {
+                         done.push_back(f.queue.now());
+                     });
+    iommu->translate({2, 0x1000, mem::PageSize::Size4K, false},
+                     [&](const IommuResponse &) {
+                         done.push_back(f.queue.now());
+                     });
+    EXPECT_EQ(iommu->activeWalks(), 1u);
+    EXPECT_EQ(iommu->queuedWalks(), 1u);
+    f.queue.run();
+    ASSERT_EQ(done.size(), 2u);
+    // Serialized: second finishes a full walk after the first.
+    EXPECT_EQ(done[0], 24 * 50 * TicksPerNs);
+    EXPECT_EQ(done[1], 2 * 24 * 50 * TicksPerNs);
+}
+
+TEST(IommuTest, DemandWalksRunBeforeQueuedPrefetches)
+{
+    Fixture f;
+    IommuConfig config;
+    config.walkers = 1;
+    auto iommu = f.make(config);
+    for (mem::DomainId d = 1; d <= 3; ++d)
+        f.tables.get(d).map(0x1000, mem::PageSize::Size4K);
+
+    std::vector<int> order;
+    // Occupy the walker.
+    iommu->translate({1, 0x1000, mem::PageSize::Size4K, false},
+                     [&](const IommuResponse &) {
+                         order.push_back(1);
+                     });
+    // Queue a prefetch, then a demand: demand must run first.
+    iommu->translate({2, 0x1000, mem::PageSize::Size4K, true},
+                     [&](const IommuResponse &) {
+                         order.push_back(2);
+                     });
+    iommu->translate({3, 0x1000, mem::PageSize::Size4K, false},
+                     [&](const IommuResponse &) {
+                         order.push_back(3);
+                     });
+    f.queue.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(IommuTest, UnmappedPageFaults)
+{
+    Fixture f;
+    auto iommu = f.make();
+    IommuResponse seen;
+    seen.valid = true;
+    iommu->translate({1, 0xdead000, mem::PageSize::Size4K, false},
+                     [&](const IommuResponse &resp) { seen = resp; });
+    f.queue.run();
+    EXPECT_FALSE(seen.valid);
+    const auto *faults = f.stats.child("iommu").find("faults");
+    EXPECT_DOUBLE_EQ(faults->value(), 1.0);
+}
+
+TEST(IommuTest, FaultsAreNotCached)
+{
+    Fixture f;
+    auto iommu = f.make();
+    iommu->translate({1, 0x5000, mem::PageSize::Size4K, false},
+                     [](const IommuResponse &) {});
+    f.queue.run();
+    // Map the page afterwards; the next translation must succeed.
+    f.tables.get(1).map(0x5000, mem::PageSize::Size4K);
+    IommuResponse seen;
+    iommu->translate({1, 0x5000, mem::PageSize::Size4K, false},
+                     [&](const IommuResponse &resp) { seen = resp; });
+    f.queue.run();
+    EXPECT_TRUE(seen.valid);
+}
+
+TEST(IommuTest, InvalidateDropsIotlbEntry)
+{
+    Fixture f;
+    auto iommu = f.make();
+    f.tables.get(1).map(0x1000, mem::PageSize::Size4K);
+    iommu->translate({1, 0x1000, mem::PageSize::Size4K, false},
+                     [](const IommuResponse &) {});
+    f.queue.run();
+
+    iommu->invalidate(1, 0x1000, mem::PageSize::Size4K);
+    IommuResponse seen;
+    iommu->translate({1, 0x1000, mem::PageSize::Size4K, false},
+                     [&](const IommuResponse &resp) { seen = resp; });
+    f.queue.run();
+    EXPECT_TRUE(seen.valid);
+    EXPECT_FALSE(seen.iotlbHit); // had to walk again
+}
+
+TEST(IommuTest, FlushAllDropsPagingCachesToo)
+{
+    Fixture f;
+    auto iommu = f.make();
+    f.tables.get(1).map(0x10000000, mem::PageSize::Size4K);
+    f.tables.get(1).map(0x10001000, mem::PageSize::Size4K);
+    iommu->translate({1, 0x10000000, mem::PageSize::Size4K, false},
+                     [](const IommuResponse &) {});
+    f.queue.run();
+    iommu->flushAll();
+
+    const Tick start = f.queue.now();
+    Tick done_at = 0;
+    iommu->translate({1, 0x10001000, mem::PageSize::Size4K, false},
+                     [&](const IommuResponse &) {
+                         done_at = f.queue.now();
+                     });
+    f.queue.run();
+    // Full walk again: 24 accesses, not the L2-shortened 9.
+    EXPECT_EQ(done_at - start, 24 * 50 * TicksPerNs);
+}
+
+TEST(IommuTest, TranslationsFromDifferentDomainsDiffer)
+{
+    Fixture f;
+    auto iommu = f.make();
+    f.tables.get(1).map(0x1000, mem::PageSize::Size4K);
+    f.tables.get(2).map(0x1000, mem::PageSize::Size4K);
+    mem::Addr a1 = 0;
+    mem::Addr a2 = 0;
+    iommu->translate({1, 0x1000, mem::PageSize::Size4K, false},
+                     [&](const IommuResponse &r) { a1 = r.hostAddr; });
+    iommu->translate({2, 0x1000, mem::PageSize::Size4K, false},
+                     [&](const IommuResponse &r) { a2 = r.hostAddr; });
+    f.queue.run();
+    EXPECT_NE(a1, a2);
+}
+
+TEST(IommuTest, FiveLevelWalkCosts35Accesses)
+{
+    Fixture f;
+    IommuConfig config;
+    config.pagingLevels = 5;
+    auto iommu = f.make(config);
+    f.tables.get(1).map(0x1000, mem::PageSize::Size4K);
+    Tick done_at = 0;
+    iommu->translate({1, 0x1000, mem::PageSize::Size4K, false},
+                     [&](const IommuResponse &) {
+                         done_at = f.queue.now();
+                     });
+    f.queue.run();
+    // 5-level 2-D walk: 6 accesses per guest level * 5 + 5 = 35.
+    EXPECT_EQ(done_at, 35 * 50 * TicksPerNs);
+}
+
+TEST(IommuTest, FiveLevelPartialWalksShortenToo)
+{
+    Fixture f;
+    IommuConfig config;
+    config.pagingLevels = 5;
+    auto iommu = f.make(config);
+    f.tables.get(1).map(0x10000000, mem::PageSize::Size4K);
+    f.tables.get(1).map(0x10001000, mem::PageSize::Size4K);
+    iommu->translate({1, 0x10000000, mem::PageSize::Size4K, false},
+                     [](const IommuResponse &) {});
+    f.queue.run();
+    const Tick start = f.queue.now();
+    Tick done_at = 0;
+    iommu->translate({1, 0x10001000, mem::PageSize::Size4K, false},
+                     [&](const IommuResponse &) {
+                         done_at = f.queue.now();
+                     });
+    f.queue.run();
+    // L2 hit leaves one guest level: 6*1 + 5 = 11 accesses.
+    EXPECT_EQ(done_at - start, 11 * 50 * TicksPerNs);
+}
+
+TEST(PageTableDirectoryTest, LazyCreation)
+{
+    PageTableDirectory dir(42);
+    EXPECT_EQ(dir.find(3), nullptr);
+    dir.get(3).map(0x1000, mem::PageSize::Size4K);
+    ASSERT_NE(dir.find(3), nullptr);
+    EXPECT_EQ(dir.size(), 1u);
+    EXPECT_EQ(dir.get(3).size(), 1u);
+}
+
+} // namespace
+} // namespace hypersio::iommu

@@ -1,0 +1,110 @@
+/** Tests for the textual tenant-log interchange format. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/benchmarks.hh"
+#include "workload/log_text.hh"
+#include "workload/tenant_model.hh"
+
+namespace hypersio::workload
+{
+namespace
+{
+
+TEST(LogText, RoundTripPreservesEverything)
+{
+    const auto profile = benchmarkProfile(Benchmark::Mediastream);
+    TenantLogGenerator gen(profile.pattern, 42);
+    const trace::TenantLog original = gen.generate(17, 500);
+
+    std::stringstream buffer;
+    writeTextLog(original, buffer);
+    const trace::TenantLog loaded =
+        parseTextLog(buffer, "roundtrip");
+
+    EXPECT_EQ(loaded.sid, original.sid);
+    ASSERT_EQ(loaded.packets.size(), original.packets.size());
+    ASSERT_EQ(loaded.ops.size(), original.ops.size());
+    for (size_t i = 0; i < loaded.packets.size(); ++i) {
+        const auto &a = loaded.packets[i];
+        const auto &b = original.packets[i];
+        EXPECT_EQ(a.ringIova, b.ringIova);
+        EXPECT_EQ(a.dataIova, b.dataIova);
+        EXPECT_EQ(a.notifyIova, b.notifyIova);
+        EXPECT_EQ(a.dataHuge, b.dataHuge);
+        EXPECT_EQ(a.wireBytes, b.wireBytes);
+        EXPECT_EQ(a.opCount, b.opCount);
+    }
+    for (size_t i = 0; i < loaded.ops.size(); ++i) {
+        EXPECT_EQ(loaded.ops[i].pageBase, original.ops[i].pageBase);
+        EXPECT_EQ(loaded.ops[i].isMap, original.ops[i].isMap);
+        EXPECT_EQ(loaded.ops[i].size, original.ops[i].size);
+    }
+}
+
+TEST(LogText, ParsesHandWrittenLog)
+{
+    std::stringstream input(
+        "# hand-written example\n"
+        "tenant 3\n"
+        "map   0x34800000 4K\n"
+        "map   0xbbe00000 2M\n"
+        "pkt   0x34800000 0xbbe00040 2M 0x34800f00\n"
+        "pkt   0x34800010 0xbbe00580 2M 0x34800f00 256\n"
+        "unmap 0xbbe00000 2M\n"
+        "map   0xbc000000 2M\n"
+        "pkt   0x34800020 0xbc000000 2M 0x34800f00\n");
+    const trace::TenantLog log = parseTextLog(input, "test");
+
+    EXPECT_EQ(log.sid, 3u);
+    ASSERT_EQ(log.packets.size(), 3u);
+    EXPECT_EQ(log.ops.size(), 4u);
+    EXPECT_EQ(log.packets[0].opCount, 2u);
+    EXPECT_EQ(log.packets[1].wireBytes, 256u);
+    EXPECT_EQ(log.packets[2].opCount, 2u);
+    const trace::PageOp &unmap = log.ops[log.packets[2].opBegin];
+    EXPECT_FALSE(unmap.isMap);
+    EXPECT_EQ(unmap.pageBase, 0xbbe00000u);
+}
+
+TEST(LogText, CommentsAndBlankLinesIgnored)
+{
+    std::stringstream input(
+        "\n"
+        "# comment only\n"
+        "tenant 1\n"
+        "\n"
+        "pkt 0x1000 0x2000 4K 0x3000  # trailing comment\n");
+    const trace::TenantLog log = parseTextLog(input, "test");
+    ASSERT_EQ(log.packets.size(), 1u);
+    EXPECT_FALSE(log.packets[0].dataHuge);
+}
+
+TEST(LogText, WriterEmitsParsableKeywords)
+{
+    trace::TenantLog log;
+    log.sid = 9;
+    log.ops.push_back({0x1000, mem::PageSize::Size4K, true});
+    trace::PacketRecord pkt;
+    pkt.sid = 9;
+    pkt.ringIova = 0x1000;
+    pkt.dataIova = 0x2000;
+    pkt.dataHuge = false;
+    pkt.notifyIova = 0x1f00;
+    pkt.opBegin = 0;
+    pkt.opCount = 1;
+    log.packets.push_back(pkt);
+
+    std::stringstream buffer;
+    writeTextLog(log, buffer);
+    const std::string text = buffer.str();
+    EXPECT_NE(text.find("tenant 9"), std::string::npos);
+    EXPECT_NE(text.find("map   0x1000 4K"), std::string::npos);
+    EXPECT_NE(text.find("pkt   0x1000 0x2000 4K 0x1f00"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace hypersio::workload

@@ -1,0 +1,112 @@
+/** Unit tests for the DRAM timing model: dependent-chain latency and
+ *  bounded concurrency. */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory_model.hh"
+
+namespace hypersio::mem
+{
+namespace
+{
+
+struct Fixture
+{
+    sim::EventQueue queue;
+    stats::StatGroup stats{"test"};
+};
+
+TEST(MemoryModel, SingleAccessLatency)
+{
+    Fixture f;
+    MemoryConfig config;
+    config.accessLatency = 50 * TicksPerNs;
+    MemoryModel memory(config, f.queue, f.stats);
+
+    Tick done_at = 0;
+    memory.access(1, [&] { done_at = f.queue.now(); });
+    f.queue.run();
+    EXPECT_EQ(done_at, 50 * TicksPerNs);
+}
+
+TEST(MemoryModel, ChainSerializesAccesses)
+{
+    Fixture f;
+    MemoryModel memory({50 * TicksPerNs, 0}, f.queue, f.stats);
+    Tick done_at = 0;
+    // A full 24-access two-dimensional walk = 1200 ns.
+    memory.access(24, [&] { done_at = f.queue.now(); });
+    f.queue.run();
+    EXPECT_EQ(done_at, 1200 * TicksPerNs);
+}
+
+TEST(MemoryModel, UnlimitedModeRunsChainsInParallel)
+{
+    Fixture f;
+    MemoryModel memory({100, 0}, f.queue, f.stats);
+    std::vector<Tick> finished;
+    for (int i = 0; i < 4; ++i)
+        memory.access(1, [&] { finished.push_back(f.queue.now()); });
+    f.queue.run();
+    ASSERT_EQ(finished.size(), 4u);
+    for (Tick t : finished)
+        EXPECT_EQ(t, 100u); // all complete together
+}
+
+TEST(MemoryModel, BoundedModeQueuesExcessChains)
+{
+    Fixture f;
+    MemoryModel memory({100, 2}, f.queue, f.stats);
+    std::vector<Tick> finished;
+    for (int i = 0; i < 4; ++i)
+        memory.access(1, [&] { finished.push_back(f.queue.now()); });
+    EXPECT_EQ(memory.busy(), 2u);
+    f.queue.run();
+    ASSERT_EQ(finished.size(), 4u);
+    // Two waves: 2 at t=100, 2 at t=200.
+    EXPECT_EQ(finished[0], 100u);
+    EXPECT_EQ(finished[1], 100u);
+    EXPECT_EQ(finished[2], 200u);
+    EXPECT_EQ(finished[3], 200u);
+    EXPECT_EQ(memory.busy(), 0u);
+}
+
+TEST(MemoryModel, QueuedChainsPreserveOrder)
+{
+    Fixture f;
+    MemoryModel memory({10, 1}, f.queue, f.stats);
+    std::vector<int> order;
+    for (int i = 0; i < 3; ++i)
+        memory.access(1, [&, i] { order.push_back(i); });
+    f.queue.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(MemoryModel, StatsCountReadsAndChains)
+{
+    Fixture f;
+    MemoryModel memory({10, 1}, f.queue, f.stats);
+    memory.access(24, [] {});
+    memory.access(9, [] {});
+    f.queue.run();
+    const auto *reads = f.stats.child("memory").find("reads");
+    const auto *chains = f.stats.child("memory").find("chains");
+    const auto *queued = f.stats.child("memory").find("queued");
+    ASSERT_NE(reads, nullptr);
+    EXPECT_DOUBLE_EQ(reads->value(), 33.0);
+    EXPECT_DOUBLE_EQ(chains->value(), 2.0);
+    EXPECT_DOUBLE_EQ(queued->value(), 1.0);
+}
+
+TEST(MemoryModel, ZeroAccessChainCompletesAtOnce)
+{
+    Fixture f;
+    MemoryModel memory({50, 0}, f.queue, f.stats);
+    Tick done_at = MaxTick;
+    memory.access(0, [&] { done_at = f.queue.now(); });
+    f.queue.run();
+    EXPECT_EQ(done_at, 0u);
+}
+
+} // namespace
+} // namespace hypersio::mem

@@ -1,0 +1,175 @@
+/** Unit tests for the synthetic two-level page tables, address
+ *  helpers, and the walk cost model. */
+
+#include <gtest/gtest.h>
+
+#include "mem/addr.hh"
+#include "mem/page_table.hh"
+
+namespace hypersio::mem
+{
+namespace
+{
+
+TEST(Addr, PageGeometry)
+{
+    EXPECT_EQ(pageBytes(PageSize::Size4K), 4096u);
+    EXPECT_EQ(pageBytes(PageSize::Size2M), 2u << 20);
+    EXPECT_EQ(pageFrame(0x34800123, PageSize::Size4K), 0x34800u);
+    EXPECT_EQ(pageBase(0x34800123, PageSize::Size4K), 0x34800000u);
+    EXPECT_EQ(pageBase(0xbbf12345, PageSize::Size2M), 0xbbe00000u);
+}
+
+TEST(Addr, LevelIndices)
+{
+    // x86-64 4-level layout: 9 bits per level above the 12-bit page.
+    const Addr addr = (uint64_t(1) << 39) | (uint64_t(2) << 30) |
+                      (uint64_t(3) << 21) | (uint64_t(4) << 12) | 5;
+    EXPECT_EQ(levelIndex(addr, 4), 1u);
+    EXPECT_EQ(levelIndex(addr, 3), 2u);
+    EXPECT_EQ(levelIndex(addr, 2), 3u);
+    EXPECT_EQ(levelIndex(addr, 1), 4u);
+}
+
+TEST(Addr, LevelPrefixesNest)
+{
+    const Addr a = 0xbbe12345;
+    const Addr b = 0xbbe12fff; // same 4K page
+    EXPECT_EQ(levelPrefix(a, 2), levelPrefix(b, 2));
+    EXPECT_EQ(levelPrefix(a, 3), levelPrefix(b, 3));
+    // Different 2 MB regions → different level-2 prefixes.
+    EXPECT_NE(levelPrefix(0xbbe00000, 2), levelPrefix(0xbc000000, 2));
+}
+
+TEST(WalkCost, MatchesTableII)
+{
+    // Full two-dimensional 4-level walk: 24 accesses for 4 KB pages
+    // (5 per guest level + 4 for the final host walk); 2 MB pages
+    // skip one guest level: 19.
+    EXPECT_EQ(fullWalkAccesses(PageSize::Size4K), 24u);
+    EXPECT_EQ(fullWalkAccesses(PageSize::Size2M), 19u);
+}
+
+TEST(WalkCost, PartialWalks)
+{
+    // One guest level left (L2 paging-cache hit, 4 KB): 5 + 4 = 9.
+    EXPECT_EQ(walkAccesses(1, PageSize::Size4K), 9u);
+    // Two guest levels left (L3 hit, 4 KB): 14.
+    EXPECT_EQ(walkAccesses(2, PageSize::Size4K), 14u);
+    // 2 MB leaf already resolved: only the final host walk.
+    EXPECT_EQ(walkAccesses(0, PageSize::Size2M), 4u);
+}
+
+TEST(WalkCost, FiveLevelDepth)
+{
+    // 5-level paging (5-level EPT): 35 accesses for a full 4 KB
+    // walk, 29 for 2 MB (one fewer guest level).
+    EXPECT_EQ(walkAccessesAtDepth(fullGuestLevels(5,
+                                                  PageSize::Size4K),
+                                  5),
+              35u);
+    EXPECT_EQ(walkAccessesAtDepth(fullGuestLevels(5,
+                                                  PageSize::Size2M),
+                                  5),
+              29u);
+    // Depth-4 equivalence with the fixed-depth helpers.
+    EXPECT_EQ(walkAccessesAtDepth(4, 4), fullWalkAccesses());
+}
+
+TEST(PageTable, UnmappedIsInvalid)
+{
+    PageTable table(1, 42);
+    EXPECT_FALSE(table.translate(0x1000).valid);
+}
+
+TEST(PageTable, MapThenTranslate4K)
+{
+    PageTable table(1, 42);
+    table.map(0x34800000, PageSize::Size4K);
+    Translation t = table.translate(0x34800123);
+    ASSERT_TRUE(t.valid);
+    EXPECT_EQ(t.pageSize, PageSize::Size4K);
+    // Offset is preserved within the page.
+    EXPECT_EQ(t.hostAddr & 0xfff, 0x123u);
+    // Host frame is page-aligned.
+    EXPECT_EQ((t.hostAddr - 0x123) & 0xfff, 0u);
+}
+
+TEST(PageTable, MapThenTranslate2M)
+{
+    PageTable table(2, 42);
+    table.map(0xbbe00000, PageSize::Size2M);
+    Translation t = table.translate(0xbbe12345);
+    ASSERT_TRUE(t.valid);
+    EXPECT_EQ(t.pageSize, PageSize::Size2M);
+    EXPECT_EQ(t.hostAddr & 0x1fffff, 0x12345u);
+}
+
+TEST(PageTable, TranslationIsDeterministic)
+{
+    PageTable a(7, 99);
+    PageTable b(7, 99);
+    a.map(0x1000, PageSize::Size4K);
+    b.map(0x1000, PageSize::Size4K);
+    EXPECT_EQ(a.translate(0x1234).hostAddr,
+              b.translate(0x1234).hostAddr);
+}
+
+TEST(PageTable, DifferentDomainsGetDifferentFrames)
+{
+    PageTable a(1, 42);
+    PageTable b(2, 42);
+    a.map(0x1000, PageSize::Size4K);
+    b.map(0x1000, PageSize::Size4K);
+    EXPECT_NE(a.translate(0x1000).hostAddr,
+              b.translate(0x1000).hostAddr);
+}
+
+TEST(PageTable, RemapIsIdempotent)
+{
+    PageTable table(1, 42);
+    table.map(0x2000, PageSize::Size4K);
+    const Addr first = table.translate(0x2000).hostAddr;
+    table.map(0x2000, PageSize::Size4K);
+    EXPECT_EQ(table.translate(0x2000).hostAddr, first);
+    EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(PageTable, UnmapInvalidatesTranslation)
+{
+    PageTable table(1, 42);
+    table.map(0x3000, PageSize::Size4K);
+    EXPECT_TRUE(table.translate(0x3000).valid);
+    EXPECT_TRUE(table.unmap(0x3000));
+    EXPECT_FALSE(table.translate(0x3000).valid);
+    EXPECT_FALSE(table.unmap(0x3000));
+}
+
+TEST(PageTable, Unmap2MCoversWholeRange)
+{
+    PageTable table(1, 42);
+    table.map(0xbbe00000, PageSize::Size2M);
+    EXPECT_TRUE(table.unmap(0xbbe12345)); // any address in the page
+    EXPECT_FALSE(table.translate(0xbbe00000).valid);
+}
+
+TEST(PageTable, MixedPageSizesCoexist)
+{
+    PageTable table(1, 42);
+    table.map(0x34800000, PageSize::Size4K);
+    table.map(0xbbe00000, PageSize::Size2M);
+    EXPECT_TRUE(table.translate(0x34800010).valid);
+    EXPECT_TRUE(table.translate(0xbbe10000).valid);
+    EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(PageTable, HostFramesAreAlignedToPageSize)
+{
+    PageTable table(3, 42);
+    table.map(0xbbe00000, PageSize::Size2M);
+    const Translation t = table.translate(0xbbe00000);
+    EXPECT_EQ(t.hostAddr & (pageBytes(PageSize::Size2M) - 1), 0u);
+}
+
+} // namespace
+} // namespace hypersio::mem

@@ -1,0 +1,248 @@
+/** Unit tests for the Translation Prefetching Scheme: SID-predictor
+ *  training, Prefetch Buffer semantics, and the chipset-side IOVA
+ *  History Reader. */
+
+#include <gtest/gtest.h>
+
+#include "core/chipset.hh"
+#include "core/prefetch.hh"
+
+namespace hypersio::core
+{
+namespace
+{
+
+TEST(SidPredictor, PredictsStrideUnderRoundRobin)
+{
+    // RR over 8 tenants with history length 4: predict(s) must
+    // converge to (s + 4) % 8.
+    SidPredictor pred(4);
+    for (int round = 0; round < 3; ++round)
+        for (trace::SourceId s = 0; s < 8; ++s)
+            pred.train(s);
+    for (trace::SourceId s = 0; s < 8; ++s) {
+        auto p = pred.predict(s);
+        ASSERT_TRUE(p.has_value());
+        EXPECT_EQ(*p, (s + 4) % 8);
+    }
+}
+
+TEST(SidPredictor, NoPredictionBeforeWindowFills)
+{
+    SidPredictor pred(10);
+    for (trace::SourceId s = 0; s < 10; ++s) {
+        EXPECT_FALSE(pred.predict(s).has_value());
+        pred.train(s);
+    }
+    // The 11th observation creates the first table entry.
+    pred.train(10);
+    EXPECT_TRUE(pred.predict(0).has_value());
+}
+
+TEST(SidPredictor, AdaptsWhenScheduleChanges)
+{
+    SidPredictor pred(2);
+    // First schedule: 0,1,2 repeating → predict(0) == 2.
+    for (int i = 0; i < 9; ++i)
+        pred.train(i % 3);
+    ASSERT_TRUE(pred.predict(0).has_value());
+    EXPECT_EQ(*pred.predict(0), 2u);
+    // New schedule: 0,5 repeating → predict(0) becomes 0 (2 ahead).
+    for (int i = 0; i < 10; ++i)
+        pred.train(i % 2 == 0 ? 0 : 5);
+    EXPECT_EQ(*pred.predict(0), 0u);
+}
+
+TEST(SidPredictor, HistoryLengthReconfiguration)
+{
+    SidPredictor pred(8);
+    for (int i = 0; i < 32; ++i)
+        pred.train(i % 16);
+    pred.setHistoryLength(2);
+    EXPECT_EQ(pred.historyLength(), 2u);
+    for (int i = 0; i < 32; ++i)
+        pred.train(i % 16);
+    EXPECT_EQ(*pred.predict(3), 5u);
+}
+
+PrefetchConfig
+pbConfig(unsigned entries = 4)
+{
+    PrefetchConfig config;
+    config.enabled = true;
+    config.bufferEntries = entries;
+    config.historyLength = 4;
+    config.pagesPerPrefetch = 2;
+    return config;
+}
+
+TEST(PrefetchUnit, FillThenConsumeOnHit)
+{
+    PrefetchUnit pu(pbConfig());
+    pu.fill(1, 0x1000, mem::PageSize::Size4K, 0xAA000);
+    mem::Addr addr = 0;
+    EXPECT_TRUE(pu.lookup(1, 0x1234, mem::PageSize::Size4K, addr));
+    EXPECT_EQ(addr, 0xAA000u);
+    // Consume-on-hit: the second lookup misses.
+    EXPECT_FALSE(pu.lookup(1, 0x1234, mem::PageSize::Size4K, addr));
+}
+
+TEST(PrefetchUnit, MissesAcrossDomainsAndSizes)
+{
+    PrefetchUnit pu(pbConfig());
+    pu.fill(1, 0x1000, mem::PageSize::Size4K, 0xAA000);
+    mem::Addr addr = 0;
+    EXPECT_FALSE(pu.lookup(2, 0x1000, mem::PageSize::Size4K, addr));
+    EXPECT_FALSE(pu.lookup(1, 0x1000, mem::PageSize::Size2M, addr));
+}
+
+TEST(PrefetchUnit, CapacityEvictsOldest)
+{
+    PrefetchUnit pu(pbConfig(2));
+    pu.fill(1, 0x1000, mem::PageSize::Size4K, 1);
+    pu.fill(1, 0x2000, mem::PageSize::Size4K, 2);
+    pu.fill(1, 0x3000, mem::PageSize::Size4K, 3); // evicts 0x1000
+    mem::Addr addr = 0;
+    EXPECT_FALSE(pu.lookup(1, 0x1000, mem::PageSize::Size4K, addr));
+    EXPECT_TRUE(pu.lookup(1, 0x2000, mem::PageSize::Size4K, addr));
+    EXPECT_TRUE(pu.lookup(1, 0x3000, mem::PageSize::Size4K, addr));
+}
+
+TEST(PrefetchUnit, InvalidateDropsEntry)
+{
+    PrefetchUnit pu(pbConfig());
+    pu.fill(3, 0xbbe00000, mem::PageSize::Size2M, 0xCC);
+    pu.invalidate(3, 0xbbe00000, mem::PageSize::Size2M);
+    mem::Addr addr = 0;
+    EXPECT_FALSE(
+        pu.lookup(3, 0xbbe00000, mem::PageSize::Size2M, addr));
+}
+
+struct ReaderFixture
+{
+    sim::EventQueue queue;
+    stats::StatGroup stats{"test"};
+    mem::MemoryModel memory{{50 * TicksPerNs, 0}, queue, stats};
+    iommu::PageTableDirectory tables{42};
+    iommu::Iommu iommu{iommu::IommuConfig{}, queue, stats, memory,
+                       tables};
+
+    struct Fill
+    {
+        mem::DomainId did;
+        mem::Iova iova;
+        mem::Addr hostAddr;
+    };
+    std::vector<Fill> fills;
+
+    HistoryReader
+    makeReader(const PrefetchConfig &config)
+    {
+        return HistoryReader(
+            config, queue, stats, iommu, memory,
+            [this](mem::DomainId did, mem::Iova iova,
+                   mem::PageSize, mem::Addr host) {
+                fills.push_back({did, iova, host});
+            });
+    }
+};
+
+TEST(HistoryReader, PrefetchesMostRecentDistinctPages)
+{
+    ReaderFixture f;
+    HistoryReader reader = f.makeReader(pbConfig());
+    f.tables.get(1).map(0x34800000, mem::PageSize::Size4K);
+    f.tables.get(1).map(0xbbe00000, mem::PageSize::Size2M);
+    f.tables.get(1).map(0xf0000000, mem::PageSize::Size4K);
+
+    // Observed order: old, then the two most recent.
+    reader.observe(1, 0xf0000000, mem::PageSize::Size4K);
+    reader.observe(1, 0x34800000, mem::PageSize::Size4K);
+    reader.observe(1, 0xbbe00010, mem::PageSize::Size2M);
+
+    reader.prefetch(1);
+    f.queue.run();
+
+    ASSERT_EQ(f.fills.size(), 2u);
+    // MRU first: data page, then the control page.
+    EXPECT_EQ(f.fills[0].iova, 0xbbe00000u);
+    EXPECT_EQ(f.fills[1].iova, 0x34800000u);
+    for (const auto &fill : f.fills)
+        EXPECT_NE(fill.hostAddr, 0u);
+}
+
+TEST(HistoryReader, DuplicateObservationsMoveToFront)
+{
+    ReaderFixture f;
+    HistoryReader reader = f.makeReader(pbConfig());
+    f.tables.get(1).map(0x1000, mem::PageSize::Size4K);
+    f.tables.get(1).map(0x2000, mem::PageSize::Size4K);
+    reader.observe(1, 0x1000, mem::PageSize::Size4K);
+    reader.observe(1, 0x2000, mem::PageSize::Size4K);
+    reader.observe(1, 0x1000, mem::PageSize::Size4K); // refresh
+    reader.prefetch(1);
+    f.queue.run();
+    ASSERT_EQ(f.fills.size(), 2u);
+    EXPECT_EQ(f.fills[0].iova, 0x1000u);
+}
+
+TEST(HistoryReader, DeduplicatesInFlightPrefetches)
+{
+    ReaderFixture f;
+    HistoryReader reader = f.makeReader(pbConfig());
+    f.tables.get(1).map(0x1000, mem::PageSize::Size4K);
+    reader.observe(1, 0x1000, mem::PageSize::Size4K);
+    reader.prefetch(1);
+    reader.prefetch(1); // dropped: already in flight
+    f.queue.run();
+    EXPECT_EQ(reader.prefetchesStarted(), 1u);
+    EXPECT_EQ(reader.prefetchesDeduped(), 1u);
+    // After completion a new prefetch may start.
+    reader.prefetch(1);
+    f.queue.run();
+    EXPECT_EQ(reader.prefetchesStarted(), 2u);
+}
+
+TEST(HistoryReader, UnknownTenantIsIgnored)
+{
+    ReaderFixture f;
+    HistoryReader reader = f.makeReader(pbConfig());
+    reader.prefetch(77); // no history yet
+    f.queue.run();
+    EXPECT_EQ(reader.prefetchesStarted(), 0u);
+    EXPECT_TRUE(f.fills.empty());
+}
+
+TEST(HistoryReader, ChargesHistoryReadLatency)
+{
+    ReaderFixture f;
+    PrefetchConfig config = pbConfig();
+    config.historyReadAccesses = 2;
+    HistoryReader reader = f.makeReader(config);
+    f.tables.get(1).map(0x1000, mem::PageSize::Size4K);
+    reader.observe(1, 0x1000, mem::PageSize::Size4K);
+    reader.prefetch(1);
+    f.queue.run();
+    // 2 history reads + 24-access walk, serialized chains of 50 ns.
+    EXPECT_EQ(f.queue.now(), (2 + 24) * 50 * TicksPerNs);
+}
+
+TEST(HistoryReader, HistoryDepthBoundsMemory)
+{
+    ReaderFixture f;
+    PrefetchConfig config = pbConfig();
+    config.historyDepth = 2;
+    config.pagesPerPrefetch = 4;
+    HistoryReader reader = f.makeReader(config);
+    for (mem::Iova page = 0; page < 10; ++page) {
+        f.tables.get(1).map(page << 12, mem::PageSize::Size4K);
+        reader.observe(1, page << 12, mem::PageSize::Size4K);
+    }
+    reader.prefetch(1);
+    f.queue.run();
+    // Only historyDepth pages were retained.
+    EXPECT_EQ(f.fills.size(), 2u);
+}
+
+} // namespace
+} // namespace hypersio::core

@@ -1,0 +1,184 @@
+/** Property-based tests: parameterized sweeps asserting model
+ *  invariants across configuration and workload space. */
+
+#include <gtest/gtest.h>
+
+#include "core/runner.hh"
+#include "core/system.hh"
+#include "trace/constructor.hh"
+#include "workload/benchmarks.hh"
+
+namespace hypersio::core
+{
+namespace
+{
+
+trace::HyperTrace
+makeTrace(workload::Benchmark bench, unsigned tenants,
+          const std::string &il, uint64_t seed = 42)
+{
+    auto logs = workload::generateLogs(bench, tenants, seed, 0.02);
+    return trace::constructTrace(logs, trace::parseInterleaving(il));
+}
+
+/** (benchmark, tenants, interleaving) triples covering the space. */
+using Point = std::tuple<workload::Benchmark, unsigned, std::string>;
+
+class WorkloadSpaceTest : public ::testing::TestWithParam<Point>
+{};
+
+TEST_P(WorkloadSpaceTest, RunInvariantsHold)
+{
+    const auto [bench, tenants, il] = GetParam();
+    const auto tr = makeTrace(bench, tenants, il);
+    System system(SystemConfig::hypertrio());
+    const RunResults r = system.run(tr);
+
+    // Every packet is processed exactly once (drops are retried).
+    EXPECT_EQ(r.packetsProcessed, tr.packets.size());
+    // Bandwidth is positive and cannot exceed the physical link.
+    EXPECT_GT(r.achievedGbps, 0.0);
+    EXPECT_LE(r.utilization, 1.0 + 1e-9);
+    // Translation counts are consistent.
+    EXPECT_EQ(r.translations, 3 * r.packetsProcessed);
+    // Rates are probabilities.
+    EXPECT_GE(r.devtlbHitRate, 0.0);
+    EXPECT_LE(r.devtlbHitRate, 1.0);
+    EXPECT_GE(r.pbHitRate, 0.0);
+    EXPECT_LE(r.pbHitRate, 1.0);
+    EXPECT_GE(r.iotlbHitRate, 0.0);
+    EXPECT_LE(r.iotlbHitRate, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Space, WorkloadSpaceTest,
+    ::testing::Combine(
+        ::testing::Values(workload::Benchmark::Iperf3,
+                          workload::Benchmark::Mediastream,
+                          workload::Benchmark::Websearch),
+        ::testing::Values(4u, 32u, 128u),
+        ::testing::Values("RR1", "RR4", "RAND1")),
+    [](const ::testing::TestParamInfo<Point> &info) {
+        return std::string(workload::benchmarkName(
+                   std::get<0>(info.param))) +
+               "_" + std::to_string(std::get<1>(info.param)) + "_" +
+               std::get<2>(info.param);
+    });
+
+/** PTB depth sweep: bandwidth is monotone (within noise) in PTB
+ *  size, the paper's hit-under-miss argument (Fig. 12b). */
+class PtbMonotonicityTest : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(PtbMonotonicityTest, MorePtbEntriesNeverHurt)
+{
+    const unsigned tenants = GetParam();
+    const auto tr = makeTrace(workload::Benchmark::Iperf3, tenants,
+                              "RR1");
+    double last = 0.0;
+    for (unsigned ptb : {1u, 8u, 32u}) {
+        SystemConfig config = SystemConfig::base();
+        config.device.devtlb.partitions = 8;
+        config.device.ptbEntries = ptb;
+        System system(config);
+        const double gbps = system.run(tr).achievedGbps;
+        EXPECT_GE(gbps, last * 0.95)
+            << "PTB " << ptb << " at " << tenants << " tenants";
+        last = gbps;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tenants, PtbMonotonicityTest,
+                         ::testing::Values(8u, 32u, 128u));
+
+/** DevTLB capacity sweep: a larger DevTLB never reduces bandwidth
+ *  in the low-tenant regime. */
+class DevtlbSizeTest : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(DevtlbSizeTest, BiggerDevtlbNeverHurtsFewTenants)
+{
+    const unsigned tenants = GetParam();
+    const auto tr = makeTrace(workload::Benchmark::Iperf3, tenants,
+                              "RR1");
+    double last = 0.0;
+    for (size_t entries : {64u, 256u, 1024u}) {
+        SystemConfig config = SystemConfig::base();
+        config.device.devtlb.entries = entries;
+        System system(config);
+        const double gbps = system.run(tr).achievedGbps;
+        EXPECT_GE(gbps, last * 0.9) << entries << " entries";
+        last = gbps;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tenants, DevtlbSizeTest,
+                         ::testing::Values(4u, 16u, 64u));
+
+/** Seed sweep: different workload seeds change the trace but leave
+ *  the qualitative result intact; the same seed reproduces results
+ *  bit-for-bit. */
+class SeedStabilityTest : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(SeedStabilityTest, DeterministicPerSeed)
+{
+    const uint64_t seed = GetParam();
+    const auto tr = makeTrace(workload::Benchmark::Websearch, 16,
+                              "RAND1", seed);
+    System a(SystemConfig::hypertrio());
+    System b(SystemConfig::hypertrio());
+    const RunResults ra = a.run(tr);
+    const RunResults rb = b.run(tr);
+    EXPECT_EQ(ra.elapsed, rb.elapsed);
+    EXPECT_DOUBLE_EQ(ra.achievedGbps, rb.achievedGbps);
+    EXPECT_GT(ra.utilization, 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedStabilityTest,
+                         ::testing::Values(1, 7, 42, 1234));
+
+/** Partition-count sweep: partitions divide the DevTLB sets; every
+ *  legal partition count runs and preserves run invariants. */
+class PartitionSweepTest : public ::testing::TestWithParam<size_t>
+{};
+
+TEST_P(PartitionSweepTest, LegalPartitionCountsWork)
+{
+    const size_t partitions = GetParam();
+    const auto tr = makeTrace(workload::Benchmark::Iperf3, 32,
+                              "RR1");
+    SystemConfig config = SystemConfig::base();
+    config.device.devtlb.partitions = partitions;
+    System system(config);
+    const RunResults r = system.run(tr);
+    EXPECT_EQ(r.packetsProcessed, tr.packets.size());
+    EXPECT_GT(r.achievedGbps, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitions, PartitionSweepTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+/** Link-rate sweep: achieved bandwidth is capped by the configured
+ *  link and the translation path, whichever is lower. */
+class LinkRateTest : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(LinkRateTest, AchievedBandwidthRespectsLink)
+{
+    const double gbps = GetParam();
+    const auto tr = makeTrace(workload::Benchmark::Iperf3, 2, "RR1");
+    SystemConfig config = SystemConfig::hypertrio();
+    config.link.gbps = gbps;
+    System system(config);
+    const RunResults r = system.run(tr);
+    EXPECT_LE(r.achievedGbps, gbps * (1.0 + 1e-9));
+    EXPECT_GT(r.achievedGbps, gbps * 0.5); // 2 tenants: mostly hits
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, LinkRateTest,
+                         ::testing::Values(10.0, 40.0, 100.0, 200.0,
+                                           400.0));
+
+} // namespace
+} // namespace hypersio::core

@@ -1,0 +1,119 @@
+/** Unit tests for the Pending Translation Buffer. */
+
+#include <gtest/gtest.h>
+
+#include "core/ptb.hh"
+
+namespace hypersio::core
+{
+namespace
+{
+
+trace::PacketRecord
+packet(trace::SourceId sid)
+{
+    trace::PacketRecord pkt;
+    pkt.sid = sid;
+    pkt.ringIova = 0x34800000;
+    pkt.dataIova = 0xbbe00000;
+    pkt.notifyIova = 0x34800f00;
+    return pkt;
+}
+
+TEST(Ptb, AllocateUntilFull)
+{
+    PendingTranslationBuffer ptb(2);
+    EXPECT_EQ(ptb.capacity(), 2u);
+    EXPECT_FALSE(ptb.full());
+    const int a = ptb.allocate(packet(0), 10);
+    const int b = ptb.allocate(packet(1), 20);
+    EXPECT_GE(a, 0);
+    EXPECT_GE(b, 0);
+    EXPECT_NE(a, b);
+    EXPECT_TRUE(ptb.full());
+    EXPECT_EQ(ptb.allocate(packet(2), 30), -1); // drop
+    EXPECT_EQ(ptb.inUse(), 2u);
+}
+
+TEST(Ptb, ReleaseMakesRoom)
+{
+    PendingTranslationBuffer ptb(1);
+    const int a = ptb.allocate(packet(0), 0);
+    ASSERT_GE(a, 0);
+    EXPECT_TRUE(ptb.full());
+    ptb.release(static_cast<unsigned>(a));
+    EXPECT_FALSE(ptb.full());
+    EXPECT_EQ(ptb.inUse(), 0u);
+    EXPECT_GE(ptb.allocate(packet(1), 1), 0);
+}
+
+TEST(Ptb, EntryStateInitialised)
+{
+    PendingTranslationBuffer ptb(4);
+    const int idx = ptb.allocate(packet(7), 123);
+    ASSERT_GE(idx, 0);
+    const PtbEntry &entry = ptb.entry(static_cast<unsigned>(idx));
+    EXPECT_TRUE(entry.busy);
+    EXPECT_EQ(entry.packet.sid, 7u);
+    EXPECT_EQ(entry.nextReq, 0u);
+    EXPECT_FALSE(entry.prefetchIssued);
+    EXPECT_EQ(entry.accepted, 123u);
+}
+
+TEST(Ptb, ReallocationResetsEntryState)
+{
+    PendingTranslationBuffer ptb(1);
+    int idx = ptb.allocate(packet(1), 5);
+    PtbEntry &entry = ptb.entry(static_cast<unsigned>(idx));
+    entry.nextReq = 3;
+    entry.prefetchIssued = true;
+    ptb.release(static_cast<unsigned>(idx));
+
+    idx = ptb.allocate(packet(2), 9);
+    const PtbEntry &fresh = ptb.entry(static_cast<unsigned>(idx));
+    EXPECT_EQ(fresh.nextReq, 0u);
+    EXPECT_FALSE(fresh.prefetchIssued);
+    EXPECT_EQ(fresh.packet.sid, 2u);
+}
+
+TEST(Ptb, OutOfOrderRelease)
+{
+    PendingTranslationBuffer ptb(3);
+    const int a = ptb.allocate(packet(0), 0);
+    const int b = ptb.allocate(packet(1), 0);
+    const int c = ptb.allocate(packet(2), 0);
+    // Release the middle one first: no head-of-line blocking.
+    ptb.release(static_cast<unsigned>(b));
+    EXPECT_EQ(ptb.inUse(), 2u);
+    const int d = ptb.allocate(packet(3), 0);
+    EXPECT_GE(d, 0);
+    EXPECT_TRUE(ptb.full());
+    ptb.release(static_cast<unsigned>(a));
+    ptb.release(static_cast<unsigned>(c));
+    ptb.release(static_cast<unsigned>(d));
+    EXPECT_EQ(ptb.inUse(), 0u);
+}
+
+TEST(Ptb, StressChurnKeepsAccounting)
+{
+    PendingTranslationBuffer ptb(8);
+    std::vector<unsigned> live;
+    uint64_t allocated = 0;
+    for (int round = 0; round < 1000; ++round) {
+        if (live.size() < 8 && (round % 3) != 2) {
+            int idx = ptb.allocate(packet(round & 0xff), round);
+            ASSERT_GE(idx, 0);
+            live.push_back(static_cast<unsigned>(idx));
+            ++allocated;
+        } else if (!live.empty()) {
+            ptb.release(live[round % live.size()]);
+            live.erase(live.begin() +
+                       static_cast<long>(round % live.size()));
+        }
+        EXPECT_EQ(ptb.inUse(), live.size());
+    }
+    EXPECT_GT(allocated, 300u);
+}
+
+} // namespace
+} // namespace hypersio::core

@@ -1,0 +1,133 @@
+/** Tests for the experiment runner utilities: bench option parsing
+ *  and result-table formatting. */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/runner.hh"
+
+namespace hypersio::core
+{
+namespace
+{
+
+BenchOptions
+parseArgs(std::vector<std::string> args)
+{
+    std::vector<char *> argv;
+    static std::string prog = "bench";
+    argv.push_back(prog.data());
+    for (auto &arg : args)
+        argv.push_back(arg.data());
+    return BenchOptions::parse(static_cast<int>(argv.size()),
+                               argv.data());
+}
+
+TEST(BenchOptionsTest, Defaults)
+{
+    const BenchOptions opts = parseArgs({});
+    EXPECT_DOUBLE_EQ(opts.scale, 0.05);
+    EXPECT_EQ(opts.maxTenants, 1024u);
+    EXPECT_EQ(opts.seed, 42u);
+    EXPECT_FALSE(opts.verbose);
+}
+
+TEST(BenchOptionsTest, QuickAndFullPresets)
+{
+    const BenchOptions quick = parseArgs({"--quick"});
+    EXPECT_DOUBLE_EQ(quick.scale, 0.05);
+    EXPECT_EQ(quick.maxTenants, 256u);
+
+    const BenchOptions full = parseArgs({"--full"});
+    EXPECT_DOUBLE_EQ(full.scale, 1.0);
+    EXPECT_EQ(full.maxTenants, 1024u);
+}
+
+TEST(BenchOptionsTest, ExplicitValues)
+{
+    const BenchOptions opts = parseArgs(
+        {"--scale", "0.2", "--tenants", "128", "--seed", "7",
+         "--verbose"});
+    EXPECT_DOUBLE_EQ(opts.scale, 0.2);
+    EXPECT_EQ(opts.maxTenants, 128u);
+    EXPECT_EQ(opts.seed, 7u);
+    EXPECT_TRUE(opts.verbose);
+}
+
+TEST(PrintBandwidthTable, FormatsRowsAndColumns)
+{
+    std::ostringstream os;
+    printBandwidthTable(os, "test table", {4, 8},
+                        {{"a", {1.5, 2.5}}, {"b", {3.25}}});
+    const std::string text = os.str();
+    EXPECT_NE(text.find("test table"), std::string::npos);
+    EXPECT_NE(text.find("tenants"), std::string::npos);
+    EXPECT_NE(text.find("1.5"), std::string::npos);
+    EXPECT_NE(text.find("3.2"), std::string::npos);
+    // Missing second value of series "b" renders as "-".
+    EXPECT_NE(text.find("-"), std::string::npos);
+}
+
+TEST(ExperimentRunnerTest, BypassPointRunsNative)
+{
+    ExperimentRunner runner(0.02, 42);
+    ExperimentPoint point;
+    point.label = "native";
+    point.config = SystemConfig::base();
+    point.config.link.gbps = 10.0;
+    point.bench = workload::Benchmark::Iperf3;
+    point.tenants = 4;
+    point.interleave = trace::parseInterleaving("RR1");
+    point.bypassTranslation = true;
+    const ExperimentRow row = runner.run(point);
+    EXPECT_NEAR(row.results.utilization, 1.0, 1e-9);
+    EXPECT_EQ(row.results.packetsDropped, 0u);
+}
+
+TEST(ExperimentRunnerTest, RunAllPreservesOrderAndProgress)
+{
+    ExperimentRunner runner(0.02, 42);
+    std::vector<ExperimentPoint> points(2);
+    points[0].label = "first";
+    points[0].config = SystemConfig::base();
+    points[0].tenants = 4;
+    points[0].interleave = trace::parseInterleaving("RR1");
+    points[1].label = "second";
+    points[1].config = SystemConfig::hypertrio();
+    points[1].tenants = 4;
+    points[1].interleave = trace::parseInterleaving("RR1");
+
+    std::ostringstream progress;
+    const auto rows = runner.runAll(points, &progress);
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0].point.label, "first");
+    EXPECT_EQ(rows[1].point.label, "second");
+    EXPECT_NE(progress.str().find("first"), std::string::npos);
+    EXPECT_NE(progress.str().find("second"), std::string::npos);
+    // HyperTRIO beats Base on the same trace.
+    EXPECT_GE(rows[1].results.achievedGbps,
+              rows[0].results.achievedGbps);
+}
+
+TEST(WriteCsv, EmitsHeaderAndRows)
+{
+    const auto path = std::filesystem::temp_directory_path() /
+                      "hypersio_csv_test.csv";
+    writeCsv(path.string(), {4, 8},
+             {{"base", {1.5, 2.5}}, {"ht", {3.0}}});
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "tenants,base,ht");
+    std::getline(in, line);
+    EXPECT_EQ(line, "4,1.5,3");
+    std::getline(in, line);
+    EXPECT_EQ(line, "8,2.5,"); // missing value stays empty
+    std::filesystem::remove(path);
+}
+
+} // namespace
+} // namespace hypersio::core

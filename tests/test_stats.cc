@@ -1,0 +1,156 @@
+/** Unit tests for the statistics package. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/stats.hh"
+
+namespace hypersio::stats
+{
+namespace
+{
+
+TEST(Counter, IncrementAndAdd)
+{
+    StatGroup group("g");
+    Counter &c = group.makeCounter("c", "a counter");
+    EXPECT_EQ(c.count(), 0u);
+    ++c;
+    c += 5;
+    EXPECT_EQ(c.count(), 6u);
+    EXPECT_DOUBLE_EQ(c.value(), 6.0);
+    c.reset();
+    EXPECT_EQ(c.count(), 0u);
+}
+
+TEST(Scalar, AssignAndAccumulate)
+{
+    StatGroup group("g");
+    Scalar &s = group.makeScalar("s", "a scalar");
+    s = 2.5;
+    s += 1.5;
+    EXPECT_DOUBLE_EQ(s.value(), 4.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Ratio, QuotientAndZeroDenominator)
+{
+    StatGroup group("g");
+    Counter &hits = group.makeCounter("hits", "");
+    Counter &lookups = group.makeCounter("lookups", "");
+    Ratio &rate = group.makeRatio("rate", "", hits, lookups);
+    EXPECT_DOUBLE_EQ(rate.value(), 0.0); // no division by zero
+    lookups += 4;
+    hits += 1;
+    EXPECT_DOUBLE_EQ(rate.value(), 0.25);
+}
+
+TEST(Histogram, MeanMinMaxStddev)
+{
+    StatGroup group("g");
+    Histogram &h = group.makeHistogram("h", "", 0, 100, 10);
+    h.sample(10);
+    h.sample(20);
+    h.sample(30);
+    EXPECT_EQ(h.samples(), 3u);
+    EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+    EXPECT_DOUBLE_EQ(h.min(), 10.0);
+    EXPECT_DOUBLE_EQ(h.max(), 30.0);
+    EXPECT_NEAR(h.stddev(), 10.0, 1e-9);
+}
+
+TEST(Histogram, BinsAndOverflow)
+{
+    StatGroup group("g");
+    Histogram &h = group.makeHistogram("h", "", 0, 10, 10);
+    h.sample(-1);       // underflow
+    h.sample(0);        // bin 0
+    h.sample(9.5);      // bin 9
+    h.sample(10);       // overflow (hi is exclusive)
+    h.sample(100, 3);   // weighted overflow
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+    EXPECT_EQ(h.overflow(), 4u);
+    EXPECT_EQ(h.samples(), 7u);
+}
+
+TEST(Histogram, WeightedSamples)
+{
+    StatGroup group("g");
+    Histogram &h = group.makeHistogram("h", "", 0, 100, 4);
+    h.sample(10, 3);
+    h.sample(50, 1);
+    EXPECT_EQ(h.samples(), 4u);
+    EXPECT_DOUBLE_EQ(h.mean(), (30.0 + 50.0) / 4.0);
+}
+
+TEST(Histogram, ResetClearsEverything)
+{
+    StatGroup group("g");
+    Histogram &h = group.makeHistogram("h", "", 0, 10, 5);
+    h.sample(5);
+    h.reset();
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.binCount(2), 0u);
+}
+
+TEST(StatGroup, ChildCreationIsIdempotent)
+{
+    StatGroup root("root");
+    StatGroup &a = root.child("a");
+    StatGroup &b = root.child("a");
+    EXPECT_EQ(&a, &b);
+    EXPECT_NE(&root.child("c"), &a);
+}
+
+TEST(StatGroup, FindLocatesStats)
+{
+    StatGroup root("root");
+    Counter &c = root.makeCounter("hits", "desc");
+    EXPECT_EQ(root.find("hits"), &c);
+    EXPECT_EQ(root.find("misses"), nullptr);
+}
+
+TEST(StatGroup, ResetAllRecurses)
+{
+    StatGroup root("root");
+    Counter &a = root.makeCounter("a", "");
+    Counter &b = root.child("sub").makeCounter("b", "");
+    a += 3;
+    b += 4;
+    root.resetAll();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(StatGroup, DumpContainsHierarchicalNames)
+{
+    StatGroup root("system");
+    root.makeCounter("events", "total events") += 7;
+    root.child("device").makeCounter("packets", "pkt count") += 2;
+    std::ostringstream os;
+    root.dump(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("system.events"), std::string::npos);
+    EXPECT_NE(text.find("system.device.packets"), std::string::npos);
+    EXPECT_NE(text.find("total events"), std::string::npos);
+}
+
+TEST(Histogram, DumpShowsDistribution)
+{
+    StatGroup root("r");
+    Histogram &h = root.makeHistogram("lat", "latency", 0, 10, 2);
+    h.sample(1);
+    h.sample(6);
+    std::ostringstream os;
+    root.dump(os);
+    EXPECT_NE(os.str().find("lat.mean"), std::string::npos);
+    EXPECT_NE(os.str().find("lat.bin[0,5)"), std::string::npos);
+}
+
+} // namespace
+} // namespace hypersio::stats

@@ -1,0 +1,199 @@
+/** Unit tests for the util library: bit ops, RNG, strings, units. */
+
+#include <gtest/gtest.h>
+
+#include "util/bitfield.hh"
+#include "util/rng.hh"
+#include "util/str.hh"
+#include "util/units.hh"
+
+namespace hypersio
+{
+namespace
+{
+
+TEST(Bitfield, BitsExtractsInclusiveRange)
+{
+    EXPECT_EQ(bits(0xff00, 15, 8), 0xffu);
+    EXPECT_EQ(bits(0xff00, 7, 0), 0x00u);
+    EXPECT_EQ(bits(0xdeadbeef, 31, 16), 0xdeadu);
+    EXPECT_EQ(bits(~uint64_t(0), 63, 0), ~uint64_t(0));
+}
+
+TEST(Bitfield, MaskCoversRange)
+{
+    EXPECT_EQ(mask(3, 0), 0xfu);
+    EXPECT_EQ(mask(15, 8), 0xff00u);
+    EXPECT_EQ(mask(63, 0), ~uint64_t(0));
+}
+
+TEST(Bitfield, PowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(4096));
+    EXPECT_FALSE(isPowerOf2(4097));
+}
+
+TEST(Bitfield, Log2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(floorLog2(4097), 12u);
+    EXPECT_EQ(ceilLog2(4096), 12u);
+    EXPECT_EQ(ceilLog2(4097), 13u);
+    EXPECT_EQ(ceilLog2(1), 0u);
+}
+
+TEST(Bitfield, Rounding)
+{
+    EXPECT_EQ(roundUp(4095, 4096), 4096u);
+    EXPECT_EQ(roundUp(4096, 4096), 4096u);
+    EXPECT_EQ(roundDown(4097, 4096), 4096u);
+}
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+    EXPECT_EQ(rng.below(0), 0u);
+    EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        uint64_t v = rng.range(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, SplitmixMixesInput)
+{
+    // Adjacent inputs should produce wildly different outputs.
+    EXPECT_NE(splitmix64(1), splitmix64(2));
+    EXPECT_NE(splitmix64(1) >> 32, splitmix64(2) >> 32);
+    EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1));
+}
+
+TEST(Str, Split)
+{
+    auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "c");
+    EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(Str, Trim)
+{
+    EXPECT_EQ(trim("  x  "), "x");
+    EXPECT_EQ(trim("x"), "x");
+    EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Str, ParseU64)
+{
+    uint64_t v = 0;
+    EXPECT_TRUE(parseU64("42", v));
+    EXPECT_EQ(v, 42u);
+    EXPECT_TRUE(parseU64("0x10", v));
+    EXPECT_EQ(v, 16u);
+    EXPECT_TRUE(parseU64("4k", v));
+    EXPECT_EQ(v, 4096u);
+    EXPECT_TRUE(parseU64("2m", v));
+    EXPECT_EQ(v, 2u << 20);
+    EXPECT_TRUE(parseU64("1g", v));
+    EXPECT_EQ(v, 1u << 30);
+    EXPECT_FALSE(parseU64("", v));
+    EXPECT_FALSE(parseU64("abc", v));
+    EXPECT_FALSE(parseU64("12x", v));
+}
+
+TEST(Str, ParseDouble)
+{
+    double v = 0;
+    EXPECT_TRUE(parseDouble("1.5", v));
+    EXPECT_DOUBLE_EQ(v, 1.5);
+    EXPECT_FALSE(parseDouble("zz", v));
+    EXPECT_FALSE(parseDouble("", v));
+}
+
+TEST(Str, Strprintf)
+{
+    EXPECT_EQ(strprintf("%d-%s", 7, "x"), "7-x");
+    EXPECT_EQ(strprintf("%s", ""), "");
+}
+
+TEST(Str, FormatBytes)
+{
+    EXPECT_EQ(formatBytes(512), "512B");
+    EXPECT_EQ(formatBytes(2 << 20), "2.0MiB");
+}
+
+TEST(Units, PacketSerialization)
+{
+    // 1542 B at 200 Gb/s = 61.68 ns.
+    EXPECT_EQ(serializationTicks(1542, 200.0), 61680u);
+    // 1542 B at 10 Gb/s = 1233.6 ns.
+    EXPECT_EQ(serializationTicks(1542, 10.0), 1233600u);
+}
+
+TEST(Units, AchievedBandwidth)
+{
+    // 1542 bytes in 61.68 ns is exactly 200 Gb/s.
+    EXPECT_NEAR(achievedGbps(1542, 61680), 200.0, 1e-9);
+    EXPECT_DOUBLE_EQ(achievedGbps(1000, 0), 0.0);
+}
+
+TEST(Units, TickConversions)
+{
+    EXPECT_EQ(nsToTicks(1.0), TicksPerNs);
+    EXPECT_DOUBLE_EQ(ticksToNs(1500), 1.5);
+    EXPECT_DOUBLE_EQ(ticksToSec(TicksPerSec), 1.0);
+}
+
+} // namespace
+} // namespace hypersio
