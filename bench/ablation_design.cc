@@ -25,24 +25,53 @@ main(int argc, char **argv)
                   "paging depth, partition granularity, LFU width",
                   opts);
 
-    core::ExperimentRunner runner(opts.scale, opts.seed);
+    core::ExperimentRunner runner = bench::makeRunner(opts);
     const auto tenants = core::paperTenantSweep(
         std::min(opts.maxTenants, 256u));
+
+    constexpr unsigned kLevelSweep[] = {4, 5};
+    constexpr size_t kPartitionSweep[] = {1, 2, 4, 8};
+    constexpr unsigned kLfuBitsSweep[] = {2, 4, 8};
+
+    const bench::WallTimer timer;
+    bench::PointBatch batch(runner);
+    for (unsigned levels : kLevelSweep) {
+        for (unsigned t : tenants) {
+            core::SystemConfig config =
+                bench::partitionedPtbConfig(32);
+            config.iommu.pagingLevels = levels;
+            batch.add(std::move(config), workload::Benchmark::Iperf3,
+                      t);
+        }
+    }
+    for (size_t partitions : kPartitionSweep) {
+        for (unsigned t : tenants) {
+            core::SystemConfig config = core::SystemConfig::base();
+            config.device.ptbEntries = 8;
+            config.device.devtlb.partitions = partitions;
+            batch.add(std::move(config), workload::Benchmark::Iperf3,
+                      t);
+        }
+    }
+    for (unsigned bits : kLfuBitsSweep) {
+        for (unsigned t : tenants) {
+            core::SystemConfig config = core::SystemConfig::base();
+            config.device.devtlb.lfuBits = bits;
+            batch.add(std::move(config), workload::Benchmark::Iperf3,
+                      t);
+        }
+    }
+    batch.run(bench::progressSink(opts));
 
     // ---- 1. paging depth -------------------------------------------
     {
         std::vector<std::pair<std::string, std::vector<double>>>
             series;
-        for (unsigned levels : {4u, 5u}) {
+        for (unsigned levels : kLevelSweep) {
             std::vector<double> values;
             for (unsigned t : tenants) {
-                core::SystemConfig config =
-                    bench::partitionedPtbConfig(32);
-                config.iommu.pagingLevels = levels;
-                values.push_back(
-                    bench::runPoint(runner, config,
-                                    workload::Benchmark::Iperf3, t)
-                        .achievedGbps);
+                (void)t;
+                values.push_back(batch.take().achievedGbps);
             }
             series.emplace_back(std::to_string(levels) + "-level",
                                 std::move(values));
@@ -58,16 +87,11 @@ main(int argc, char **argv)
     {
         std::vector<std::pair<std::string, std::vector<double>>>
             series;
-        for (size_t partitions : {1u, 2u, 4u, 8u}) {
+        for (size_t partitions : kPartitionSweep) {
             std::vector<double> values;
             for (unsigned t : tenants) {
-                core::SystemConfig config = core::SystemConfig::base();
-                config.device.ptbEntries = 8;
-                config.device.devtlb.partitions = partitions;
-                values.push_back(
-                    bench::runPoint(runner, config,
-                                    workload::Benchmark::Iperf3, t)
-                        .achievedGbps);
+                (void)t;
+                values.push_back(batch.take().achievedGbps);
             }
             series.emplace_back(
                 std::to_string(partitions) + "-part",
@@ -85,15 +109,11 @@ main(int argc, char **argv)
     {
         std::vector<std::pair<std::string, std::vector<double>>>
             series;
-        for (unsigned bits : {2u, 4u, 8u}) {
+        for (unsigned bits : kLfuBitsSweep) {
             std::vector<double> values;
             for (unsigned t : tenants) {
-                core::SystemConfig config = core::SystemConfig::base();
-                config.device.devtlb.lfuBits = bits;
-                values.push_back(
-                    bench::runPoint(runner, config,
-                                    workload::Benchmark::Iperf3, t)
-                        .achievedGbps);
+                (void)t;
+                values.push_back(batch.take().achievedGbps);
             }
             series.emplace_back(std::to_string(bits) + "-bit",
                                 std::move(values));
@@ -102,5 +122,6 @@ main(int argc, char **argv)
             std::cout, "LFU counter width (Base, iperf3 RR1)",
             tenants, series);
     }
+    bench::wallClockLine(timer, opts);
     return 0;
 }

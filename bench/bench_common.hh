@@ -3,20 +3,34 @@
  * Shared helpers for the per-figure bench binaries: each binary
  * regenerates one table or figure of the paper, printing the same
  * rows/series the paper reports.
+ *
+ * Sweep-style benches collect their points into a PointBatch and run
+ * them through the ExperimentRunner worker pool (`--jobs`), which
+ * keeps the printed tables byte-identical to a serial run while
+ * using every core.
  */
 
 #ifndef HYPERSIO_BENCH_COMMON_HH
 #define HYPERSIO_BENCH_COMMON_HH
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "hypersio/hypersio.hh"
 
 namespace hypersio::bench
 {
+
+/** Builds the standard runner for a bench binary. */
+inline core::ExperimentRunner
+makeRunner(const core::BenchOptions &opts)
+{
+    return core::ExperimentRunner(opts.scale, opts.seed, opts.jobs);
+}
 
 /** Runs one (config, workload) point and returns the results. */
 inline core::RunResults
@@ -32,6 +46,98 @@ runPoint(core::ExperimentRunner &runner, core::SystemConfig config,
     point.interleave = trace::parseInterleaving(il);
     point.bypassTranslation = bypass;
     return runner.run(point).results;
+}
+
+/**
+ * Collects experiment points across a bench's loop structure, runs
+ * them all at once through ExperimentRunner::runAll (fanning out
+ * over the `--jobs` worker pool), and hands the results back in the
+ * order the points were added.
+ *
+ * Usage: run the bench's loops once calling add(), call run(), then
+ * mirror the same loops calling take() — take() returns results in
+ * exactly add() order, so the printed tables match a serial run
+ * byte for byte.
+ */
+class PointBatch
+{
+  public:
+    explicit PointBatch(core::ExperimentRunner &runner)
+        : _runner(runner)
+    {}
+
+    /** Queues one point; its result comes back in add() order. */
+    void
+    add(core::SystemConfig config, workload::Benchmark bench,
+        unsigned tenants, const std::string &il = "RR1",
+        bool bypass = false)
+    {
+        core::ExperimentPoint point;
+        point.label = config.name;
+        point.config = std::move(config);
+        point.bench = bench;
+        point.tenants = tenants;
+        point.interleave = trace::parseInterleaving(il);
+        point.bypassTranslation = bypass;
+        _points.push_back(std::move(point));
+    }
+
+    /** Runs every queued point across the runner's worker pool. */
+    void
+    run(std::ostream *progress = nullptr)
+    {
+        _rows = _runner.runAll(_points, progress);
+        _next = 0;
+    }
+
+    /** Next result, in add() order. */
+    const core::RunResults &
+    take()
+    {
+        if (_next >= _rows.size())
+            panic("PointBatch::take() past the %zu queued points",
+                  _rows.size());
+        return _rows[_next++].results;
+    }
+
+    size_t size() const { return _points.size(); }
+
+  private:
+    core::ExperimentRunner &_runner;
+    std::vector<core::ExperimentPoint> _points;
+    std::vector<core::ExperimentRow> _rows;
+    size_t _next = 0;
+};
+
+/** Wall-clock timer for the end-of-bench speedup line. */
+class WallTimer
+{
+  public:
+    WallTimer() : _start(std::chrono::steady_clock::now()) {}
+
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - _start)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point _start;
+};
+
+/**
+ * Prints the wall-clock line. It goes to stderr so stdout result
+ * tables stay byte-identical across `--jobs` values; run a bench
+ * with `--jobs 1` and again with `--jobs N` to read the sweep
+ * speedup directly off the two lines.
+ */
+inline void
+wallClockLine(const WallTimer &timer, const core::BenchOptions &opts)
+{
+    std::fprintf(stderr, "[wall] %.2f s (--jobs %u)\n",
+                 timer.seconds(), opts.jobs);
 }
 
 /** Table IV "HyperTRIO without prefetching" configuration. */
@@ -55,6 +161,13 @@ banner(const char *id, const char *what,
                 "use --full for paper-sized traces)\n\n",
                 opts.scale, opts.maxTenants,
                 (unsigned long long)opts.seed);
+}
+
+/** The progress sink for a batch run: stderr when --verbose. */
+inline std::ostream *
+progressSink(const core::BenchOptions &opts)
+{
+    return opts.verbose ? &std::cerr : nullptr;
 }
 
 } // namespace hypersio::bench

@@ -23,7 +23,7 @@ main(int argc, char **argv)
                   "scenario)",
                   opts);
 
-    core::ExperimentRunner runner(opts.scale, opts.seed);
+    core::ExperimentRunner runner = bench::makeRunner(opts);
     const unsigned tenants = std::min(opts.maxTenants, 256u);
 
     std::printf("%u tenants total, iperf3 RR1, tenants split "

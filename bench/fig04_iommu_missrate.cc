@@ -16,6 +16,27 @@
 
 using namespace hypersio;
 
+namespace
+{
+
+constexpr unsigned kConnSweep[] = {40, 60, 80, 90, 100, 110, 120};
+
+core::SystemConfig
+amdAnalogueConfig()
+{
+    core::SystemConfig config = core::SystemConfig::base();
+    config.name = "amd-analogue";
+    config.link.gbps = 10.0;
+    // Sized so the capacity knee falls inside the measured
+    // 80-120 connection window (8 hot pages per iperf3 tenant),
+    // mirroring the AMD host's counter-visible IOMMU TLB.
+    config.iommu.iotlb.entries = 768;
+    config.iommu.iotlb.ways = 8;
+    return config;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
@@ -25,35 +46,25 @@ main(int argc, char **argv)
                   "(10 Gb/s, AMD-host analogue)",
                   opts);
 
-    core::ExperimentRunner runner(opts.scale, opts.seed);
+    core::ExperimentRunner runner = bench::makeRunner(opts);
+
+    const bench::WallTimer timer;
+    bench::PointBatch batch(runner);
+    for (unsigned conns : kConnSweep)
+        batch.add(amdAnalogueConfig(), workload::Benchmark::Iperf3,
+                  conns);
+    batch.run(bench::progressSink(opts));
 
     std::printf("%12s %16s %18s\n", "connections", "miss rate (%)",
                 "nested PT reads");
     uint64_t reads_at_80 = 0;
-    for (unsigned conns : {40u, 60u, 80u, 90u, 100u, 110u, 120u}) {
-        core::SystemConfig config = core::SystemConfig::base();
-        config.name = "amd-analogue";
-        config.link.gbps = 10.0;
-        // Sized so the capacity knee falls inside the measured
-        // 80-120 connection window (8 hot pages per iperf3 tenant),
-        // mirroring the AMD host's counter-visible IOMMU TLB.
-        config.iommu.iotlb.entries = 768;
-        config.iommu.iotlb.ways = 8;
-
-        core::ExperimentPoint point;
-        point.label = config.name;
-        point.config = config;
-        point.bench = workload::Benchmark::Iperf3;
-        point.tenants = conns;
-        point.interleave = trace::parseInterleaving("RR1");
-
-        const auto row = runner.run(point);
+    for (unsigned conns : kConnSweep) {
+        const auto &results = batch.take();
         const double miss_rate =
-            row.results.iommuRequests == 0
+            results.iommuRequests == 0
                 ? 0.0
-                : 100.0 *
-                      (1.0 - row.results.iotlbHitRate);
-        const uint64_t reads = row.results.walks;
+                : 100.0 * (1.0 - results.iotlbHitRate);
+        const uint64_t reads = results.walks;
         if (conns == 80)
             reads_at_80 = reads;
         std::printf("%12u %16.2f %18llu\n", conns, miss_rate,
@@ -65,5 +76,6 @@ main(int argc, char **argv)
     if (reads_at_80 > 0)
         std::printf("(model nested-read growth is reported in the "
                     "table above)\n");
+    bench::wallClockLine(timer, opts);
     return 0;
 }

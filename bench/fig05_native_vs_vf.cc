@@ -23,22 +23,31 @@ main(int argc, char **argv)
                   "Intel-host analogue)",
                   opts);
 
-    core::ExperimentRunner runner(opts.scale, opts.seed);
+    core::ExperimentRunner runner = bench::makeRunner(opts);
 
-    std::vector<unsigned> conns{1, 2, 4, 8, 12, 16, 24, 32};
-    std::vector<double> native;
-    std::vector<double> vf;
-    for (unsigned c : conns) {
+    const std::vector<unsigned> conns{1, 2, 4, 8, 12, 16, 24, 32};
+    auto intel_config = []() {
         core::SystemConfig config = core::SystemConfig::base();
         config.name = "intel-analogue";
         config.link.gbps = 10.0;
-        native.push_back(
-            bench::runPoint(runner, config, workload::Benchmark::Iperf3,
-                            c, "RR1", /*bypass=*/true)
-                .achievedGbps);
-        vf.push_back(bench::runPoint(runner, config,
-                                     workload::Benchmark::Iperf3, c)
-                         .achievedGbps);
+        return config;
+    };
+
+    const bench::WallTimer timer;
+    bench::PointBatch batch(runner);
+    for (unsigned c : conns) {
+        batch.add(intel_config(), workload::Benchmark::Iperf3, c,
+                  "RR1", /*bypass=*/true);
+        batch.add(intel_config(), workload::Benchmark::Iperf3, c);
+    }
+    batch.run(bench::progressSink(opts));
+
+    std::vector<double> native;
+    std::vector<double> vf;
+    for (unsigned c : conns) {
+        (void)c;
+        native.push_back(batch.take().achievedGbps);
+        vf.push_back(batch.take().achievedGbps);
     }
 
     core::printBandwidthTable(std::cout,
@@ -47,5 +56,6 @@ main(int argc, char **argv)
     std::printf("\npaper: native ~9.5 Gb/s throughout; VF matches "
                 "native up to 8 pairs, then collapses to ~0.5 Gb/s "
                 "beyond 16\n");
+    bench::wallClockLine(timer, opts);
     return 0;
 }

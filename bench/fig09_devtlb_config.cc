@@ -14,6 +14,22 @@
 
 using namespace hypersio;
 
+namespace
+{
+
+struct Shape
+{
+    const char *label;
+    size_t entries;
+    size_t ways;
+};
+
+constexpr Shape kShapes[] = {{"64e/8w", 64, 8},
+                             {"64e/fa", 64, 64},
+                             {"32e/8w", 32, 8}};
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
@@ -23,30 +39,30 @@ main(int argc, char **argv)
                   "connection count (200 Gb/s, Base)",
                   opts);
 
-    core::ExperimentRunner runner(opts.scale, opts.seed);
+    core::ExperimentRunner runner = bench::makeRunner(opts);
     const auto tenants = core::paperTenantSweep(
         std::min(opts.maxTenants, 256u));
 
-    std::vector<std::pair<std::string, std::vector<double>>> series;
-    struct Shape
-    {
-        const char *label;
-        size_t entries;
-        size_t ways;
-    };
-    for (const Shape &shape : {Shape{"64e/8w", 64, 8},
-                               Shape{"64e/fa", 64, 64},
-                               Shape{"32e/8w", 32, 8}}) {
-        std::vector<double> values;
+    const bench::WallTimer timer;
+    bench::PointBatch batch(runner);
+    for (const Shape &shape : kShapes) {
         for (unsigned t : tenants) {
             core::SystemConfig config = core::SystemConfig::base();
             config.name = shape.label;
             config.device.devtlb.entries = shape.entries;
             config.device.devtlb.ways = shape.ways;
-            values.push_back(
-                bench::runPoint(runner, config,
-                                workload::Benchmark::Iperf3, t)
-                    .achievedGbps);
+            batch.add(std::move(config), workload::Benchmark::Iperf3,
+                      t);
+        }
+    }
+    batch.run(bench::progressSink(opts));
+
+    std::vector<std::pair<std::string, std::vector<double>>> series;
+    for (const Shape &shape : kShapes) {
+        std::vector<double> values;
+        for (unsigned t : tenants) {
+            (void)t;
+            values.push_back(batch.take().achievedGbps);
         }
         series.emplace_back(shape.label, std::move(values));
     }
@@ -58,5 +74,6 @@ main(int argc, char **argv)
                 "8-way DevTLB more than ~4 concurrent connections "
                 "start evicting each other until the translation "
                 "subsystem throttles the link\n");
+    bench::wallClockLine(timer, opts);
     return 0;
 }

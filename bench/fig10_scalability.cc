@@ -3,6 +3,10 @@
  * Fig. 10: scalability of I/O bandwidth for the HyperTRIO and Base
  * designs across the three benchmarks and the RR1/RR4/RAND1
  * inter-tenant interleavings, 4 to 1024 tenants (Table IV configs).
+ *
+ * All points run through one PointBatch, so `--jobs N` spreads the
+ * sweep over N workers while the tables stay byte-identical to a
+ * `--jobs 1` run.
  */
 
 #include "bench_common.hh"
@@ -17,8 +21,21 @@ main(int argc, char **argv)
                   "HyperTRIO vs Base bandwidth scalability",
                   opts);
 
-    core::ExperimentRunner runner(opts.scale, opts.seed);
+    core::ExperimentRunner runner = bench::makeRunner(opts);
     const auto tenants = core::paperTenantSweep(opts.maxTenants);
+
+    const bench::WallTimer timer;
+    bench::PointBatch batch(runner);
+    for (workload::Benchmark bench : workload::AllBenchmarks) {
+        for (const char *il : {"RR1", "RR4", "RAND1"}) {
+            for (unsigned t : tenants) {
+                batch.add(core::SystemConfig::base(), bench, t, il);
+                batch.add(core::SystemConfig::hypertrio(), bench, t,
+                          il);
+            }
+        }
+    }
+    batch.run(bench::progressSink(opts));
 
     for (workload::Benchmark bench : workload::AllBenchmarks) {
         std::vector<std::pair<std::string, std::vector<double>>>
@@ -27,16 +44,9 @@ main(int argc, char **argv)
             std::vector<double> base;
             std::vector<double> hyper;
             for (unsigned t : tenants) {
-                base.push_back(
-                    bench::runPoint(runner,
-                                    core::SystemConfig::base(),
-                                    bench, t, il)
-                        .achievedGbps);
-                hyper.push_back(
-                    bench::runPoint(runner,
-                                    core::SystemConfig::hypertrio(),
-                                    bench, t, il)
-                        .achievedGbps);
+                (void)t;
+                base.push_back(batch.take().achievedGbps);
+                hyper.push_back(batch.take().achievedGbps);
             }
             series.emplace_back(std::string("base/") + il,
                                 std::move(base));
@@ -55,5 +65,6 @@ main(int argc, char **argv)
         "tenants (<=15%% of the link, RR4 above RR1); HyperTRIO "
         "reaches up to 100%% at 1024 tenants and ~80%% under "
         "RAND1\n");
+    bench::wallClockLine(timer, opts);
     return 0;
 }

@@ -18,8 +18,24 @@ main(int argc, char **argv)
                   "Base design, 64 vs 1024-entry 8-way DevTLB",
                   opts);
 
-    core::ExperimentRunner runner(opts.scale, opts.seed);
+    core::ExperimentRunner runner = bench::makeRunner(opts);
     const auto tenants = core::paperTenantSweep(opts.maxTenants);
+
+    const bench::WallTimer timer;
+    bench::PointBatch batch(runner);
+    for (workload::Benchmark bench : workload::AllBenchmarks) {
+        for (const char *il : {"RR1", "RR4"}) {
+            for (size_t entries : {64u, 1024u}) {
+                for (unsigned t : tenants) {
+                    core::SystemConfig config =
+                        core::SystemConfig::base();
+                    config.device.devtlb.entries = entries;
+                    batch.add(std::move(config), bench, t, il);
+                }
+            }
+        }
+    }
+    batch.run(bench::progressSink(opts));
 
     for (workload::Benchmark bench : workload::AllBenchmarks) {
         std::vector<std::pair<std::string, std::vector<double>>>
@@ -28,12 +44,8 @@ main(int argc, char **argv)
             for (size_t entries : {64u, 1024u}) {
                 std::vector<double> values;
                 for (unsigned t : tenants) {
-                    core::SystemConfig config =
-                        core::SystemConfig::base();
-                    config.device.devtlb.entries = entries;
-                    values.push_back(
-                        bench::runPoint(runner, config, bench, t, il)
-                            .achievedGbps);
+                    (void)t;
+                    values.push_back(batch.take().achievedGbps);
                 }
                 series.emplace_back(std::to_string(entries) + "e/" +
                                         il,
@@ -51,5 +63,6 @@ main(int argc, char **argv)
                 "beyond 128 tenants both sizes perform the same "
                 "because hot sets conflict (same guest gIOVAs), and "
                 "RR4 can beat a bigger DevTLB via in-burst reuse\n");
+    bench::wallClockLine(timer, opts);
     return 0;
 }

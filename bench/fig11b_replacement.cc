@@ -19,24 +19,36 @@ main(int argc, char **argv)
                   "DevTLB replacement policies (Base, 64e/8w)",
                   opts);
 
-    core::ExperimentRunner runner(opts.scale, opts.seed);
+    core::ExperimentRunner runner = bench::makeRunner(opts);
     const auto tenants = core::paperTenantSweep(
         std::min(opts.maxTenants, 256u));
 
+    constexpr cache::ReplPolicyKind kPolicies[] = {
+        cache::ReplPolicyKind::LRU, cache::ReplPolicyKind::LFU,
+        cache::ReplPolicyKind::Oracle};
+
+    const bench::WallTimer timer;
+    bench::PointBatch batch(runner);
     for (workload::Benchmark bench : workload::AllBenchmarks) {
-        std::vector<std::pair<std::string, std::vector<double>>>
-            series;
-        for (auto policy : {cache::ReplPolicyKind::LRU,
-                            cache::ReplPolicyKind::LFU,
-                            cache::ReplPolicyKind::Oracle}) {
-            std::vector<double> values;
+        for (auto policy : kPolicies) {
             for (unsigned t : tenants) {
                 core::SystemConfig config =
                     core::SystemConfig::base();
                 config.device.devtlb.policy = policy;
-                values.push_back(
-                    bench::runPoint(runner, config, bench, t)
-                        .achievedGbps);
+                batch.add(std::move(config), bench, t);
+            }
+        }
+    }
+    batch.run(bench::progressSink(opts));
+
+    for (workload::Benchmark bench : workload::AllBenchmarks) {
+        std::vector<std::pair<std::string, std::vector<double>>>
+            series;
+        for (auto policy : kPolicies) {
+            std::vector<double> values;
+            for (unsigned t : tenants) {
+                (void)t;
+                values.push_back(batch.take().achievedGbps);
             }
             series.emplace_back(cache::replPolicyName(policy),
                                 std::move(values));
@@ -52,5 +64,6 @@ main(int argc, char **argv)
                 "2x for iperf3 at 16 tenants); oracle is slightly "
                 "better still, but no policy makes the shared "
                 "DevTLB scale in the hyper-tenant regime\n");
+    bench::wallClockLine(timer, opts);
     return 0;
 }

@@ -20,7 +20,7 @@ main(int argc, char **argv)
                   "replacement",
                   opts);
 
-    core::ExperimentRunner runner(opts.scale, opts.seed);
+    core::ExperimentRunner runner = bench::makeRunner(opts);
     const auto tenants = core::paperTenantSweep(
         std::min(opts.maxTenants, 128u));
 
@@ -34,20 +34,30 @@ main(int argc, char **argv)
                     workload::benchmarkName(bench), active);
     }
 
+    const bench::WallTimer timer;
+    bench::PointBatch batch(runner);
     for (workload::Benchmark bench : workload::AllBenchmarks) {
-        std::vector<std::pair<std::string, std::vector<double>>>
-            series;
         for (size_t entries : {8u, 32u, 36u, 64u}) {
-            std::vector<double> values;
             for (unsigned t : tenants) {
                 core::SystemConfig config =
                     core::SystemConfig::base();
                 config.device.devtlb = {
                     entries, entries, 1,
                     cache::ReplPolicyKind::Oracle, 7};
-                values.push_back(
-                    bench::runPoint(runner, config, bench, t)
-                        .achievedGbps);
+                batch.add(std::move(config), bench, t);
+            }
+        }
+    }
+    batch.run(bench::progressSink(opts));
+
+    for (workload::Benchmark bench : workload::AllBenchmarks) {
+        std::vector<std::pair<std::string, std::vector<double>>>
+            series;
+        for (size_t entries : {8u, 32u, 36u, 64u}) {
+            std::vector<double> values;
+            for (unsigned t : tenants) {
+                (void)t;
+                values.push_back(batch.take().achievedGbps);
             }
             series.emplace_back(std::to_string(entries) + "e-FA",
                                 std::move(values));
@@ -63,5 +73,6 @@ main(int argc, char **argv)
                 "device, even an ideally replaced fully-associative "
                 "DevTLB produces low utilisation — the tenant count "
                 "reaches the entry count and every request misses\n");
+    bench::wallClockLine(timer, opts);
     return 0;
 }

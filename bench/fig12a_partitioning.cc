@@ -21,25 +21,35 @@ main(int argc, char **argv)
                   "prefetch)",
                   opts);
 
-    core::ExperimentRunner runner(opts.scale, opts.seed);
+    core::ExperimentRunner runner = bench::makeRunner(opts);
     const auto tenants = core::paperTenantSweep(opts.maxTenants);
+
+    auto partitioned_config = []() {
+        core::SystemConfig config = core::SystemConfig::base();
+        config.name = "partitioned";
+        config.device.devtlb.partitions = 8;
+        config.iommu.l2tlb.partitions = 32;
+        config.iommu.l3tlb.partitions = 64;
+        return config;
+    };
+
+    const bench::WallTimer timer;
+    bench::PointBatch batch(runner);
+    for (workload::Benchmark bench : workload::AllBenchmarks) {
+        for (unsigned t : tenants) {
+            batch.add(core::SystemConfig::base(), bench, t);
+            batch.add(partitioned_config(), bench, t);
+        }
+    }
+    batch.run(bench::progressSink(opts));
 
     for (workload::Benchmark bench : workload::AllBenchmarks) {
         std::vector<double> unpart;
         std::vector<double> part;
         for (unsigned t : tenants) {
-            unpart.push_back(
-                bench::runPoint(runner, core::SystemConfig::base(),
-                                bench, t)
-                    .achievedGbps);
-            core::SystemConfig config = core::SystemConfig::base();
-            config.name = "partitioned";
-            config.device.devtlb.partitions = 8;
-            config.iommu.l2tlb.partitions = 32;
-            config.iommu.l3tlb.partitions = 64;
-            part.push_back(
-                bench::runPoint(runner, config, bench, t)
-                    .achievedGbps);
+            (void)t;
+            unpart.push_back(batch.take().achievedGbps);
+            part.push_back(batch.take().achievedGbps);
         }
         core::printBandwidthTable(
             std::cout,
@@ -53,5 +63,6 @@ main(int argc, char **argv)
                 "multiple tenants share a partition; partitioning "
                 "beats bigger/“smarter” DevTLBs but does not solve "
                 "hyper-tenant scalability alone\n");
+    bench::wallClockLine(timer, opts);
     return 0;
 }

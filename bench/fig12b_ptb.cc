@@ -33,20 +33,42 @@ main(int argc, char **argv)
                   "design, no prefetch)",
                   opts);
 
-    core::ExperimentRunner runner(opts.scale, opts.seed);
+    core::ExperimentRunner runner = bench::makeRunner(opts);
     const auto tenants = core::paperTenantSweep(opts.maxTenants);
+
+    constexpr unsigned kPtbSweep[] = {1, 2, 4, 8, 16, 32, 64};
+    constexpr unsigned kWalkerSweep[] = {4, 8, 16, 32, 0};
+
+    const bench::WallTimer timer;
+    bench::PointBatch batch(runner);
+    for (workload::Benchmark bench : workload::AllBenchmarks) {
+        for (unsigned ptb : kPtbSweep) {
+            for (unsigned t : tenants)
+                batch.add(bench::partitionedPtbConfig(ptb), bench,
+                          t);
+        }
+    }
+    if (ablate) {
+        for (unsigned walkers : kWalkerSweep) {
+            for (unsigned t : tenants) {
+                core::SystemConfig config =
+                    bench::partitionedPtbConfig(32);
+                config.iommu.walkers = walkers;
+                batch.add(std::move(config),
+                          workload::Benchmark::Iperf3, t);
+            }
+        }
+    }
+    batch.run(bench::progressSink(opts));
 
     for (workload::Benchmark bench : workload::AllBenchmarks) {
         std::vector<std::pair<std::string, std::vector<double>>>
             series;
-        for (unsigned ptb : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+        for (unsigned ptb : kPtbSweep) {
             std::vector<double> values;
             for (unsigned t : tenants) {
-                values.push_back(
-                    bench::runPoint(runner,
-                                    bench::partitionedPtbConfig(ptb),
-                                    bench, t)
-                        .achievedGbps);
+                (void)t;
+                values.push_back(batch.take().achievedGbps);
             }
             series.emplace_back("PTB" + std::to_string(ptb),
                                 std::move(values));
@@ -63,16 +85,11 @@ main(int argc, char **argv)
                     "(PTB=32, partitioned, iperf3) ---\n");
         std::vector<std::pair<std::string, std::vector<double>>>
             series;
-        for (unsigned walkers : {4u, 8u, 16u, 32u, 0u}) {
+        for (unsigned walkers : kWalkerSweep) {
             std::vector<double> values;
             for (unsigned t : tenants) {
-                core::SystemConfig config =
-                    bench::partitionedPtbConfig(32);
-                config.iommu.walkers = walkers;
-                values.push_back(
-                    bench::runPoint(runner, config,
-                                    workload::Benchmark::Iperf3, t)
-                        .achievedGbps);
+                (void)t;
+                values.push_back(batch.take().achievedGbps);
             }
             series.emplace_back(walkers == 0
                                     ? std::string("unlimited")
@@ -88,5 +105,6 @@ main(int argc, char **argv)
                 "16 tenants; 32 entries achieve ~136 Gb/s at 1024 "
                 "tenants; beyond that, growing the PTB stops "
                 "paying for its hardware\n");
+    bench::wallClockLine(timer, opts);
     return 0;
 }

@@ -22,21 +22,42 @@ main(int argc, char **argv)
                   "design with PTB=32",
                   opts);
 
-    core::ExperimentRunner runner(opts.scale, opts.seed);
+    core::ExperimentRunner runner = bench::makeRunner(opts);
     const auto tenants = core::paperTenantSweep(opts.maxTenants);
+
+    // Sensitivity sweep dimensions (PB size x history length).
+    const unsigned sens_tenants = std::min(opts.maxTenants, 256u);
+    constexpr unsigned kPbSweep[] = {8, 16, 32};
+    constexpr unsigned kHistorySweep[] = {12, 20, 32, 48};
+
+    const bench::WallTimer timer;
+    bench::PointBatch batch(runner);
+    for (workload::Benchmark bench : workload::AllBenchmarks) {
+        for (unsigned t : tenants) {
+            batch.add(bench::partitionedPtbConfig(32), bench, t);
+            batch.add(core::SystemConfig::hypertrio(), bench, t);
+        }
+    }
+    for (unsigned pb : kPbSweep) {
+        for (unsigned h : kHistorySweep) {
+            core::SystemConfig config =
+                core::SystemConfig::hypertrio();
+            config.device.prefetch.bufferEntries = pb;
+            config.device.prefetch.historyLength = h;
+            batch.add(std::move(config), workload::Benchmark::Iperf3,
+                      sens_tenants);
+        }
+    }
+    batch.run(bench::progressSink(opts));
 
     for (workload::Benchmark bench : workload::AllBenchmarks) {
         std::vector<double> without;
         std::vector<double> with_pf;
         std::vector<double> pb_rate;
         for (unsigned t : tenants) {
-            without.push_back(
-                bench::runPoint(runner,
-                                bench::partitionedPtbConfig(32),
-                                bench, t)
-                    .achievedGbps);
-            const auto r = bench::runPoint(
-                runner, core::SystemConfig::hypertrio(), bench, t);
+            (void)t;
+            without.push_back(batch.take().achievedGbps);
+            const auto &r = batch.take();
             with_pf.push_back(r.achievedGbps);
             pb_rate.push_back(r.pbHitRate * 100.0);
         }
@@ -50,21 +71,14 @@ main(int argc, char **argv)
              {"PB-hit(%)", pb_rate}});
     }
 
-    // Sensitivity: PB size x history length at the largest count.
-    const unsigned t = std::min(opts.maxTenants, 256u);
     std::printf("\n--- prefetcher sensitivity at %u tenants "
                 "(iperf3 RR1) ---\n",
-                t);
+                sens_tenants);
     std::printf("%8s %8s %12s %10s\n", "PB", "history",
                 "Gb/s", "PB-hit(%)");
-    for (unsigned pb : {8u, 16u, 32u}) {
-        for (unsigned h : {12u, 20u, 32u, 48u}) {
-            core::SystemConfig config =
-                core::SystemConfig::hypertrio();
-            config.device.prefetch.bufferEntries = pb;
-            config.device.prefetch.historyLength = h;
-            const auto r = bench::runPoint(
-                runner, config, workload::Benchmark::Iperf3, t);
+    for (unsigned pb : kPbSweep) {
+        for (unsigned h : kHistorySweep) {
+            const auto &r = batch.take();
             std::printf("%8u %8u %12.1f %10.1f\n", pb, h,
                         r.achievedGbps, r.pbHitRate * 100.0);
         }
@@ -75,5 +89,6 @@ main(int argc, char **argv)
                 "~45%% of requests from the Prefetch Buffer at "
                 "1024 tenants; it scales better than growing the "
                 "PTB because buffer and history length stay fixed\n");
+    bench::wallClockLine(timer, opts);
     return 0;
 }

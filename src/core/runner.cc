@@ -3,6 +3,7 @@
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <thread>
 
 #include "util/logging.hh"
 #include "util/str.hh"
@@ -10,11 +11,34 @@
 namespace hypersio::core
 {
 
-ExperimentRunner::ExperimentRunner(double scale, uint64_t seed)
-    : _scale(scale), _seed(seed)
+namespace
+{
+
+/** One "running <label> (...)" progress line, emitted as a unit. */
+void
+progressLine(std::ostream &os, const ExperimentPoint &point)
+{
+    os << "  running " << point.label << " ("
+       << workload::benchmarkName(point.bench) << ", "
+       << point.tenants << " tenants, " << point.interleave.name()
+       << ")..." << std::endl;
+}
+
+} // namespace
+
+ExperimentRunner::ExperimentRunner(double scale, uint64_t seed,
+                                   unsigned jobs)
+    : _scale(scale), _seed(seed), _jobs(jobs ? jobs : 1)
 {
     if (scale <= 0.0)
         fatal("experiment scale must be positive");
+}
+
+unsigned
+ExperimentRunner::defaultJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
 }
 
 const trace::HyperTrace &
@@ -22,22 +46,25 @@ ExperimentRunner::getTrace(workload::Benchmark bench,
                            unsigned tenants,
                            const trace::Interleaving &il)
 {
-    const std::string il_name = il.name();
-    for (const auto &cached : _traces) {
-        if (cached.bench == bench && cached.tenants == tenants &&
-            cached.interleave == il_name) {
-            return cached.trace;
-        }
+    TraceEntry *entry = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(_traceMutex);
+        auto &slot = _traces[TraceKey{bench, tenants, il.name()}];
+        if (!slot)
+            slot = std::make_unique<TraceEntry>();
+        entry = slot.get();
     }
-    auto logs = workload::generateLogs(bench, tenants, _seed, _scale);
-    CachedTrace cached;
-    cached.bench = bench;
-    cached.tenants = tenants;
-    cached.interleave = il_name;
-    cached.trace = trace::constructTrace(logs, il);
-    cached.trace.seed = _seed;
-    _traces.push_back(std::move(cached));
-    return _traces.back().trace;
+    // Per-key construction lock: the first requester builds the
+    // trace, concurrent requesters for the same key block until it
+    // is ready, and other keys proceed independently.
+    std::call_once(entry->built, [&]() {
+        auto logs =
+            workload::generateLogs(bench, tenants, _seed, _scale);
+        entry->trace = trace::constructTrace(logs, il);
+        entry->trace.seed = _seed;
+        _constructions.fetch_add(1, std::memory_order_relaxed);
+    });
+    return entry->trace;
 }
 
 ExperimentRow
@@ -58,18 +85,45 @@ std::vector<ExperimentRow>
 ExperimentRunner::runAll(const std::vector<ExperimentPoint> &points,
                          std::ostream *progress)
 {
-    std::vector<ExperimentRow> rows;
-    rows.reserve(points.size());
-    for (const auto &point : points) {
-        if (progress) {
-            *progress << "  running " << point.label << " ("
-                      << workload::benchmarkName(point.bench) << ", "
-                      << point.tenants << " tenants, "
-                      << point.interleave.name() << ")..."
-                      << std::endl;
+    const size_t workers =
+        std::min<size_t>(_jobs ? _jobs : 1, points.size());
+
+    if (workers <= 1) {
+        std::vector<ExperimentRow> rows;
+        rows.reserve(points.size());
+        for (const auto &point : points) {
+            if (progress)
+                progressLine(*progress, point);
+            rows.push_back(run(point));
         }
-        rows.push_back(run(point));
+        return rows;
     }
+
+    // Worker pool: each thread claims the next unstarted point.
+    // rows[i] is written by exactly one worker, so results land in
+    // input order without any reordering pass.
+    std::vector<ExperimentRow> rows(points.size());
+    std::atomic<size_t> next{0};
+    std::mutex progress_mutex;
+    auto work = [&]() {
+        for (;;) {
+            const size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= points.size())
+                return;
+            if (progress) {
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                progressLine(*progress, points[i]);
+            }
+            rows[i] = run(points[i]);
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t t = 0; t < workers; ++t)
+        pool.emplace_back(work);
+    for (auto &thread : pool)
+        thread.join();
     return rows;
 }
 
@@ -168,6 +222,12 @@ BenchOptions::parse(int argc, char **argv)
             if (!parseU64(next_value("--seed"), value))
                 fatal("--seed needs an integer");
             opts.seed = value;
+        } else if (arg == "--jobs" || arg == "-j") {
+            uint64_t value = 0;
+            if (!parseU64(next_value("--jobs"), value) ||
+                value == 0)
+                fatal("--jobs needs a positive integer");
+            opts.jobs = static_cast<unsigned>(value);
         } else if (arg == "--verbose" || arg == "-v") {
             opts.verbose = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -180,6 +240,8 @@ BenchOptions::parse(int argc, char **argv)
                 "  --scale <f>     trace scale factor (0 < f <= 1)\n"
                 "  --tenants <n>   max tenant count in sweeps\n"
                 "  --seed <n>      workload seed\n"
+                "  --jobs, -j <n>  worker threads for sweeps "
+                "(default: all cores; 1 = serial)\n"
                 "  --verbose       per-point progress output");
             std::exit(0);
         } else {

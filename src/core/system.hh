@@ -45,6 +45,9 @@ struct RunResults
     uint64_t walks = 0;
     uint64_t iommuRequests = 0;
     double avgPacketLatencyNs = 0.0;
+
+    /** Exact (bit-identical doubles included) equality. */
+    bool operator==(const RunResults &) const = default;
 };
 
 /**

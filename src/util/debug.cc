@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <mutex>
 
 #include "util/logging.hh"
 #include "util/str.hh"
@@ -20,16 +21,26 @@ registry()
     return flags;
 }
 
+/** Guards registry structure against concurrent register/iterate. */
+std::mutex &
+registryMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
 } // namespace
 
 Flag::Flag(const char *name, const char *desc)
     : _name(name), _desc(desc)
 {
+    std::lock_guard<std::mutex> lock(registryMutex());
     registry().push_back(this);
 }
 
 Flag::~Flag()
 {
+    std::lock_guard<std::mutex> lock(registryMutex());
     auto &flags = registry();
     flags.erase(std::remove(flags.begin(), flags.end(), this),
                 flags.end());
@@ -38,6 +49,7 @@ Flag::~Flag()
 void
 enable(const std::string &names)
 {
+    std::lock_guard<std::mutex> lock(registryMutex());
     for (const std::string &name : split(names, ',')) {
         const std::string_view wanted = trim(name);
         if (wanted.empty())
@@ -70,6 +82,7 @@ enable(const std::string &names)
 void
 disableAll()
 {
+    std::lock_guard<std::mutex> lock(registryMutex());
     for (Flag *flag : registry())
         flag->setEnabled(false);
 }
@@ -77,6 +90,7 @@ disableAll()
 std::vector<std::pair<std::string, std::string>>
 listFlags()
 {
+    std::lock_guard<std::mutex> lock(registryMutex());
     std::vector<std::pair<std::string, std::string>> out;
     out.reserve(registry().size());
     for (Flag *flag : registry())
@@ -88,6 +102,7 @@ listFlags()
 bool
 anyEnabled()
 {
+    std::lock_guard<std::mutex> lock(registryMutex());
     for (Flag *flag : registry())
         if (flag->enabled())
             return true;
@@ -99,6 +114,9 @@ dprintf(const Flag &flag, Tick when, const char *fmt, ...)
 {
     if (!flag.enabled())
         return;
+    // Share the logger's sink lock so a trace line never interleaves
+    // with another thread's trace or log output.
+    std::lock_guard<std::mutex> lock(Logger::instance().ioMutex());
     std::FILE *out = Logger::instance().stream();
     std::fprintf(out, "%10llu: %s: ",
                  (unsigned long long)when, flag.name());

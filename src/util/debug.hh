@@ -14,6 +14,7 @@
 #ifndef HYPERSIO_UTIL_DEBUG_HH
 #define HYPERSIO_UTIL_DEBUG_HH
 
+#include <atomic>
 #include <cstdarg>
 #include <string>
 #include <vector>
@@ -35,13 +36,23 @@ class Flag
 
     const char *name() const { return _name; }
     const char *desc() const { return _desc; }
-    bool enabled() const { return _enabled; }
-    void setEnabled(bool on) { _enabled = on; }
+
+    bool
+    enabled() const
+    {
+        return _enabled.load(std::memory_order_relaxed);
+    }
+
+    void
+    setEnabled(bool on)
+    {
+        _enabled.store(on, std::memory_order_relaxed);
+    }
 
   private:
     const char *_name;
     const char *_desc;
-    bool _enabled = false;
+    std::atomic<bool> _enabled{false};
 };
 
 /**

@@ -19,6 +19,7 @@ logLine(LogLevel level, const char *prefix, const char *fmt, va_list args)
     Logger &logger = Logger::instance();
     if (static_cast<int>(level) > static_cast<int>(logger.level()))
         return;
+    std::lock_guard<std::mutex> lock(logger.ioMutex());
     std::FILE *out = logger.stream();
     std::fputs(prefix, out);
     std::vfprintf(out, fmt, args);
@@ -58,28 +59,36 @@ debugLog(const char *fmt, ...)
 void
 fatal(const char *fmt, ...)
 {
-    std::FILE *out = Logger::instance().stream();
-    std::fputs("fatal: ", out);
-    va_list args;
-    va_start(args, fmt);
-    std::vfprintf(out, fmt, args);
-    va_end(args);
-    std::fputc('\n', out);
-    std::fflush(out);
+    {
+        std::lock_guard<std::mutex> lock(
+            Logger::instance().ioMutex());
+        std::FILE *out = Logger::instance().stream();
+        std::fputs("fatal: ", out);
+        va_list args;
+        va_start(args, fmt);
+        std::vfprintf(out, fmt, args);
+        va_end(args);
+        std::fputc('\n', out);
+        std::fflush(out);
+    }
     std::exit(1);
 }
 
 void
 panic(const char *fmt, ...)
 {
-    std::FILE *out = Logger::instance().stream();
-    std::fputs("panic: ", out);
-    va_list args;
-    va_start(args, fmt);
-    std::vfprintf(out, fmt, args);
-    va_end(args);
-    std::fputc('\n', out);
-    std::fflush(out);
+    {
+        std::lock_guard<std::mutex> lock(
+            Logger::instance().ioMutex());
+        std::FILE *out = Logger::instance().stream();
+        std::fputs("panic: ", out);
+        va_list args;
+        va_start(args, fmt);
+        std::vfprintf(out, fmt, args);
+        va_end(args);
+        std::fputc('\n', out);
+        std::fflush(out);
+    }
     std::abort();
 }
 

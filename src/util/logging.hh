@@ -12,9 +12,11 @@
 #ifndef HYPERSIO_UTIL_LOGGING_HH
 #define HYPERSIO_UTIL_LOGGING_HH
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -33,24 +35,52 @@ enum class LogLevel : int
 /**
  * Process-wide logger configuration. All free logging functions below
  * route through this singleton.
+ *
+ * The logger is shared by every simulation thread (parallel sweeps
+ * run one System per worker), so level/stream are atomics and all
+ * writers serialise on ioMutex() — each log line reaches the sink as
+ * one uninterleaved unit.
  */
 class Logger
 {
   public:
     static Logger &instance();
 
-    LogLevel level() const { return _level; }
-    void setLevel(LogLevel level) { _level = level; }
+    LogLevel
+    level() const
+    {
+        return _level.load(std::memory_order_relaxed);
+    }
+
+    void
+    setLevel(LogLevel level)
+    {
+        _level.store(level, std::memory_order_relaxed);
+    }
 
     /** Redirect output (used by tests); nullptr restores stderr. */
-    void setStream(std::FILE *stream) { _stream = stream; }
-    std::FILE *stream() const { return _stream ? _stream : stderr; }
+    void
+    setStream(std::FILE *stream)
+    {
+        _stream.store(stream, std::memory_order_relaxed);
+    }
+
+    std::FILE *
+    stream() const
+    {
+        std::FILE *s = _stream.load(std::memory_order_relaxed);
+        return s ? s : stderr;
+    }
+
+    /** Serialises writers so each line is emitted atomically. */
+    std::mutex &ioMutex() { return _ioMutex; }
 
   private:
     Logger() = default;
 
-    LogLevel _level = LogLevel::Warn;
-    std::FILE *_stream = nullptr;
+    std::atomic<LogLevel> _level{LogLevel::Warn};
+    std::atomic<std::FILE *> _stream{nullptr};
+    std::mutex _ioMutex;
 };
 
 namespace detail

@@ -6,6 +6,7 @@
 #include "core/runner.hh"
 #include "core/system.hh"
 #include "trace/constructor.hh"
+#include "util/rng.hh"
 #include "workload/benchmarks.hh"
 
 namespace hypersio::core
@@ -179,6 +180,59 @@ TEST_P(LinkRateTest, AchievedBandwidthRespectsLink)
 INSTANTIATE_TEST_SUITE_P(Rates, LinkRateTest,
                          ::testing::Values(10.0, 40.0, 100.0, 200.0,
                                            400.0));
+
+/** Parallel-equivalence property: for any random sweep of <= 8
+ *  points, runAll() across a worker pool returns exactly the
+ *  concatenation of single-point run() results, in input order. */
+class ParallelEquivalenceTest
+    : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(ParallelEquivalenceTest, RunAllMatchesSingleRuns)
+{
+    const uint64_t seed = GetParam();
+    Rng rng(seed);
+
+    const workload::Benchmark benches[] = {
+        workload::Benchmark::Iperf3,
+        workload::Benchmark::Mediastream,
+        workload::Benchmark::Websearch};
+    const unsigned tenant_choices[] = {4, 8, 16, 32};
+    const char *interleavings[] = {"RR1", "RR4", "RAND1"};
+
+    const size_t count = 1 + rng.below(8);
+    std::vector<ExperimentPoint> points;
+    for (size_t i = 0; i < count; ++i) {
+        ExperimentPoint point;
+        point.label = "p" + std::to_string(i);
+        point.config = rng.chance(0.5) ? SystemConfig::base()
+                                       : SystemConfig::hypertrio();
+        point.bench = benches[rng.below(3)];
+        point.tenants = tenant_choices[rng.below(4)];
+        point.interleave =
+            trace::parseInterleaving(interleavings[rng.below(3)]);
+        point.bypassTranslation = rng.chance(0.125);
+        points.push_back(std::move(point));
+    }
+
+    ExperimentRunner parallel(0.02, 42, /*jobs=*/4);
+    const auto rows = parallel.runAll(points);
+    ASSERT_EQ(rows.size(), points.size());
+
+    ExperimentRunner single(0.02, 42, /*jobs=*/1);
+    for (size_t i = 0; i < points.size(); ++i) {
+        const ExperimentRow expected = single.run(points[i]);
+        EXPECT_EQ(rows[i].point.label, points[i].label);
+        EXPECT_TRUE(rows[i].results == expected.results)
+            << "point " << i << " (" << points[i].label << ", "
+            << workload::benchmarkName(points[i].bench) << ", "
+            << points[i].tenants << " tenants, "
+            << points[i].interleave.name() << ")";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelEquivalenceTest,
+                         ::testing::Values(1, 7, 42, 99, 1234));
 
 } // namespace
 } // namespace hypersio::core

@@ -57,6 +57,24 @@ TEST(BenchOptionsTest, ExplicitValues)
     EXPECT_TRUE(opts.verbose);
 }
 
+TEST(BenchOptionsTest, JobsFlag)
+{
+    // Default: one worker per hardware thread, never zero.
+    EXPECT_EQ(parseArgs({}).jobs, ExperimentRunner::defaultJobs());
+    EXPECT_GE(parseArgs({}).jobs, 1u);
+
+    EXPECT_EQ(parseArgs({"--jobs", "4"}).jobs, 4u);
+    EXPECT_EQ(parseArgs({"-j", "2"}).jobs, 2u);
+}
+
+TEST(BenchOptionsDeathTest, JobsRejectsZeroAndGarbage)
+{
+    EXPECT_EXIT(parseArgs({"--jobs", "0"}),
+                ::testing::ExitedWithCode(1), "positive integer");
+    EXPECT_EXIT(parseArgs({"-j", "many"}),
+                ::testing::ExitedWithCode(1), "positive integer");
+}
+
 TEST(PrintBandwidthTable, FormatsRowsAndColumns)
 {
     std::ostringstream os;
