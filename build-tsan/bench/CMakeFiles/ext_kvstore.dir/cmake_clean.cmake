@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_kvstore.dir/ext_kvstore.cc.o"
+  "CMakeFiles/ext_kvstore.dir/ext_kvstore.cc.o.d"
+  "ext_kvstore"
+  "ext_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_scalable_iov.dir/ext_scalable_iov.cc.o"
+  "CMakeFiles/ext_scalable_iov.dir/ext_scalable_iov.cc.o.d"
+  "ext_scalable_iov"
+  "ext_scalable_iov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_scalable_iov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

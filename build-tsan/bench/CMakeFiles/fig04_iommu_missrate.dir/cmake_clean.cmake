@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_iommu_missrate.dir/fig04_iommu_missrate.cc.o"
+  "CMakeFiles/fig04_iommu_missrate.dir/fig04_iommu_missrate.cc.o.d"
+  "fig04_iommu_missrate"
+  "fig04_iommu_missrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_iommu_missrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_native_vs_vf.dir/fig05_native_vs_vf.cc.o"
+  "CMakeFiles/fig05_native_vs_vf.dir/fig05_native_vs_vf.cc.o.d"
+  "fig05_native_vs_vf"
+  "fig05_native_vs_vf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_native_vs_vf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

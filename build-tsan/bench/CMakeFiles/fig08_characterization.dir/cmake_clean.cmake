@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_characterization.dir/fig08_characterization.cc.o"
+  "CMakeFiles/fig08_characterization.dir/fig08_characterization.cc.o.d"
+  "fig08_characterization"
+  "fig08_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

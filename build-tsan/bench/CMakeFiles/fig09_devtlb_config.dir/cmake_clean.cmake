@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_devtlb_config.dir/fig09_devtlb_config.cc.o"
+  "CMakeFiles/fig09_devtlb_config.dir/fig09_devtlb_config.cc.o.d"
+  "fig09_devtlb_config"
+  "fig09_devtlb_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_devtlb_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

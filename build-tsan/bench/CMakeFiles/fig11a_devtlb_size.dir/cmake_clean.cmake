@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11a_devtlb_size.dir/fig11a_devtlb_size.cc.o"
+  "CMakeFiles/fig11a_devtlb_size.dir/fig11a_devtlb_size.cc.o.d"
+  "fig11a_devtlb_size"
+  "fig11a_devtlb_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11a_devtlb_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

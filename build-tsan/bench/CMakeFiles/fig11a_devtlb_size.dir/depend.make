@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11a_devtlb_size.
+# This may be replaced when dependencies are built.

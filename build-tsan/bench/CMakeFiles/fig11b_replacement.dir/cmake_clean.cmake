@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11b_replacement.dir/fig11b_replacement.cc.o"
+  "CMakeFiles/fig11b_replacement.dir/fig11b_replacement.cc.o.d"
+  "fig11b_replacement"
+  "fig11b_replacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11b_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11c_fullassoc.dir/fig11c_fullassoc.cc.o"
+  "CMakeFiles/fig11c_fullassoc.dir/fig11c_fullassoc.cc.o.d"
+  "fig11c_fullassoc"
+  "fig11c_fullassoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11c_fullassoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

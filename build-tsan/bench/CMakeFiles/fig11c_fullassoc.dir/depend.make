@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11c_fullassoc.
+# This may be replaced when dependencies are built.

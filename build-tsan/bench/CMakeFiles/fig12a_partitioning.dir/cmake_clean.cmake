@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12a_partitioning.dir/fig12a_partitioning.cc.o"
+  "CMakeFiles/fig12a_partitioning.dir/fig12a_partitioning.cc.o.d"
+  "fig12a_partitioning"
+  "fig12a_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12a_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12b_ptb.dir/fig12b_ptb.cc.o"
+  "CMakeFiles/fig12b_ptb.dir/fig12b_ptb.cc.o.d"
+  "fig12b_ptb"
+  "fig12b_ptb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12b_ptb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12c_prefetch.dir/fig12c_prefetch.cc.o"
+  "CMakeFiles/fig12c_prefetch.dir/fig12c_prefetch.cc.o.d"
+  "fig12c_prefetch"
+  "fig12c_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12c_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_parameters.dir/table2_parameters.cc.o"
+  "CMakeFiles/table2_parameters.dir/table2_parameters.cc.o.d"
+  "table2_parameters"
+  "table2_parameters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

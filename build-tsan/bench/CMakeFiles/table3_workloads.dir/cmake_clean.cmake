@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_workloads.dir/table3_workloads.cc.o"
+  "CMakeFiles/table3_workloads.dir/table3_workloads.cc.o.d"
+  "table3_workloads"
+  "table3_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_configs.dir/table4_configs.cc.o"
+  "CMakeFiles/table4_configs.dir/table4_configs.cc.o.d"
+  "table4_configs"
+  "table4_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

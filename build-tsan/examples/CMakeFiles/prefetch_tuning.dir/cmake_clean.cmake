@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetch_tuning.dir/prefetch_tuning.cpp.o"
+  "CMakeFiles/prefetch_tuning.dir/prefetch_tuning.cpp.o.d"
+  "prefetch_tuning"
+  "prefetch_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetch_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

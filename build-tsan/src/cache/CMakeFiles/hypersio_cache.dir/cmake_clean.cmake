@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypersio_cache.dir/replacement.cc.o"
+  "CMakeFiles/hypersio_cache.dir/replacement.cc.o.d"
+  "libhypersio_cache.a"
+  "libhypersio_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypersio_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

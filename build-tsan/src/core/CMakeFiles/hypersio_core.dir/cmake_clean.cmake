@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypersio_core.dir/chipset.cc.o"
+  "CMakeFiles/hypersio_core.dir/chipset.cc.o.d"
+  "CMakeFiles/hypersio_core.dir/config.cc.o"
+  "CMakeFiles/hypersio_core.dir/config.cc.o.d"
+  "CMakeFiles/hypersio_core.dir/device.cc.o"
+  "CMakeFiles/hypersio_core.dir/device.cc.o.d"
+  "CMakeFiles/hypersio_core.dir/multi_system.cc.o"
+  "CMakeFiles/hypersio_core.dir/multi_system.cc.o.d"
+  "CMakeFiles/hypersio_core.dir/overrides.cc.o"
+  "CMakeFiles/hypersio_core.dir/overrides.cc.o.d"
+  "CMakeFiles/hypersio_core.dir/runner.cc.o"
+  "CMakeFiles/hypersio_core.dir/runner.cc.o.d"
+  "CMakeFiles/hypersio_core.dir/system.cc.o"
+  "CMakeFiles/hypersio_core.dir/system.cc.o.d"
+  "libhypersio_core.a"
+  "libhypersio_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypersio_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

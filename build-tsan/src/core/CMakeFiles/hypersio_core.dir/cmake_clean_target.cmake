@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhypersio_core.a"
+)

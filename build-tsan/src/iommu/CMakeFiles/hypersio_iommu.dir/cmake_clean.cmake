@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypersio_iommu.dir/iommu.cc.o"
+  "CMakeFiles/hypersio_iommu.dir/iommu.cc.o.d"
+  "libhypersio_iommu.a"
+  "libhypersio_iommu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypersio_iommu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

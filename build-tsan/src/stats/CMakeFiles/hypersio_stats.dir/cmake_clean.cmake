@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypersio_stats.dir/stats.cc.o"
+  "CMakeFiles/hypersio_stats.dir/stats.cc.o.d"
+  "libhypersio_stats.a"
+  "libhypersio_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypersio_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

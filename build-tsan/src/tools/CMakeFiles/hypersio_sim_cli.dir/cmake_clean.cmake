@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypersio_sim_cli.dir/hypersio_sim.cc.o"
+  "CMakeFiles/hypersio_sim_cli.dir/hypersio_sim.cc.o.d"
+  "hypersio_sim"
+  "hypersio_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypersio_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

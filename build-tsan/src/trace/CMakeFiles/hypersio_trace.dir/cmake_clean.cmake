@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypersio_trace.dir/constructor.cc.o"
+  "CMakeFiles/hypersio_trace.dir/constructor.cc.o.d"
+  "CMakeFiles/hypersio_trace.dir/record.cc.o"
+  "CMakeFiles/hypersio_trace.dir/record.cc.o.d"
+  "CMakeFiles/hypersio_trace.dir/trace_file.cc.o"
+  "CMakeFiles/hypersio_trace.dir/trace_file.cc.o.d"
+  "libhypersio_trace.a"
+  "libhypersio_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypersio_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

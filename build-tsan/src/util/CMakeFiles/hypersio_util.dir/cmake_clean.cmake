@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypersio_util.dir/debug.cc.o"
+  "CMakeFiles/hypersio_util.dir/debug.cc.o.d"
+  "CMakeFiles/hypersio_util.dir/logging.cc.o"
+  "CMakeFiles/hypersio_util.dir/logging.cc.o.d"
+  "CMakeFiles/hypersio_util.dir/str.cc.o"
+  "CMakeFiles/hypersio_util.dir/str.cc.o.d"
+  "libhypersio_util.a"
+  "libhypersio_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypersio_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypersio_workload.dir/benchmarks.cc.o"
+  "CMakeFiles/hypersio_workload.dir/benchmarks.cc.o.d"
+  "CMakeFiles/hypersio_workload.dir/log_text.cc.o"
+  "CMakeFiles/hypersio_workload.dir/log_text.cc.o.d"
+  "CMakeFiles/hypersio_workload.dir/tenant_model.cc.o"
+  "CMakeFiles/hypersio_workload.dir/tenant_model.cc.o.d"
+  "libhypersio_workload.a"
+  "libhypersio_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypersio_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iommu.dir/test_iommu.cc.o"
+  "CMakeFiles/test_iommu.dir/test_iommu.cc.o.d"
+  "test_iommu"
+  "test_iommu.pdb"
+  "test_iommu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iommu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

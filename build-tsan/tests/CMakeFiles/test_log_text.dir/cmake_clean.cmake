@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_log_text.dir/test_log_text.cc.o"
+  "CMakeFiles/test_log_text.dir/test_log_text.cc.o.d"
+  "test_log_text"
+  "test_log_text.pdb"
+  "test_log_text[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_log_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

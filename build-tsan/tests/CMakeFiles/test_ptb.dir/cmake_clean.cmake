@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ptb.dir/test_ptb.cc.o"
+  "CMakeFiles/test_ptb.dir/test_ptb.cc.o.d"
+  "test_ptb"
+  "test_ptb.pdb"
+  "test_ptb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ptb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/test_util[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_stats[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_event_queue[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_cache[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_replacement[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_page_table[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_memory_model[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_iommu[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_trace[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_workload[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_prefetch[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_ptb[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_device[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_system[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_config[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_properties[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_log_text[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_debug[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_runner[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_logging[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_parallel_runner[1]_include.cmake")
