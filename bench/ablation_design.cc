@@ -34,7 +34,8 @@ main(int argc, char **argv)
     constexpr unsigned kLfuBitsSweep[] = {2, 4, 8};
 
     const bench::WallTimer timer;
-    bench::PointBatch batch(runner);
+    bench::JsonReport report("ablation_design", opts);
+    bench::PointBatch batch(runner, &report);
     for (unsigned levels : kLevelSweep) {
         for (unsigned t : tenants) {
             core::SystemConfig config =
@@ -122,6 +123,7 @@ main(int argc, char **argv)
             std::cout, "LFU counter width (Base, iperf3 RR1)",
             tenants, series);
     }
+    report.write(timer.seconds());
     bench::wallClockLine(timer, opts);
     return 0;
 }

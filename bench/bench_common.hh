@@ -21,15 +21,21 @@
 #include <vector>
 
 #include "hypersio/hypersio.hh"
+#include "json_report.hh"
 
 namespace hypersio::bench
 {
 
-/** Builds the standard runner for a bench binary. */
+/**
+ * Builds the standard runner for a bench binary. With `--json` the
+ * runner also captures each point's full stat tree so the report
+ * can embed it.
+ */
 inline core::ExperimentRunner
 makeRunner(const core::BenchOptions &opts)
 {
-    return core::ExperimentRunner(opts.scale, opts.seed, opts.jobs);
+    return core::ExperimentRunner(opts.scale, opts.seed, opts.jobs,
+                                  !opts.jsonPath.empty());
 }
 
 /** Runs one (config, workload) point and returns the results. */
@@ -62,8 +68,14 @@ runPoint(core::ExperimentRunner &runner, core::SystemConfig config,
 class PointBatch
 {
   public:
-    explicit PointBatch(core::ExperimentRunner &runner)
-        : _runner(runner)
+    /**
+     * @param report when non-null, every take() also records its
+     *        point into the `--json` report (a no-op report — no
+     *        `--json` on the command line — records nothing)
+     */
+    explicit PointBatch(core::ExperimentRunner &runner,
+                        JsonReport *report = nullptr)
+        : _runner(runner), _report(report)
     {}
 
     /** Queues one point; its result comes back in add() order. */
@@ -97,6 +109,8 @@ class PointBatch
         if (_next >= _rows.size())
             panic("PointBatch::take() past the %zu queued points",
                   _rows.size());
+        if (_report)
+            _report->addRow(_points[_next], _rows[_next]);
         return _rows[_next++].results;
     }
 
@@ -104,6 +118,7 @@ class PointBatch
 
   private:
     core::ExperimentRunner &_runner;
+    JsonReport *_report;
     std::vector<core::ExperimentPoint> _points;
     std::vector<core::ExperimentRow> _rows;
     size_t _next = 0;

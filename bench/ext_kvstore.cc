@@ -24,6 +24,8 @@ main(int argc, char **argv)
                   "budgets",
                   opts);
 
+    const bench::WallTimer timer;
+    bench::JsonReport report("ext_kvstore", opts);
     const unsigned tenants = std::min(opts.maxTenants, 256u);
     const auto profile =
         workload::benchmarkProfile(workload::Benchmark::Iperf3);
@@ -68,6 +70,13 @@ main(int argc, char **argv)
             std::printf("%13.0f%% %12s %14.1f %14.2f %12.1f\n",
                         mix * 100.0, config.name.c_str(),
                         r.achievedGbps, pkt_rate, drop_pct);
+            report.addPoint(
+                config.name + "@mix" +
+                    std::to_string(
+                        static_cast<int>(mix * 100.0)),
+                "kvstore-iperf3", tenants, "RR1", r,
+                report.enabled() ? bench::captureStatsJson(system)
+                                 : std::string());
         }
     }
 
@@ -77,5 +86,7 @@ main(int argc, char **argv)
         "translation latency must now hide behind far fewer "
         "nanoseconds, so the packet *rate* a design sustains — not "
         "its Gb/s — is the telling column.\n");
+    report.write(timer.seconds());
+    bench::wallClockLine(timer, opts);
     return 0;
 }

@@ -24,6 +24,8 @@ main(int argc, char **argv)
                   opts);
 
     core::ExperimentRunner runner = bench::makeRunner(opts);
+    const bench::WallTimer timer;
+    bench::JsonReport report("ext_multidevice", opts);
     const unsigned tenants = std::min(opts.maxTenants, 256u);
 
     std::printf("%u tenants total, iperf3 RR1, tenants split "
@@ -46,6 +48,11 @@ main(int argc, char **argv)
                         devices, config.name.c_str(), r.totalGbps,
                         r.totalGbps / devices,
                         r.iotlbHitRate * 100.0);
+            const std::string tag = config.name + "@dev" +
+                                    std::to_string(devices);
+            report.addScalar(tag + ".total_gbps", r.totalGbps);
+            report.addScalar(tag + ".iotlb_hit_rate",
+                             r.iotlbHitRate);
         }
     }
 
@@ -54,5 +61,7 @@ main(int argc, char **argv)
         "full links as long as its caches absorb the combined "
         "working set; Base devices bottleneck on their own PTB "
         "before the shared chipset saturates.\n");
+    report.write(timer.seconds());
+    bench::wallClockLine(timer, opts);
     return 0;
 }

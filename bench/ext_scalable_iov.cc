@@ -23,6 +23,8 @@ main(int argc, char **argv)
     bench::banner("Extension: Scalable IOV",
                   "process-level tenants (PASIDs) per VF", opts);
 
+    const bench::WallTimer timer;
+    bench::JsonReport report("ext_scalable_iov", opts);
     const unsigned vfs = 32;
     const auto profile =
         workload::benchmarkProfile(workload::Benchmark::Iperf3);
@@ -56,6 +58,11 @@ main(int argc, char **argv)
                         processes, vfs * processes,
                         config.name.c_str(), r.achievedGbps,
                         r.devtlbHitRate * 100.0);
+            report.addPoint(
+                config.name + "@proc" + std::to_string(processes),
+                "scalable-iov-iperf3", vfs, "RR1", r,
+                report.enabled() ? bench::captureStatsJson(system)
+                                 : std::string());
         }
     }
 
@@ -64,5 +71,7 @@ main(int argc, char **argv)
         "translations contend for the same caches: the hyper-tenant "
         "collapse appears even at a fixed VF count, and HyperTRIO's "
         "mechanisms absorb it the same way.\n");
+    report.write(timer.seconds());
+    bench::wallClockLine(timer, opts);
     return 0;
 }

@@ -49,7 +49,8 @@ main(int argc, char **argv)
     core::ExperimentRunner runner = bench::makeRunner(opts);
 
     const bench::WallTimer timer;
-    bench::PointBatch batch(runner);
+    bench::JsonReport report("fig04_iommu_missrate", opts);
+    bench::PointBatch batch(runner, &report);
     for (unsigned conns : kConnSweep)
         batch.add(amdAnalogueConfig(), workload::Benchmark::Iperf3,
                   conns);
@@ -76,6 +77,7 @@ main(int argc, char **argv)
     if (reads_at_80 > 0)
         std::printf("(model nested-read growth is reported in the "
                     "table above)\n");
+    report.write(timer.seconds());
     bench::wallClockLine(timer, opts);
     return 0;
 }

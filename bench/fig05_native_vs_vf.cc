@@ -34,7 +34,8 @@ main(int argc, char **argv)
     };
 
     const bench::WallTimer timer;
-    bench::PointBatch batch(runner);
+    bench::JsonReport report("fig05_native_vs_vf", opts);
+    bench::PointBatch batch(runner, &report);
     for (unsigned c : conns) {
         batch.add(intel_config(), workload::Benchmark::Iperf3, c,
                   "RR1", /*bypass=*/true);
@@ -56,6 +57,7 @@ main(int argc, char **argv)
     std::printf("\npaper: native ~9.5 Gb/s throughout; VF matches "
                 "native up to 8 pairs, then collapses to ~0.5 Gb/s "
                 "beyond 16\n");
+    report.write(timer.seconds());
     bench::wallClockLine(timer, opts);
     return 0;
 }

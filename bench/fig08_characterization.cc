@@ -26,6 +26,9 @@ main(int argc, char **argv)
                   "(mediastream)",
                   opts);
 
+    const bench::WallTimer timer;
+    bench::JsonReport report("fig08_characterization", opts);
+
     // Single tenant, long log, paper-like pattern.
     const auto profile =
         workload::benchmarkProfile(workload::Benchmark::Mediastream);
@@ -85,6 +88,12 @@ main(int argc, char **argv)
                 "(paper: <100)\n",
                 (unsigned long long)init_pages,
                 (unsigned long long)init_max);
+    report.addScalar("distinct_pages",
+                     static_cast<double>(stats.pages.size()));
+    report.addScalar("translations",
+                     static_cast<double>(log.translations()));
+    report.addScalar("data_pages", static_cast<double>(data_pages));
+    report.addScalar("hot_data_gap", gap);
 
     // ---- (b) periodic pattern --------------------------------------
     // Count the accesses every 2 MB page receives between being
@@ -123,6 +132,9 @@ main(int argc, char **argv)
                     static_cast<double>(sum) /
                         static_cast<double>(epochs.size()),
                     profile.pattern.streams);
+        report.addScalar("mean_epoch_accesses",
+                         static_cast<double>(sum) /
+                             static_cast<double>(epochs.size()));
     }
 
     // Active translation set (used by Fig. 11c).
@@ -135,6 +147,11 @@ main(int argc, char **argv)
                     "(paper: iperf3 8, mediastream 32, websearch "
                     "36)\n",
                     workload::benchmarkName(bench), active);
+        report.addScalar(std::string("active_set.") +
+                             workload::benchmarkName(bench),
+                         active);
     }
+    report.write(timer.seconds());
+    bench::wallClockLine(timer, opts);
     return 0;
 }

@@ -44,7 +44,8 @@ main(int argc, char **argv)
         std::min(opts.maxTenants, 256u));
 
     const bench::WallTimer timer;
-    bench::PointBatch batch(runner);
+    bench::JsonReport report("fig09_devtlb_config", opts);
+    bench::PointBatch batch(runner, &report);
     for (const Shape &shape : kShapes) {
         for (unsigned t : tenants) {
             core::SystemConfig config = core::SystemConfig::base();
@@ -74,6 +75,7 @@ main(int argc, char **argv)
                 "8-way DevTLB more than ~4 concurrent connections "
                 "start evicting each other until the translation "
                 "subsystem throttles the link\n");
+    report.write(timer.seconds());
     bench::wallClockLine(timer, opts);
     return 0;
 }

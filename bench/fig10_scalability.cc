@@ -25,7 +25,8 @@ main(int argc, char **argv)
     const auto tenants = core::paperTenantSweep(opts.maxTenants);
 
     const bench::WallTimer timer;
-    bench::PointBatch batch(runner);
+    bench::JsonReport report("fig10_scalability", opts);
+    bench::PointBatch batch(runner, &report);
     for (workload::Benchmark bench : workload::AllBenchmarks) {
         for (const char *il : {"RR1", "RR4", "RAND1"}) {
             for (unsigned t : tenants) {
@@ -65,6 +66,7 @@ main(int argc, char **argv)
         "tenants (<=15%% of the link, RR4 above RR1); HyperTRIO "
         "reaches up to 100%% at 1024 tenants and ~80%% under "
         "RAND1\n");
+    report.write(timer.seconds());
     bench::wallClockLine(timer, opts);
     return 0;
 }

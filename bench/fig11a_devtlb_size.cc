@@ -22,7 +22,8 @@ main(int argc, char **argv)
     const auto tenants = core::paperTenantSweep(opts.maxTenants);
 
     const bench::WallTimer timer;
-    bench::PointBatch batch(runner);
+    bench::JsonReport report("fig11a_devtlb_size", opts);
+    bench::PointBatch batch(runner, &report);
     for (workload::Benchmark bench : workload::AllBenchmarks) {
         for (const char *il : {"RR1", "RR4"}) {
             for (size_t entries : {64u, 1024u}) {
@@ -63,6 +64,7 @@ main(int argc, char **argv)
                 "beyond 128 tenants both sizes perform the same "
                 "because hot sets conflict (same guest gIOVAs), and "
                 "RR4 can beat a bigger DevTLB via in-burst reuse\n");
+    report.write(timer.seconds());
     bench::wallClockLine(timer, opts);
     return 0;
 }

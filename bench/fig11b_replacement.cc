@@ -28,7 +28,8 @@ main(int argc, char **argv)
         cache::ReplPolicyKind::Oracle};
 
     const bench::WallTimer timer;
-    bench::PointBatch batch(runner);
+    bench::JsonReport report("fig11b_replacement", opts);
+    bench::PointBatch batch(runner, &report);
     for (workload::Benchmark bench : workload::AllBenchmarks) {
         for (auto policy : kPolicies) {
             for (unsigned t : tenants) {
@@ -64,6 +65,7 @@ main(int argc, char **argv)
                 "2x for iperf3 at 16 tenants); oracle is slightly "
                 "better still, but no policy makes the shared "
                 "DevTLB scale in the hyper-tenant regime\n");
+    report.write(timer.seconds());
     bench::wallClockLine(timer, opts);
     return 0;
 }

@@ -34,7 +34,8 @@ main(int argc, char **argv)
     };
 
     const bench::WallTimer timer;
-    bench::PointBatch batch(runner);
+    bench::JsonReport report("fig12a_partitioning", opts);
+    bench::PointBatch batch(runner, &report);
     for (workload::Benchmark bench : workload::AllBenchmarks) {
         for (unsigned t : tenants) {
             batch.add(core::SystemConfig::base(), bench, t);
@@ -63,6 +64,7 @@ main(int argc, char **argv)
                 "multiple tenants share a partition; partitioning "
                 "beats bigger/“smarter” DevTLBs but does not solve "
                 "hyper-tenant scalability alone\n");
+    report.write(timer.seconds());
     bench::wallClockLine(timer, opts);
     return 0;
 }

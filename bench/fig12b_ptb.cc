@@ -40,7 +40,8 @@ main(int argc, char **argv)
     constexpr unsigned kWalkerSweep[] = {4, 8, 16, 32, 0};
 
     const bench::WallTimer timer;
-    bench::PointBatch batch(runner);
+    bench::JsonReport report("fig12b_ptb", opts);
+    bench::PointBatch batch(runner, &report);
     for (workload::Benchmark bench : workload::AllBenchmarks) {
         for (unsigned ptb : kPtbSweep) {
             for (unsigned t : tenants)
@@ -105,6 +106,7 @@ main(int argc, char **argv)
                 "16 tenants; 32 entries achieve ~136 Gb/s at 1024 "
                 "tenants; beyond that, growing the PTB stops "
                 "paying for its hardware\n");
+    report.write(timer.seconds());
     bench::wallClockLine(timer, opts);
     return 0;
 }

@@ -31,7 +31,8 @@ main(int argc, char **argv)
     constexpr unsigned kHistorySweep[] = {12, 20, 32, 48};
 
     const bench::WallTimer timer;
-    bench::PointBatch batch(runner);
+    bench::JsonReport report("fig12c_prefetch", opts);
+    bench::PointBatch batch(runner, &report);
     for (workload::Benchmark bench : workload::AllBenchmarks) {
         for (unsigned t : tenants) {
             batch.add(bench::partitionedPtbConfig(32), bench, t);
@@ -89,6 +90,7 @@ main(int argc, char **argv)
                 "~45%% of requests from the Prefetch Buffer at "
                 "1024 tenants; it scales better than growing the "
                 "PTB because buffer and history length stay fixed\n");
+    report.write(timer.seconds());
     bench::wallClockLine(timer, opts);
     return 0;
 }

@@ -9,6 +9,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "hypersio/hypersio.hh"
 
 using namespace hypersio;
@@ -148,4 +151,36 @@ BENCHMARK(BM_EndToEndSmallRun);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Custom main: the repo-wide `--json <file>` flag maps onto
+ * google-benchmark's native JSON reporter so all bench binaries
+ * share one machine-readable-output switch.
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if ((arg == "--json" || arg == "--stats-json") &&
+            i + 1 < argc) {
+            args.push_back(std::string("--benchmark_out=") +
+                           argv[++i]);
+            args.push_back("--benchmark_out_format=json");
+        } else {
+            args.push_back(arg);
+        }
+    }
+    std::vector<char *> cargv;
+    cargv.reserve(args.size());
+    for (auto &a : args)
+        cargv.push_back(a.data());
+    int cargc = static_cast<int>(cargv.size());
+    benchmark::Initialize(&cargc, cargv.data());
+    if (benchmark::ReportUnrecognizedArguments(cargc,
+                                               cargv.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -7,13 +7,16 @@
 
 #include <cstdio>
 
-#include "hypersio/hypersio.hh"
+#include "bench_common.hh"
 
 using namespace hypersio;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = core::BenchOptions::parse(argc, argv);
+    const bench::WallTimer timer;
+    bench::JsonReport report("table2_parameters", opts);
     const auto config = core::SystemConfig::base();
     std::printf("=== Table II: performance-model parameters ===\n");
     std::printf("%-40s %12s %12s\n", "parameter", "paper", "model");
@@ -36,5 +39,17 @@ main()
                 config.iommu.l3tlb.entries, config.iommu.l3tlb.ways);
     std::printf("\nfull active configuration:\n%s",
                 config.describe().c_str());
+    report.addScalar("pcie_one_way_ns",
+                     ticksToNs(config.pcieOneWay));
+    report.addScalar("dram_latency_ns",
+                     ticksToNs(config.memory.accessLatency));
+    report.addScalar("iotlb_hit_ns",
+                     ticksToNs(config.iommu.iotlbHitLatency));
+    report.addScalar(
+        "walk_accesses_4k",
+        mem::fullWalkAccesses(mem::PageSize::Size4K));
+    report.addScalar("packet_bytes", config.link.packetBytes);
+    report.addScalar("link_gbps", config.link.gbps);
+    report.write(timer.seconds());
     return 0;
 }

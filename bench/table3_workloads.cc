@@ -17,6 +17,8 @@ main(int argc, char **argv)
     bench::banner("Table III",
                   "translation requests per benchmark", opts);
 
+    const bench::WallTimer timer;
+    bench::JsonReport report("table3_workloads", opts);
     const unsigned tenants = std::min(opts.maxTenants, 1024u);
 
     std::printf("%-14s %14s %14s %16s\n", "benchmark",
@@ -38,11 +40,20 @@ main(int argc, char **argv)
                     (unsigned long long)max_tr,
                     (unsigned long long)min_tr,
                     (unsigned long long)trace.translations());
+        const std::string id = workload::benchmarkName(bench);
+        report.addScalar(id + ".max_per_tenant",
+                         static_cast<double>(max_tr));
+        report.addScalar(id + ".min_per_tenant",
+                         static_cast<double>(min_tr));
+        report.addScalar(id + ".total",
+                         static_cast<double>(trace.translations()));
     }
 
     std::printf("\npaper (1024 tenants): iperf3 108,510 / 68,079 / "
                 "69,712,894; mediastream 73,657 / 5,520 / "
                 "5,652,477; websearch 108,513 / 43,362 / "
                 "44,402,679\n");
+    report.write(timer.seconds());
+    bench::wallClockLine(timer, opts);
     return 0;
 }

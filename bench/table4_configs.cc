@@ -9,12 +9,23 @@
 using namespace hypersio;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = core::BenchOptions::parse(argc, argv);
+    const bench::WallTimer timer;
+    bench::JsonReport report("table4_configs", opts);
     std::printf("=== Table IV: Base vs HyperTRIO parameters ===\n\n");
     for (const auto &config : {core::SystemConfig::base(),
                                core::SystemConfig::hypertrio()}) {
         std::printf("%s\n", config.describe().c_str());
+        report.addScalar(config.name + ".ptb_entries",
+                         config.device.ptbEntries);
+        report.addScalar(config.name + ".devtlb_entries",
+                         static_cast<double>(
+                             config.device.devtlb.entries));
+        report.addScalar(config.name + ".prefetch_enabled",
+                         config.device.prefetch.enabled ? 1.0
+                                                        : 0.0);
     }
     std::printf(
         "paper Table IV: PTB 1 vs 32 entries; DevTLB 64e/8w LFU, "
@@ -23,5 +34,6 @@ main()
         "prefetching off vs 8-entry buffer / 48-access stride / "
         "2 pages per tenant (our prefetcher is recalibrated to "
         "this model's latencies — see DESIGN.md)\n");
+    report.write(timer.seconds());
     return 0;
 }

@@ -1,0 +1,51 @@
+#!/bin/sh
+# Repository gate: hygiene + tier-1 tests + bench regression check.
+#
+#   1. No build tree may be tracked in git (they are generated; see
+#      .gitignore's build*/ rule).
+#   2. The tier-1 build + ctest suite must pass.
+#   3. fig10_scalability at quick scale must emit a valid JSON
+#      report (BENCH_fig10.json) that self-compares with zero drift
+#      and, when a committed baseline exists, matches it exactly —
+#      the simulator is deterministic, so any drift is a behavior
+#      change that needs the baseline regenerated on purpose.
+#
+# Usage: scripts/check_repo.sh [build-dir]   (default: build)
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+echo "== 1/3 repo hygiene: no tracked build artifacts"
+if git ls-files | grep -q '^build'; then
+    echo "FAIL: build trees are tracked in git:" >&2
+    git ls-files | grep '^build' | head >&2
+    echo "(fix: git rm -r --cached <dir>; .gitignore covers" \
+         "build*/)" >&2
+    exit 1
+fi
+echo "   ok"
+
+echo "== 2/3 tier-1 build + ctest"
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+(cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
+
+echo "== 3/3 bench JSON regression gate (fig10, quick scale)"
+# Deterministic settings: quick scale, 8-tenant sweep, fixed seed.
+# --jobs only changes scheduling, never results, but pin it anyway
+# so the config block is stable too.
+FRESH="$BUILD_DIR/BENCH_fig10.json"
+"$BUILD_DIR"/bench/fig10_scalability --quick --tenants 8 --jobs 1 \
+    --json "$FRESH" > /dev/null
+python3 scripts/bench_compare.py "$FRESH" "$FRESH"
+if [ -f BENCH_fig10.json ]; then
+    echo "   comparing against committed BENCH_fig10.json baseline"
+    python3 scripts/bench_compare.py BENCH_fig10.json "$FRESH"
+else
+    echo "   no committed baseline; installing $FRESH as" \
+         "BENCH_fig10.json"
+    cp "$FRESH" BENCH_fig10.json
+fi
+
+echo "check_repo: all gates passed"

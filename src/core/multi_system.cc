@@ -197,4 +197,10 @@ MultiSystem::dumpStats(std::ostream &os) const
     _stats.dump(os);
 }
 
+void
+MultiSystem::dumpStatsJson(std::ostream &os, unsigned indent) const
+{
+    stats::writeJson(_stats, os, indent);
+}
+
 } // namespace hypersio::core

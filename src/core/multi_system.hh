@@ -70,6 +70,9 @@ class MultiSystem
     /** Dumps the statistics tree (shared chipset + per device). */
     void dumpStats(std::ostream &os) const;
 
+    /** Same tree as JSON; indent 0 writes one compact line. */
+    void dumpStatsJson(std::ostream &os, unsigned indent = 2) const;
+
   private:
     void applyOps(const trace::HyperTrace &trace,
                   const trace::PacketRecord &pkt, unsigned dev);

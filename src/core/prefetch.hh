@@ -61,13 +61,19 @@ class SidPredictor
         return it->second;
     }
 
-    /** Reconfigures the history-length register (hypervisor). */
+    /**
+     * Reconfigures the history-length register (hypervisor). A
+     * shorter length drains the excess window entries through the
+     * same pairing rule train() uses: each evicted SID predicts the
+     * SID that arrived `length` packets after it — `_window[length]`
+     * at eviction time, not the newest observation.
+     */
     void
     setHistoryLength(unsigned length)
     {
         _historyLength = length;
         while (_window.size() > _historyLength) {
-            _table[_window.front()] = _window.back();
+            _table[_window.front()] = _window[_historyLength];
             _window.pop_front();
         }
     }

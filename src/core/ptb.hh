@@ -49,7 +49,6 @@ class PendingTranslationBuffer
 {
   public:
     explicit PendingTranslationBuffer(unsigned entries)
-        : _entries(entries)
     {
         HYPERSIO_ASSERT(entries >= 1, "PTB needs at least one entry");
         _pool.resize(entries);
@@ -105,7 +104,6 @@ class PendingTranslationBuffer
     }
 
   private:
-    unsigned _entries;
     std::vector<PtbEntry> _pool;
     std::vector<unsigned> _free;
 };

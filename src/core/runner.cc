@@ -3,6 +3,7 @@
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <sstream>
 #include <thread>
 
 #include "util/logging.hh"
@@ -27,8 +28,10 @@ progressLine(std::ostream &os, const ExperimentPoint &point)
 } // namespace
 
 ExperimentRunner::ExperimentRunner(double scale, uint64_t seed,
-                                   unsigned jobs)
-    : _scale(scale), _seed(seed), _jobs(jobs ? jobs : 1)
+                                   unsigned jobs,
+                                   bool capture_stats_json)
+    : _scale(scale), _seed(seed), _jobs(jobs ? jobs : 1),
+      _captureStatsJson(capture_stats_json)
 {
     if (scale <= 0.0)
         fatal("experiment scale must be positive");
@@ -78,6 +81,11 @@ ExperimentRunner::run(const ExperimentPoint &point)
     ExperimentRow row;
     row.point = point;
     row.results = system.run(tr, point.bypassTranslation);
+    if (_captureStatsJson) {
+        std::ostringstream os;
+        system.dumpStatsJson(os, 0);
+        row.statsJson = os.str();
+    }
     return row;
 }
 
@@ -228,6 +236,10 @@ BenchOptions::parse(int argc, char **argv)
                 value == 0)
                 fatal("--jobs needs a positive integer");
             opts.jobs = static_cast<unsigned>(value);
+        } else if (arg == "--json" || arg == "--stats-json") {
+            opts.jsonPath = next_value("--json");
+            if (opts.jsonPath.empty())
+                fatal("--json needs a file path");
         } else if (arg == "--verbose" || arg == "-v") {
             opts.verbose = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -242,6 +254,10 @@ BenchOptions::parse(int argc, char **argv)
                 "  --seed <n>      workload seed\n"
                 "  --jobs, -j <n>  worker threads for sweeps "
                 "(default: all cores; 1 = serial)\n"
+                "  --json <file>   write a machine-readable JSON "
+                "report (config,\n"
+                "                  per-point stats, wall clock; see "
+                "EXPERIMENTS.md)\n"
                 "  --verbose       per-point progress output");
             std::exit(0);
         } else {

@@ -49,6 +49,12 @@ struct ExperimentRow
 {
     ExperimentPoint point;
     RunResults results;
+    /**
+     * Compact JSON dump of the run's full stat tree; empty unless
+     * the runner's captureStatsJson() was enabled (the `--json`
+     * reports embed it per point).
+     */
+    std::string statsJson;
 };
 
 /**
@@ -66,10 +72,12 @@ class ExperimentRunner
      * @param scale trace scale factor (1.0 = paper-sized logs);
      *        quick runs use a small fraction
      * @param jobs worker threads used by runAll(); 1 = serial
+     * @param capture_stats_json fill ExperimentRow::statsJson
      */
     explicit ExperimentRunner(double scale = 0.05,
                               uint64_t seed = 42,
-                              unsigned jobs = 1);
+                              unsigned jobs = 1,
+                              bool capture_stats_json = false);
 
     /** Runs one point. */
     ExperimentRow run(const ExperimentPoint &point);
@@ -100,6 +108,10 @@ class ExperimentRunner
     unsigned jobs() const { return _jobs; }
     void setJobs(unsigned jobs) { _jobs = jobs ? jobs : 1; }
 
+    /** When set, each ExperimentRow carries its JSON stat tree. */
+    bool captureStatsJson() const { return _captureStatsJson; }
+    void setCaptureStatsJson(bool on) { _captureStatsJson = on; }
+
     /** Unique traces constructed so far (tested by the stress suite). */
     uint64_t
     traceConstructions() const
@@ -114,6 +126,7 @@ class ExperimentRunner
     double _scale;
     uint64_t _seed;
     unsigned _jobs;
+    bool _captureStatsJson = false;
 
     struct TraceKey
     {
@@ -167,6 +180,8 @@ struct BenchOptions
     uint64_t seed = 42;
     unsigned jobs = ExperimentRunner::defaultJobs();
     bool verbose = false;
+    /** `--json <file>`: machine-readable report destination. */
+    std::string jsonPath;
 
     /** Parses argv; fatal() on unknown flags. */
     static BenchOptions parse(int argc, char **argv);

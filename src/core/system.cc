@@ -259,4 +259,43 @@ System::dumpStats(std::ostream &os) const
     _stats.dump(os);
 }
 
+void
+System::dumpStatsJson(std::ostream &os, unsigned indent) const
+{
+    stats::writeJson(_stats, os, indent);
+}
+
+void
+writeRunResultsJson(json::Writer &w, const RunResults &r)
+{
+    w.beginObject();
+    w.key("config");
+    w.value(r.configName);
+    w.key("packets_processed");
+    w.value(r.packetsProcessed);
+    w.key("packets_dropped");
+    w.value(r.packetsDropped);
+    w.key("translations");
+    w.value(r.translations);
+    w.key("elapsed_ticks");
+    w.value(r.elapsed);
+    w.key("achieved_gbps");
+    w.value(r.achievedGbps);
+    w.key("utilization");
+    w.value(r.utilization);
+    w.key("devtlb_hit_rate");
+    w.value(r.devtlbHitRate);
+    w.key("pb_hit_rate");
+    w.value(r.pbHitRate);
+    w.key("iotlb_hit_rate");
+    w.value(r.iotlbHitRate);
+    w.key("walks");
+    w.value(r.walks);
+    w.key("iommu_requests");
+    w.value(r.iommuRequests);
+    w.key("avg_packet_latency_ns");
+    w.value(r.avgPacketLatencyNs);
+    w.endObject();
+}
+
 } // namespace hypersio::core

@@ -24,6 +24,7 @@
 #include "iommu/iommu.hh"
 #include "mem/memory_model.hh"
 #include "trace/record.hh"
+#include "util/json.hh"
 
 namespace hypersio::core
 {
@@ -49,6 +50,12 @@ struct RunResults
     /** Exact (bit-identical doubles included) equality. */
     bool operator==(const RunResults &) const = default;
 };
+
+/**
+ * Writes the results as one JSON object (snake_case keys, full
+ * double precision) — the "results" block of the `--json` reports.
+ */
+void writeRunResultsJson(json::Writer &w, const RunResults &r);
 
 /**
  * One simulated system instance. Construct, then run() a trace.
@@ -77,6 +84,12 @@ class System
 
     /** Dumps the full statistics tree of the last run. */
     void dumpStats(std::ostream &os) const;
+
+    /** Same tree as JSON; indent 0 writes one compact line. */
+    void dumpStatsJson(std::ostream &os, unsigned indent = 2) const;
+
+    /** The statistics tree (JSON capture, tests). */
+    const stats::StatGroup &statsRoot() const { return _stats; }
 
     /** Direct access for tests. */
     Device &device() { return *_device; }

@@ -1,7 +1,9 @@
 #include "stats/stats.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <iomanip>
+#include <sstream>
 
 #include "util/logging.hh"
 
@@ -68,6 +70,36 @@ Histogram::stddev() const
     double n = static_cast<double>(_samples);
     double var = (_sumSq - _sum * _sum / n) / (n - 1);
     return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (_samples == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    // Rank of the requested sample, 1-based over all buckets in
+    // value order: underflow, the linear bins, overflow.
+    const double rank =
+        p / 100.0 * static_cast<double>(_samples - 1) + 1.0;
+    double cum = static_cast<double>(_underflow);
+    if (rank <= cum)
+        return _min;
+    const double width =
+        (_hi - _lo) / static_cast<double>(_bins.size());
+    for (size_t i = 0; i < _bins.size(); ++i) {
+        if (_bins[i] == 0)
+            continue;
+        const double in_bin = static_cast<double>(_bins[i]);
+        if (rank <= cum + in_bin) {
+            const double frac = (rank - cum) / in_bin;
+            const double v = _lo + width * (static_cast<double>(i) +
+                                            frac);
+            return std::clamp(v, _min, _max);
+        }
+        cum += in_bin;
+    }
+    return _max; // rank lands in the overflow bucket
 }
 
 void
@@ -195,6 +227,120 @@ StatGroup::dump(std::ostream &os, const std::string &prefix) const
         s->dump(os, full + ".");
     for (const auto &c : _children)
         c->dump(os, full);
+}
+
+void
+JsonWriter::leaf(const StatBase &stat, const char *kind)
+{
+    _out.beginObject();
+    _out.key("name");
+    _out.value(stat.name());
+    _out.key("kind");
+    _out.value(kind);
+    _out.key("value");
+    _out.value(stat.value());
+    if (!stat.desc().empty()) {
+        _out.key("desc");
+        _out.value(stat.desc());
+    }
+}
+
+void
+JsonWriter::visit(const Counter &c)
+{
+    leaf(c, "counter");
+    _out.key("count");
+    _out.value(c.count());
+    _out.endObject();
+}
+
+void
+JsonWriter::visit(const Scalar &s)
+{
+    leaf(s, "scalar");
+    _out.endObject();
+}
+
+void
+JsonWriter::visit(const Ratio &r)
+{
+    leaf(r, "ratio");
+    _out.endObject();
+}
+
+void
+JsonWriter::visit(const Histogram &h)
+{
+    leaf(h, "histogram");
+    _out.key("samples");
+    _out.value(h.samples());
+    _out.key("mean");
+    _out.value(h.mean());
+    _out.key("stddev");
+    _out.value(h.stddev());
+    _out.key("min");
+    _out.value(h.min());
+    _out.key("max");
+    _out.value(h.max());
+    _out.key("lo");
+    _out.value(h.lo());
+    _out.key("hi");
+    _out.value(h.hi());
+    _out.key("underflow");
+    _out.value(h.underflow());
+    _out.key("overflow");
+    _out.value(h.overflow());
+    _out.key("bins");
+    _out.beginArray();
+    for (size_t i = 0; i < h.numBins(); ++i)
+        _out.value(h.binCount(i));
+    _out.endArray();
+    _out.key("percentiles");
+    _out.beginObject();
+    for (const auto &[label, p] :
+         {std::pair<const char *, double>{"p50", 50.0},
+          {"p90", 90.0},
+          {"p99", 99.0}}) {
+        _out.key(label);
+        _out.value(h.percentile(p));
+    }
+    _out.endObject();
+    _out.endObject();
+}
+
+void
+JsonWriter::write(const StatGroup &group)
+{
+    _out.beginObject();
+    _out.key("name");
+    _out.value(group.name());
+    _out.key("stats");
+    _out.beginArray();
+    group.forEachStat(
+        [this](const StatBase &stat) { stat.accept(*this); });
+    _out.endArray();
+    _out.key("children");
+    _out.beginArray();
+    group.forEachChild(
+        [this](const StatGroup &child) { write(child); });
+    _out.endArray();
+    _out.endObject();
+}
+
+void
+writeJson(const StatGroup &group, std::ostream &os, unsigned indent)
+{
+    json::Writer out(os, indent);
+    JsonWriter writer(out);
+    writer.write(group);
+}
+
+std::string
+toJsonString(const StatGroup &group)
+{
+    std::ostringstream os;
+    writeJson(group, os, 0);
+    return os.str();
 }
 
 } // namespace hypersio::stats

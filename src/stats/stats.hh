@@ -19,8 +19,27 @@
 #include <string>
 #include <vector>
 
+#include "util/json.hh"
+
 namespace hypersio::stats
 {
+
+class Counter;
+class Scalar;
+class Ratio;
+class Histogram;
+
+/** Double-dispatch interface over the concrete stat kinds. */
+class StatVisitor
+{
+  public:
+    virtual ~StatVisitor() = default;
+
+    virtual void visit(const Counter &c) = 0;
+    virtual void visit(const Scalar &s) = 0;
+    virtual void visit(const Ratio &r) = 0;
+    virtual void visit(const Histogram &h) = 0;
+};
 
 /** Base class for all named statistics. */
 class StatBase
@@ -39,6 +58,9 @@ class StatBase
 
     /** Resets the statistic to its initial state. */
     virtual void reset() = 0;
+
+    /** Dispatches to the visitor overload for the concrete kind. */
+    virtual void accept(StatVisitor &v) const = 0;
 
     /** Writes one or more table rows describing this stat. */
     virtual void dump(std::ostream &os, const std::string &prefix) const;
@@ -63,6 +85,7 @@ class Counter : public StatBase
         return static_cast<double>(_count);
     }
     void reset() override { _count = 0; }
+    void accept(StatVisitor &v) const override { v.visit(*this); }
 
   private:
     uint64_t _count = 0;
@@ -79,6 +102,7 @@ class Scalar : public StatBase
 
     double value() const override { return _value; }
     void reset() override { _value = 0.0; }
+    void accept(StatVisitor &v) const override { v.visit(*this); }
 
   private:
     double _value = 0.0;
@@ -104,6 +128,7 @@ class Ratio : public StatBase
         return d == 0.0 ? 0.0 : _numer->value() / d;
     }
     void reset() override {}
+    void accept(StatVisitor &v) const override { v.visit(*this); }
 
   private:
     const StatBase *_numer;
@@ -134,10 +159,23 @@ class Histogram : public StatBase
     uint64_t underflow() const { return _underflow; }
     uint64_t overflow() const { return _overflow; }
     size_t numBins() const { return _bins.size(); }
+    double lo() const { return _lo; }
+    double hi() const { return _hi; }
+
+    /**
+     * Estimates the p-th percentile (p in [0, 100]) from the binned
+     * distribution: the rank is located in the cumulative counts and
+     * interpolated linearly inside its bin. Ranks that land in the
+     * underflow (overflow) bucket report min() (max()), and the
+     * result is clamped to the observed [min, max] range. 0 with no
+     * samples.
+     */
+    double percentile(double p) const;
 
     /** Mean; dumps the full distribution. */
     double value() const override { return mean(); }
     void reset() override;
+    void accept(StatVisitor &v) const override { v.visit(*this); }
     void dump(std::ostream &os, const std::string &prefix) const override;
 
   private:
@@ -182,6 +220,24 @@ class StatGroup
     /** Finds a stat by name in this group only; nullptr if missing. */
     const StatBase *find(const std::string &name) const;
 
+    /** Applies `fn` to every stat in this group (not children). */
+    template <typename Fn>
+    void
+    forEachStat(Fn &&fn) const
+    {
+        for (const auto &s : _stats)
+            fn(*s);
+    }
+
+    /** Applies `fn` to every direct child group. */
+    template <typename Fn>
+    void
+    forEachChild(Fn &&fn) const
+    {
+        for (const auto &c : _children)
+            fn(*c);
+    }
+
     /** Resets all stats in this group and all children. */
     void resetAll();
 
@@ -193,6 +249,40 @@ class StatGroup
     std::vector<std::unique_ptr<StatBase>> _stats;
     std::vector<std::unique_ptr<StatGroup>> _children;
 };
+
+/**
+ * StatVisitor that renders a stat tree as JSON through a
+ * json::Writer. Each group becomes
+ *   {"name": ..., "stats": [...], "children": [...]}
+ * and each stat an object tagged with its "kind". Histograms carry
+ * the full distribution (bounds, bins, moments) plus p50/p90/p99
+ * percentile estimates.
+ */
+class JsonWriter : public StatVisitor
+{
+  public:
+    explicit JsonWriter(json::Writer &out) : _out(out) {}
+
+    /** Writes `group` and its subtree as one JSON object. */
+    void write(const StatGroup &group);
+
+    void visit(const Counter &c) override;
+    void visit(const Scalar &s) override;
+    void visit(const Ratio &r) override;
+    void visit(const Histogram &h) override;
+
+  private:
+    void leaf(const StatBase &stat, const char *kind);
+
+    json::Writer &_out;
+};
+
+/** Dumps a stat tree as JSON; compact single line when indent is 0. */
+void writeJson(const StatGroup &group, std::ostream &os,
+               unsigned indent = 2);
+
+/** writeJson into a string (always compact). */
+std::string toJsonString(const StatGroup &group);
 
 } // namespace hypersio::stats
 

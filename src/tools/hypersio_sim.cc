@@ -14,16 +14,20 @@
  *                [--seed <n>] [--native] [--stats]
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/overrides.hh"
 #include "hypersio/hypersio.hh"
 #include "util/debug.hh"
+#include "util/json.hh"
 
 using namespace hypersio;
 
@@ -43,6 +47,7 @@ struct Options
     uint64_t seed = 42;
     bool native = false;
     bool stats = false;
+    std::string jsonPath;
 };
 
 [[noreturn]] void
@@ -66,6 +71,10 @@ usage()
         "  --native                  bypass translation (Fig. 5 "
         "native mode)\n"
         "  --stats                   dump the full statistics tree\n"
+        "  --json <file>             write config, results, and the "
+        "full stat\n"
+        "                            tree as JSON (alias: "
+        "--stats-json)\n"
         "  --debug <flags>           comma-separated debug flags "
         "(or All)\n"
         "  --debug-list              list available debug flags");
@@ -114,6 +123,8 @@ parse(int argc, char **argv)
                 std::printf("%-12s %s\n", name.c_str(),
                             desc.c_str());
             std::exit(0);
+        } else if (arg == "--json" || arg == "--stats-json") {
+            opts.jsonPath = value();
         } else if (arg == "--native") {
             opts.native = true;
         } else if (arg == "--stats") {
@@ -158,8 +169,13 @@ main(int argc, char **argv)
                 tr.numTenants, tr.packets.size(),
                 (unsigned long long)tr.translations());
 
+    const auto wall_start = std::chrono::steady_clock::now();
     core::System system(config);
     const core::RunResults r = system.run(tr, opts.native);
+    const double wall_seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
 
     std::printf("achieved bandwidth  %10.2f Gb/s (%.1f%% of link)\n",
                 r.achievedGbps, r.utilization * 100.0);
@@ -183,6 +199,53 @@ main(int argc, char **argv)
     if (opts.stats) {
         std::printf("\n");
         system.dumpStats(std::cout);
+    }
+
+    if (!opts.jsonPath.empty()) {
+        std::ofstream out(opts.jsonPath, std::ios::trunc);
+        if (!out) {
+            std::fprintf(stderr, "cannot open '%s' for writing\n",
+                         opts.jsonPath.c_str());
+            return 1;
+        }
+        json::Writer w(out);
+        w.beginObject();
+        w.key("schema");
+        w.value("hypersio-sim-1");
+        w.key("config");
+        w.beginObject();
+        w.key("preset");
+        w.value(opts.preset);
+        w.key("name");
+        w.value(config.name);
+        w.key("benchmark");
+        w.value(opts.tracePath ? "trace" : opts.bench);
+        w.key("tenants");
+        w.value(tr.numTenants);
+        w.key("scale");
+        w.value(opts.scale);
+        w.key("interleave");
+        w.value(opts.interleave);
+        w.key("seed");
+        w.value(opts.seed);
+        w.key("native");
+        w.value(opts.native);
+        w.endObject();
+        w.key("results");
+        core::writeRunResultsJson(w, r);
+        w.key("stats");
+        std::ostringstream stats_os;
+        system.dumpStatsJson(stats_os, 0);
+        w.raw(stats_os.str());
+        w.key("wall_seconds");
+        w.value(wall_seconds);
+        w.endObject();
+        out << '\n';
+        if (!out) {
+            std::fprintf(stderr, "write error on '%s'\n",
+                         opts.jsonPath.c_str());
+            return 1;
+        }
     }
     return 0;
 }

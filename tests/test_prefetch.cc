@@ -53,6 +53,26 @@ TEST(SidPredictor, AdaptsWhenScheduleChanges)
     EXPECT_EQ(*pred.predict(0), 0u);
 }
 
+TEST(SidPredictor, ShrinkDrainsWindowWithNewStride)
+{
+    // Regression: shrinking the history length drains the window
+    // through the same pairing rule train() uses. The old code paired
+    // every evicted SID with _window.back(), so after observing
+    // 0..7 with H=4 (window [4,5,6,7]) a shrink to H=1 trained
+    // predict(4..6) to all answer 7 instead of the next SID.
+    SidPredictor pred(4);
+    for (trace::SourceId s = 0; s < 8; ++s)
+        pred.train(s);
+    pred.setHistoryLength(1);
+    ASSERT_TRUE(pred.predict(4).has_value());
+    EXPECT_EQ(*pred.predict(4), 5u);
+    EXPECT_EQ(*pred.predict(5), 6u);
+    EXPECT_EQ(*pred.predict(6), 7u);
+    // Subsequent training keeps the one-entry window semantics.
+    pred.train(9);
+    EXPECT_EQ(*pred.predict(7), 9u);
+}
+
 TEST(SidPredictor, HistoryLengthReconfiguration)
 {
     SidPredictor pred(8);
