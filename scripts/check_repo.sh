@@ -1,22 +1,35 @@
 #!/bin/sh
-# Repository gate: hygiene + tier-1 tests + bench regression check.
+# Repository gate: hygiene + tier-1 tests + differential checks +
+# bench regression check.
 #
 #   1. No build tree may be tracked in git (they are generated; see
 #      .gitignore's build*/ rule).
-#   2. The tier-1 build + ctest suite must pass.
-#   3. fig10_scalability at quick scale must emit a valid JSON
+#   2. The tier-1 build + ctest suite must pass. The default build
+#      has HYPERSIO_CHECKED=ON, so every tier-1 System run already
+#      executes under the fail-fast shadow oracle.
+#   3. A longer adversarial fuzz campaign than the ctest smoke:
+#      every pattern x system variant at 400 packets x 3 seeds under
+#      the collecting shadow oracle.
+#   4. Shadow checking must be observation-only: fig10_scalability
+#      --quick output is byte-identical between the checked build
+#      and a -DHYPERSIO_CHECKED=OFF build.
+#   5. fig10_scalability at quick scale must emit a valid JSON
 #      report (BENCH_fig10.json) that self-compares with zero drift
 #      and, when a committed baseline exists, matches it exactly —
 #      the simulator is deterministic, so any drift is a behavior
 #      change that needs the baseline regenerated on purpose.
+#
+# scripts/coverage.sh (gcov line coverage) is a separate, slower
+# workflow and is not part of this gate.
 #
 # Usage: scripts/check_repo.sh [build-dir]   (default: build)
 set -eu
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
+UNCHECKED_DIR="${BUILD_DIR}-unchecked"
 
-echo "== 1/3 repo hygiene: no tracked build artifacts"
+echo "== 1/5 repo hygiene: no tracked build artifacts"
 if git ls-files | grep -q '^build'; then
     echo "FAIL: build trees are tracked in git:" >&2
     git ls-files | grep '^build' | head >&2
@@ -26,12 +39,43 @@ if git ls-files | grep -q '^build'; then
 fi
 echo "   ok"
 
-echo "== 2/3 tier-1 build + ctest"
+echo "== 2/5 tier-1 build + ctest (shadow oracle compiled in)"
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
 
-echo "== 3/3 bench JSON regression gate (fig10, quick scale)"
+echo "== 3/5 extended adversarial fuzz campaign"
+# The ctest invocation above already ran the bounded smoke; this is
+# the long campaign: more packets, multiple seeds. Reproduce any
+# failure with the HYPERSIO_FUZZ_SEED printed in its repro line.
+FUZZ_LOG="$BUILD_DIR/fuzz_campaign.log"
+if ! HYPERSIO_FUZZ_PACKETS=400 HYPERSIO_FUZZ_ROUNDS=3 \
+    "$BUILD_DIR"/tests/fuzz_translation \
+    --gtest_filter='FuzzTranslation.AdversarialPatternsUnderShadowOracle' \
+    > "$FUZZ_LOG" 2>&1; then
+    cat "$FUZZ_LOG" >&2
+    exit 1
+fi
+grep 'translation requests checked' "$FUZZ_LOG"
+
+echo "== 4/5 shadow checking is observation-only (checked vs not)"
+cmake -B "$UNCHECKED_DIR" -S . -DHYPERSIO_CHECKED=OFF > /dev/null
+cmake --build "$UNCHECKED_DIR" -j "$(nproc)" \
+    --target fig10_scalability
+"$BUILD_DIR"/bench/fig10_scalability --quick --tenants 8 --jobs 1 \
+    > "$BUILD_DIR/fig10_checked.out"
+"$UNCHECKED_DIR"/bench/fig10_scalability --quick --tenants 8 \
+    --jobs 1 > "$BUILD_DIR/fig10_unchecked.out"
+if ! cmp -s "$BUILD_DIR/fig10_checked.out" \
+        "$BUILD_DIR/fig10_unchecked.out"; then
+    echo "FAIL: HYPERSIO_CHECKED=ON changed simulator output:" >&2
+    diff "$BUILD_DIR/fig10_checked.out" \
+         "$BUILD_DIR/fig10_unchecked.out" >&2 || true
+    exit 1
+fi
+echo "   ok: fig10 --quick output byte-identical"
+
+echo "== 5/5 bench JSON regression gate (fig10, quick scale)"
 # Deterministic settings: quick scale, 8-tenant sweep, fixed seed.
 # --jobs only changes scheduling, never results, but pin it anyway
 # so the config block is stable too.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "oracle/hooks.hh"
+
 namespace hypersio::core
 {
 
@@ -26,6 +28,7 @@ HistoryReader::observe(mem::DomainId did, mem::Iova iova,
 {
     // The history write happens off the critical path and costs no
     // simulated time; only reads (on prefetch) are charged.
+    HYPERSIO_SHADOW(historyObserved(did, iova, size));
     TenantHistory &hist = _history[did];
     const mem::Addr base = mem::pageBase(iova, size);
     auto it = std::find_if(hist.recent.begin(), hist.recent.end(),
@@ -79,6 +82,8 @@ HistoryReader::issueTranslations(mem::DomainId did)
     for (unsigned i = 0; i < count; ++i) {
         const HistoryPage page = hist.recent[i];
         ++_issued;
+        HYPERSIO_SHADOW(
+            historyPrefetchIssued(did, i, page.pageBase, page.size));
         iommu::IommuRequest req;
         req.domain = did;
         req.iova = page.pageBase;

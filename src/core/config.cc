@@ -90,4 +90,31 @@ SystemConfig::describe() const
     return os.str();
 }
 
+oracle::ShadowConfig
+toShadowConfig(const SystemConfig &config)
+{
+    oracle::ShadowConfig sc;
+    sc.devtlbEntries = config.device.devtlb.entries;
+    sc.devtlbWays = config.device.devtlb.ways;
+    sc.devtlbPartitions = config.device.devtlb.partitions;
+    sc.iotlbEntries = config.iommu.iotlb.entries;
+    sc.iotlbWays = config.iommu.iotlb.ways;
+    sc.iotlbPartitions = config.iommu.iotlb.partitions;
+    sc.l2Entries = config.iommu.l2tlb.entries;
+    sc.l2Ways = config.iommu.l2tlb.ways;
+    sc.l2Partitions = config.iommu.l2tlb.partitions;
+    sc.l3Entries = config.iommu.l3tlb.entries;
+    sc.l3Ways = config.iommu.l3tlb.ways;
+    sc.l3Partitions = config.iommu.l3tlb.partitions;
+    sc.prefetchEnabled = config.device.prefetch.enabled;
+    sc.pbEntries = config.device.prefetch.bufferEntries;
+    sc.historyLength = config.device.prefetch.historyLength;
+    sc.pagesPerPrefetch = config.device.prefetch.pagesPerPrefetch;
+    sc.historyDepth = config.device.prefetch.historyDepth;
+    sc.ptbEntries = config.device.ptbEntries;
+    sc.walkers = config.iommu.walkers;
+    sc.pagingLevels = config.iommu.pagingLevels;
+    return sc;
+}
+
 } // namespace hypersio::core

@@ -17,6 +17,7 @@
 #include "cache/set_assoc_cache.hh"
 #include "iommu/iommu.hh"
 #include "mem/memory_model.hh"
+#include "oracle/shadow.hh"
 #include "util/units.hh"
 
 namespace hypersio::core
@@ -103,6 +104,12 @@ struct SystemConfig
     /** Renders the configuration as a Table II/IV-style text block. */
     std::string describe() const;
 };
+
+/**
+ * The cache/predictor geometry the shadow oracle mirrors, extracted
+ * from a full system configuration (see oracle/shadow.hh).
+ */
+oracle::ShadowConfig toShadowConfig(const SystemConfig &config);
 
 } // namespace hypersio::core
 

@@ -1,5 +1,7 @@
 #include "core/device.hh"
 
+#include "oracle/fault_injection.hh"
+#include "oracle/hooks.hh"
 #include "util/debug.hh"
 
 namespace hypersio::core
@@ -22,10 +24,20 @@ struct DevtlbAddr
 
 DevtlbAddr
 devtlbAddr(mem::DomainId did, trace::SourceId sid, mem::Iova iova,
-           mem::PageSize size)
+           mem::PageSize size, size_t partitions)
 {
+    uint32_t partition = sid;
+#ifdef HYPERSIO_CHECKED
+    // Planted bug for validating the shadow oracle: masking the PTag
+    // with `partitions` instead of `partitions - 1` collapses every
+    // SID into row group 0 of a partitioned DevTLB.
+    if (oracle::faultInjection().devtlbPtagOffByOne)
+        partition = sid & static_cast<uint32_t>(partitions);
+#else
+    (void)partitions;
+#endif
     return {iommu::translationKey(did, iova, size),
-            iommu::translationIndex(iova, size), sid};
+            iommu::translationIndex(iova, size), partition};
 }
 
 } // namespace
@@ -78,9 +90,13 @@ Device::accept(const trace::PacketRecord &packet,
     HYPERSIO_DPRINTF(PtbFlag, now(),
                      "accept sid=%u ptb=%d in_use=%u", packet.sid,
                      idx, _ptb.inUse());
+    HYPERSIO_SHADOW(devicePacketAccepted(
+        packet.sid, static_cast<unsigned>(idx), _ptb.inUse()));
 
-    if (_prefetchUnit)
+    if (_prefetchUnit) {
         _prefetchUnit->observePacket(packet.sid);
+        HYPERSIO_SHADOW(deviceSidObserved(packet.sid));
+    }
 
     auto state = std::make_shared<Inflight>(
         Inflight{static_cast<unsigned>(idx), std::move(done)});
@@ -95,6 +111,7 @@ Device::issueNext(unsigned idx, std::shared_ptr<Inflight> state)
         // All three translations done: packet fully processed.
         _packetLatency.sample(ticksToNs(now() - entry.accepted));
         _ptb.release(idx);
+        HYPERSIO_SHADOW(devicePacketCompleted(idx, _ptb.inUse()));
         state->done();
         return;
     }
@@ -135,16 +152,23 @@ Device::resolve(unsigned idx, trace::ReqClass cls,
     // Prefetch Buffer and DevTLB are checked concurrently.
     bool pb_hit = false;
     mem::Addr pb_addr = 0;
-    if (_prefetchUnit &&
-        _prefetchUnit->lookup(did, iova, size, pb_addr)) {
-        pb_hit = true;
-        ++_pbHits;
+    if (_prefetchUnit) {
+        pb_hit = _prefetchUnit->lookup(did, iova, size, pb_addr);
+        HYPERSIO_SHADOW(
+            devicePbLookup(did, iova, size, pb_hit, pb_addr));
+        if (pb_hit)
+            ++_pbHits;
     }
 
-    const DevtlbAddr addr = devtlbAddr(did, pkt.sid, iova, size);
-    const bool tlb_hit =
-        _devtlb.lookup(addr.key, addr.index, addr.partition) !=
-        nullptr;
+    const DevtlbAddr addr = devtlbAddr(did, pkt.sid, iova, size,
+                                       _config.devtlb.partitions);
+    const mem::Addr *tlb_entry =
+        _devtlb.lookup(addr.key, addr.index, addr.partition);
+    const bool tlb_hit = tlb_entry != nullptr;
+    HYPERSIO_SHADOW(deviceDevtlbLookup(
+        pkt.sid, did, iova, size,
+        _devtlb.setFor(addr.key, addr.index, addr.partition),
+        tlb_hit, tlb_hit ? *tlb_entry : 0));
     if (tlb_hit)
         ++_devtlbHits;
 
@@ -178,10 +202,19 @@ Device::resolve(unsigned idx, trace::ReqClass cls,
          state = std::move(state)](
             const iommu::IommuResponse &resp) mutable {
             if (resp.valid) {
-                const DevtlbAddr fill =
-                    devtlbAddr(did, sid, iova, size);
-                _devtlb.insert(fill.key, fill.index, resp.hostAddr,
-                               fill.partition);
+                const DevtlbAddr fill = devtlbAddr(
+                    did, sid, iova, size,
+                    _config.devtlb.partitions);
+                [[maybe_unused]] auto evicted =
+                    _devtlb.insert(fill.key, fill.index,
+                                   resp.hostAddr, fill.partition);
+                HYPERSIO_SHADOW(deviceDevtlbFill(
+                    sid, did, iova, size,
+                    _devtlb.setFor(fill.key, fill.index,
+                                   fill.partition),
+                    resp.hostAddr,
+                    evicted ? std::optional<uint64_t>(evicted->key)
+                            : std::nullopt));
             }
             issueNext(idx, std::move(state));
         });
@@ -193,6 +226,7 @@ Device::maybePrefetch(trace::SourceId sid)
     if (!_prefetchUnit || !_ports.prefetch)
         return;
     const auto predicted = _prefetchUnit->predict(sid);
+    HYPERSIO_SHADOW(deviceSidPredicted(sid, predicted));
     if (!predicted)
         return;
     ++_prefetchesSent;
@@ -210,7 +244,10 @@ Device::prefetchFill(mem::DomainId did, mem::Iova iova,
     if (!_prefetchUnit)
         return;
     ++_prefetchFills;
-    _prefetchUnit->fill(did, iova, size, host_addr);
+    [[maybe_unused]] auto evicted =
+        _prefetchUnit->fill(did, iova, size, host_addr);
+    HYPERSIO_SHADOW(
+        devicePbFill(did, iova, size, host_addr, evicted));
 }
 
 void
@@ -219,10 +256,18 @@ Device::invalidatePage(mem::DomainId did, mem::Iova iova,
 {
     // Partition tags are per SID; recover it from the DID encoding.
     const trace::SourceId sid = iommu::ContextCache::sidOf(did);
-    const DevtlbAddr addr = devtlbAddr(did, sid, iova, size);
-    _devtlb.invalidate(addr.key, addr.index, addr.partition);
-    if (_prefetchUnit)
-        _prefetchUnit->invalidate(did, iova, size);
+    const DevtlbAddr addr = devtlbAddr(did, sid, iova, size,
+                                       _config.devtlb.partitions);
+    [[maybe_unused]] const bool removed =
+        _devtlb.invalidate(addr.key, addr.index, addr.partition);
+    HYPERSIO_SHADOW(
+        deviceDevtlbInvalidated(sid, did, iova, size, removed));
+    if (_prefetchUnit) {
+        [[maybe_unused]] const bool pb_removed =
+            _prefetchUnit->invalidate(did, iova, size);
+        HYPERSIO_SHADOW(
+            devicePbInvalidated(did, iova, size, pb_removed));
+    }
 }
 
 } // namespace hypersio::core

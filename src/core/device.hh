@@ -92,6 +92,16 @@ class Device : public sim::SimObject
     {
         return _translations.count();
     }
+    /** Valid DevTLB entries (O(entries); shadow checks and tests). */
+    size_t devtlbOccupancy() const { return _devtlb.occupancy(); }
+    /** Valid Prefetch Buffer entries (0 without a prefetch unit). */
+    size_t
+    prefetchBufferOccupancy() const
+    {
+        return _prefetchUnit ? _prefetchUnit->bufferOccupancy() : 0;
+    }
+    /** Live PTB slots. */
+    unsigned ptbInUse() const { return _ptb.inUse(); }
     uint64_t pbHits() const { return _pbHits.count(); }
     uint64_t prefetchesSent() const { return _prefetchesSent.count(); }
 

@@ -135,22 +135,30 @@ class PrefetchUnit
         return true;
     }
 
-    /** Installs a completed prefetch translation. */
-    void
+    /**
+     * Installs a completed prefetch translation.
+     * @return the key evicted to make room, if any
+     */
+    std::optional<uint64_t>
     fill(mem::DomainId did, mem::Iova iova, mem::PageSize size,
          mem::Addr host_addr)
     {
-        _buffer.insert(iommu::translationKey(did, iova, size),
-                       iommu::translationIndex(iova, size),
-                       PrefetchEntry{host_addr});
+        auto evicted =
+            _buffer.insert(iommu::translationKey(did, iova, size),
+                           iommu::translationIndex(iova, size),
+                           PrefetchEntry{host_addr});
+        if (!evicted)
+            return std::nullopt;
+        return evicted->key;
     }
 
-    /** Drops a buffered translation (driver unmap). */
-    void
+    /** Drops a buffered translation (driver unmap). @return removed */
+    bool
     invalidate(mem::DomainId did, mem::Iova iova, mem::PageSize size)
     {
-        _buffer.invalidate(iommu::translationKey(did, iova, size),
-                           iommu::translationIndex(iova, size));
+        return _buffer.invalidate(
+            iommu::translationKey(did, iova, size),
+            iommu::translationIndex(iova, size));
     }
 
     /** SID to prefetch for, given the current packet's SID. */
@@ -165,6 +173,8 @@ class PrefetchUnit
     {
         return _buffer.stats();
     }
+    /** Valid buffer entries (O(entries); shadow checks and tests). */
+    size_t bufferOccupancy() const { return _buffer.occupancy(); }
 
   private:
     PrefetchConfig _config;

@@ -1,5 +1,6 @@
 #include "core/runner.hh"
 
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -196,6 +197,28 @@ writeCsv(const std::string &path,
         fatal("write error on '%s'", path.c_str());
 }
 
+namespace
+{
+
+constexpr const char *UsageText =
+    "options:\n"
+    "  --quick         small traces, up to 256 tenants "
+    "(default)\n"
+    "  --full          paper-sized traces, up to 1024 "
+    "tenants\n"
+    "  --scale <f>     trace scale factor (0 < f <= 1)\n"
+    "  --tenants <n>   max tenant count in sweeps\n"
+    "  --seed <n>      workload seed\n"
+    "  --jobs, -j <n>  worker threads for sweeps "
+    "(default: all cores; 1 = serial)\n"
+    "  --json <file>   write a machine-readable JSON "
+    "report (config,\n"
+    "                  per-point stats, wall clock; see "
+    "EXPERIMENTS.md)\n"
+    "  --verbose       per-point progress output";
+
+} // namespace
+
 BenchOptions
 BenchOptions::parse(int argc, char **argv)
 {
@@ -237,30 +260,19 @@ BenchOptions::parse(int argc, char **argv)
                 fatal("--jobs needs a positive integer");
             opts.jobs = static_cast<unsigned>(value);
         } else if (arg == "--json" || arg == "--stats-json") {
-            opts.jsonPath = next_value("--json");
+            opts.jsonPath = next_value(arg.c_str());
             if (opts.jsonPath.empty())
-                fatal("--json needs a file path");
+                fatal("%s needs a file path", arg.c_str());
         } else if (arg == "--verbose" || arg == "-v") {
             opts.verbose = true;
         } else if (arg == "--help" || arg == "-h") {
-            std::puts(
-                "options:\n"
-                "  --quick         small traces, up to 256 tenants "
-                "(default)\n"
-                "  --full          paper-sized traces, up to 1024 "
-                "tenants\n"
-                "  --scale <f>     trace scale factor (0 < f <= 1)\n"
-                "  --tenants <n>   max tenant count in sweeps\n"
-                "  --seed <n>      workload seed\n"
-                "  --jobs, -j <n>  worker threads for sweeps "
-                "(default: all cores; 1 = serial)\n"
-                "  --json <file>   write a machine-readable JSON "
-                "report (config,\n"
-                "                  per-point stats, wall clock; see "
-                "EXPERIMENTS.md)\n"
-                "  --verbose       per-point progress output");
+            std::puts(UsageText);
             std::exit(0);
         } else {
+            // Usage goes to stderr so a typo'd flag never corrupts
+            // piped experiment output.
+            std::fputs(UsageText, stderr);
+            std::fputc('\n', stderr);
             fatal("unknown option '%s' (try --help)", arg.c_str());
         }
     }

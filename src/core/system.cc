@@ -3,6 +3,7 @@
 #include <ostream>
 
 #include "iommu/keys.hh"
+#include "oracle/hooks.hh"
 #include "util/logging.hh"
 
 namespace hypersio::core
@@ -138,6 +139,21 @@ System::run(const trace::HyperTrace &trace, bool bypass_translation)
         return empty;
     }
 
+#ifdef HYPERSIO_CHECKED
+    // Auto-install a fail-fast differential oracle for this run
+    // unless one is already active on this thread (tests/fuzzing
+    // install their own collecting checker) or auto-checking is
+    // disabled (HYPERSIO_SHADOW=off).
+    std::unique_ptr<oracle::ShadowChecker> auto_checker;
+    std::optional<oracle::ShadowScope> shadow_scope;
+    if (!oracle::shadowChecker() &&
+        oracle::shadowAutoCheckEnabled() && !bypass_translation) {
+        auto_checker = std::make_unique<oracle::ShadowChecker>(
+            toShadowConfig(_config), &_tables, /*fail_fast=*/true);
+        shadow_scope.emplace(*auto_checker);
+    }
+#endif
+
     const Tick interval = _config.link.packetInterval();
     const uint64_t total = trace.packets.size();
 
@@ -162,6 +178,7 @@ System::run(const trace::HyperTrace &trace, bool bypass_translation)
         } else if (_device->ptbFull()) {
             // Dropped; the same packet retries next slot.
             ++_dropped;
+            HYPERSIO_SHADOW(devicePacketDropped());
         } else {
             applyOps(trace, pkt);
             ++_cursor;
@@ -185,6 +202,13 @@ System::run(const trace::HyperTrace &trace, bool bypass_translation)
 
     _queue.schedule(0, arrival);
     _queue.run();
+
+    HYPERSIO_SHADOW(systemRunCompleted(
+        bypass_translation, _processed,
+        _device->translationsIssued(), _device->devtlbOccupancy(),
+        _device->prefetchBufferOccupancy(),
+        _iommu->iotlbOccupancy(), _iommu->l2Occupancy(),
+        _iommu->l3Occupancy(), _device->ptbInUse()));
 
     RunResults results;
     results.configName = _config.name;
@@ -249,6 +273,8 @@ System::applyOps(const trace::HyperTrace &trace,
             // device TLB, prefetch buffer, and chipset IOTLB.
             _device->invalidatePage(did, op.pageBase, op.size);
             _iommu->invalidate(did, op.pageBase, op.size);
+            HYPERSIO_SHADOW(
+                systemUnmapped(did, op.pageBase, op.size));
         }
     }
 }

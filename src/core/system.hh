@@ -95,6 +95,8 @@ class System
     Device &device() { return *_device; }
     iommu::Iommu &iommuUnit() { return *_iommu; }
     sim::EventQueue &eventQueue() { return _queue; }
+    /** The run's functional page tables (shadow checking, tests). */
+    const iommu::PageTableDirectory &tables() const { return _tables; }
 
   private:
     void applyOps(const trace::HyperTrace &trace,

@@ -1,5 +1,6 @@
 #include "iommu/iommu.hh"
 
+#include "oracle/hooks.hh"
 #include "util/debug.hh"
 
 namespace hypersio::iommu
@@ -47,7 +48,12 @@ Iommu::translate(const IommuRequest &req, ResponseFn done)
     const uint64_t index = translationIndex(req.iova, req.size);
 
     // 1. IOTLB: final-translation cache.
-    if (IommuResponse *hit = _iotlb.lookup(key, index, req.domain)) {
+    IommuResponse *hit = _iotlb.lookup(key, index, req.domain);
+    HYPERSIO_SHADOW(iommuIotlbLookup(
+        req.domain, req.iova, req.size,
+        _iotlb.setFor(key, index, req.domain), hit != nullptr,
+        hit ? hit->hostAddr : 0));
+    if (hit) {
         ++_iotlbHits;
         IommuResponse resp = *hit;
         resp.iotlbHit = true;
@@ -60,6 +66,8 @@ Iommu::translate(const IommuRequest &req, ResponseFn done)
     // 2. MSHR: coalesce onto an in-flight walk for the same page.
     if (auto it = _mshr.find(key); it != _mshr.end()) {
         ++_coalesced;
+        HYPERSIO_SHADOW(
+            iommuCoalesced(req.domain, req.iova, req.size));
         it->second.waiters.push_back(std::move(done));
         return;
     }
@@ -71,6 +79,8 @@ Iommu::translate(const IommuRequest &req, ResponseFn done)
     walk.waiters.push_back(std::move(done));
     auto [it, inserted] = _mshr.emplace(key, std::move(walk));
     HYPERSIO_ASSERT(inserted, "duplicate MSHR entry");
+    HYPERSIO_SHADOW(
+        iommuMshrAllocated(req.domain, req.iova, req.size));
 
     if (_config.walkers == 0 || _activeWalks < _config.walkers) {
         ++_activeWalks;
@@ -126,6 +136,9 @@ Iommu::startWalk(uint64_t key)
     ++_walks;
     const unsigned accesses = walkAccessesFor(it->second.req);
     _walkAccessHist.sample(accesses);
+    HYPERSIO_SHADOW(iommuWalkStarted(
+        it->second.req.domain, it->second.req.iova,
+        it->second.req.size, accesses, _activeWalks));
     HYPERSIO_DPRINTF(IommuFlag, now(),
                      "walk did=%u iova=%#llx accesses=%u%s",
                      it->second.req.domain,
@@ -155,6 +168,13 @@ Iommu::finishWalk(Walk &walk, const mem::Translation &xlate)
     if (xlate.valid) {
         resp.hostAddr = xlate.hostAddr;
         resp.valid = true;
+    } else {
+        ++_faults;
+    }
+    HYPERSIO_SHADOW(iommuWalkCompleted(walk.req.domain,
+                                       walk.req.iova, walk.req.size,
+                                       resp.valid, resp.hostAddr));
+    if (xlate.valid) {
         // Fill the translation caches. The IOTLB caches the final
         // translation; the paging caches remember the intermediate
         // table pointers so later walks can start deeper.
@@ -162,13 +182,35 @@ Iommu::finishWalk(Walk &walk, const mem::Translation &xlate)
             walk.req.domain, walk.req.iova, xlate.pageSize);
         const uint64_t index =
             translationIndex(walk.req.iova, xlate.pageSize);
-        _iotlb.insert(key, index, resp, walk.req.domain);
-        _l2.insert(pagingKey(walk.req.domain, walk.req.iova, 2),
-                   pagingIndex(walk.req.iova, 2), 1, walk.req.domain);
-        _l3.insert(pagingKey(walk.req.domain, walk.req.iova, 3),
-                   pagingIndex(walk.req.iova, 3), 1, walk.req.domain);
-    } else {
-        ++_faults;
+        [[maybe_unused]] auto io_ev =
+            _iotlb.insert(key, index, resp, walk.req.domain);
+        HYPERSIO_SHADOW(iommuIotlbFilled(
+            walk.req.domain, walk.req.iova, xlate.pageSize,
+            _iotlb.setFor(key, index, walk.req.domain), resp.hostAddr,
+            io_ev ? std::optional<uint64_t>(io_ev->key)
+                  : std::nullopt));
+        [[maybe_unused]] auto l2_ev =
+            _l2.insert(pagingKey(walk.req.domain, walk.req.iova, 2),
+                       pagingIndex(walk.req.iova, 2), 1,
+                       walk.req.domain);
+        HYPERSIO_SHADOW(iommuPagingFilled(
+            2, walk.req.domain, walk.req.iova,
+            _l2.setFor(pagingKey(walk.req.domain, walk.req.iova, 2),
+                       pagingIndex(walk.req.iova, 2),
+                       walk.req.domain),
+            l2_ev ? std::optional<uint64_t>(l2_ev->key)
+                  : std::nullopt));
+        [[maybe_unused]] auto l3_ev =
+            _l3.insert(pagingKey(walk.req.domain, walk.req.iova, 3),
+                       pagingIndex(walk.req.iova, 3), 1,
+                       walk.req.domain);
+        HYPERSIO_SHADOW(iommuPagingFilled(
+            3, walk.req.domain, walk.req.iova,
+            _l3.setFor(pagingKey(walk.req.domain, walk.req.iova, 3),
+                       pagingIndex(walk.req.iova, 3),
+                       walk.req.domain),
+            l3_ev ? std::optional<uint64_t>(l3_ev->key)
+                  : std::nullopt));
     }
 
     for (auto &waiter : walk.waiters)
@@ -203,7 +245,10 @@ Iommu::invalidate(mem::DomainId domain, mem::Iova iova,
 {
     const uint64_t key = translationKey(domain, iova, size);
     const uint64_t index = translationIndex(iova, size);
-    _iotlb.invalidate(key, index, domain);
+    [[maybe_unused]] const bool removed =
+        _iotlb.invalidate(key, index, domain);
+    HYPERSIO_SHADOW(
+        iommuIotlbInvalidated(domain, iova, size, removed));
 }
 
 void
@@ -212,6 +257,7 @@ Iommu::flushAll()
     _iotlb.flush();
     _l2.flush();
     _l3.flush();
+    HYPERSIO_SHADOW(iommuFlushed());
 }
 
 } // namespace hypersio::iommu

@@ -143,6 +143,11 @@ class Iommu : public sim::SimObject
     const cache::CacheStats &l2Stats() const { return _l2.stats(); }
     const cache::CacheStats &l3Stats() const { return _l3.stats(); }
 
+    /** Valid IOTLB entries (O(entries); shadow checks and tests). */
+    size_t iotlbOccupancy() const { return _iotlb.occupancy(); }
+    size_t l2Occupancy() const { return _l2.occupancy(); }
+    size_t l3Occupancy() const { return _l3.occupancy(); }
+
     /** Walks currently occupying a walker slot. */
     unsigned activeWalks() const { return _activeWalks; }
     /** Walks waiting for a walker slot. */

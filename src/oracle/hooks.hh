@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Shadow-mode hook macro for the timed model.
+ *
+ * Instrumented code reports events as
+ *
+ *     HYPERSIO_SHADOW(deviceDevtlbLookup(sid, did, iova, size,
+ *                                        set, hit, value));
+ *
+ * In HYPERSIO_CHECKED builds this forwards the call to the current
+ * thread's ShadowChecker when one is installed (the arguments are
+ * evaluated only then, so even O(entries) snapshot arguments cost
+ * nothing while no checker is active). In unchecked builds the macro
+ * expands to nothing and the oracle adds zero code and zero cycles.
+ */
+
+#ifndef HYPERSIO_ORACLE_HOOKS_HH
+#define HYPERSIO_ORACLE_HOOKS_HH
+
+#ifdef HYPERSIO_CHECKED
+
+#include "oracle/shadow.hh"
+
+#define HYPERSIO_SHADOW(call)                                         \
+    do {                                                              \
+        if (::hypersio::oracle::ShadowChecker *shadow_ =              \
+                ::hypersio::oracle::shadowChecker())                  \
+            shadow_->call;                                            \
+    } while (0)
+
+#else
+
+#define HYPERSIO_SHADOW(call)                                         \
+    do {                                                              \
+    } while (0)
+
+#endif // HYPERSIO_CHECKED
+
+#endif // HYPERSIO_ORACLE_HOOKS_HH

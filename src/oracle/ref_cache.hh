@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Untimed reference model of a set-associative, partitioned
+ * translation cache (the oracle twin of cache::SetAssocCache).
+ *
+ * The mirror is event-driven: the shadow hooks report every fill,
+ * eviction, invalidation, and flush the timed cache performs, so the
+ * mirror's contents are exactly the timed cache's contents at all
+ * times. That makes hit/miss classification checks exact — no
+ * replacement-policy modelling is needed, because evictions arrive
+ * as events rather than being predicted.
+ *
+ * What the mirror *does* verify independently:
+ *   - row legality: every fill and lookup must land in the set group
+ *     owned by the request's partition tag (the P-DevTLB PTag rule),
+ *   - capacity: never more than `ways` keys per set or `entries`
+ *     keys total,
+ *   - classification: a reported hit must be a key the mirror holds
+ *     (and with the very value the timed cache returned), a reported
+ *     miss must not be,
+ *   - eviction sanity: an evicted key must have been resident.
+ */
+
+#ifndef HYPERSIO_ORACLE_REF_CACHE_HH
+#define HYPERSIO_ORACLE_REF_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "mem/addr.hh"
+#include "util/str.hh"
+
+namespace hypersio::oracle
+{
+
+/** Event-driven mirror of one timed cache instance. */
+class CacheMirror
+{
+  public:
+    CacheMirror() = default;
+
+    /**
+     * @param check_values compare cached values on hits (final
+     *        translation caches); presence-only caches (the paging
+     *        structure caches) pass false
+     */
+    void
+    configure(std::string name, size_t entries, size_t ways,
+              size_t partitions, bool check_values = true)
+    {
+        _name = std::move(name);
+        _entries = entries;
+        _ways = ways;
+        _partitions = partitions ? partitions : 1;
+        _sets = ways ? entries / ways : 0;
+        _setsPerPartition = _sets / _partitions;
+        _checkValues = check_values;
+        _map.clear();
+        _setCount.clear();
+    }
+
+    /**
+     * Checks that `set` is a row the partition tag may legally use.
+     * @return violation message, or nullopt when legal
+     */
+    std::optional<std::string>
+    checkRow(uint64_t key, size_t set, uint32_t partition_tag) const
+    {
+        if (set >= _sets) {
+            return strprintf("%s: key %#llx uses set %zu beyond the "
+                             "%zu sets",
+                             _name.c_str(),
+                             (unsigned long long)key, set, _sets);
+        }
+        const size_t owner = set / _setsPerPartition;
+        const size_t legal = partition_tag % _partitions;
+        if (owner != legal) {
+            return strprintf(
+                "%s: PTag violation — key %#llx (tag %u) allocated "
+                "row group %zu, legal group is %zu",
+                _name.c_str(), (unsigned long long)key,
+                partition_tag, owner, legal);
+        }
+        return std::nullopt;
+    }
+
+    /** Verifies a lookup's hit/miss classification and hit value. */
+    std::optional<std::string>
+    lookup(uint64_t key, size_t set, uint32_t partition_tag,
+           bool hit, mem::Addr value) const
+    {
+        if (auto err = checkRow(key, set, partition_tag))
+            return err;
+        auto it = _map.find(key);
+        const bool mirror_hit = it != _map.end();
+        if (hit != mirror_hit) {
+            return strprintf(
+                "%s: lookup of key %#llx reported a %s but the "
+                "reference holds %s entry",
+                _name.c_str(), (unsigned long long)key,
+                hit ? "hit" : "miss", mirror_hit ? "that" : "no");
+        }
+        if (hit && _checkValues && value != it->second.value) {
+            return strprintf(
+                "%s: hit on key %#llx returned %#llx, reference "
+                "holds %#llx",
+                _name.c_str(), (unsigned long long)key,
+                (unsigned long long)value,
+                (unsigned long long)it->second.value);
+        }
+        return std::nullopt;
+    }
+
+    /** Applies a fill (with its reported eviction, if any). */
+    std::optional<std::string>
+    fill(uint64_t key, size_t set, uint32_t partition_tag,
+         mem::Addr value, const std::optional<uint64_t> &evicted)
+    {
+        if (auto err = checkRow(key, set, partition_tag))
+            return err;
+        if (evicted) {
+            auto ev = _map.find(*evicted);
+            if (ev == _map.end()) {
+                return strprintf(
+                    "%s: fill of %#llx evicted %#llx which the "
+                    "reference never held",
+                    _name.c_str(), (unsigned long long)key,
+                    (unsigned long long)*evicted);
+            }
+            if (_map.count(key)) {
+                return strprintf(
+                    "%s: in-place update of %#llx reported an "
+                    "eviction of %#llx",
+                    _name.c_str(), (unsigned long long)key,
+                    (unsigned long long)*evicted);
+            }
+            erase(ev);
+        }
+        auto [it, inserted] = _map.try_emplace(key);
+        if (inserted)
+            ++_setCount[set];
+        else if (it->second.set != set)
+            return strprintf("%s: key %#llx moved from set %zu to "
+                             "set %zu",
+                             _name.c_str(), (unsigned long long)key,
+                             it->second.set, set);
+        it->second = {value, set};
+        if (_setCount[set] > _ways) {
+            return strprintf(
+                "%s: set %zu holds %u keys but has only %zu ways "
+                "(missed eviction)",
+                _name.c_str(), set, _setCount[set], _ways);
+        }
+        if (_map.size() > _entries) {
+            return strprintf("%s: %zu resident keys exceed the %zu "
+                             "entries",
+                             _name.c_str(), _map.size(), _entries);
+        }
+        return std::nullopt;
+    }
+
+    /** Applies an invalidation and checks the removal outcome. */
+    std::optional<std::string>
+    invalidated(uint64_t key, bool removed)
+    {
+        auto it = _map.find(key);
+        const bool mirror_had = it != _map.end();
+        if (removed != mirror_had) {
+            return strprintf(
+                "%s: invalidate of key %#llx %s but the reference "
+                "%s it",
+                _name.c_str(), (unsigned long long)key,
+                removed ? "removed an entry" : "found nothing",
+                mirror_had ? "holds" : "does not hold");
+        }
+        if (mirror_had)
+            erase(it);
+        return std::nullopt;
+    }
+
+    /** Removes a key known to be consumed (Prefetch Buffer hits). */
+    void
+    consume(uint64_t key)
+    {
+        auto it = _map.find(key);
+        if (it != _map.end())
+            erase(it);
+    }
+
+    void
+    flush()
+    {
+        _map.clear();
+        _setCount.clear();
+    }
+
+    bool contains(uint64_t key) const { return _map.count(key) > 0; }
+    size_t size() const { return _map.size(); }
+    const std::string &name() const { return _name; }
+
+  private:
+    struct Entry
+    {
+        mem::Addr value = 0;
+        size_t set = 0;
+    };
+
+    void
+    erase(std::unordered_map<uint64_t, Entry>::iterator it)
+    {
+        auto count = _setCount.find(it->second.set);
+        if (count != _setCount.end() && count->second > 0)
+            --count->second;
+        _map.erase(it);
+    }
+
+    std::string _name;
+    size_t _entries = 0;
+    size_t _ways = 0;
+    size_t _partitions = 1;
+    size_t _sets = 0;
+    size_t _setsPerPartition = 1;
+    bool _checkValues = true;
+    std::unordered_map<uint64_t, Entry> _map;
+    std::unordered_map<size_t, unsigned> _setCount;
+};
+
+} // namespace hypersio::oracle
+
+#endif // HYPERSIO_ORACLE_REF_CACHE_HH

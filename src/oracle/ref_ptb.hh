@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Untimed reference model of the Pending Translation Buffer: a pool
+ * of `capacity` slots with allocate / release / drop events. The
+ * timed PTB may complete packets out of order and drop-and-retry on
+ * full; the reference only tracks which slots are live and checks
+ * the occupancy invariants on every event.
+ */
+
+#ifndef HYPERSIO_ORACLE_REF_PTB_HH
+#define HYPERSIO_ORACLE_REF_PTB_HH
+
+#include <optional>
+#include <string>
+#include <unordered_set>
+
+#include "util/str.hh"
+
+namespace hypersio::oracle
+{
+
+/** Slot-occupancy reference for the PTB. */
+class RefPtb
+{
+  public:
+    void
+    configure(unsigned capacity)
+    {
+        _capacity = capacity;
+        _live.clear();
+    }
+
+    /** A packet was accepted into slot `idx`. */
+    std::optional<std::string>
+    allocated(unsigned idx, unsigned reported_in_use)
+    {
+        if (idx >= _capacity) {
+            return strprintf("PTB: allocated slot %u beyond "
+                             "capacity %u",
+                             idx, _capacity);
+        }
+        if (!_live.insert(idx).second)
+            return strprintf("PTB: slot %u allocated twice", idx);
+        if (_live.size() != reported_in_use) {
+            return strprintf("PTB: occupancy %u reported after "
+                             "allocate, reference holds %zu",
+                             reported_in_use, _live.size());
+        }
+        return std::nullopt;
+    }
+
+    /** A packet completed and freed slot `idx`. */
+    std::optional<std::string>
+    released(unsigned idx, unsigned reported_in_use)
+    {
+        if (_live.erase(idx) == 0)
+            return strprintf("PTB: released idle slot %u", idx);
+        if (_live.size() != reported_in_use) {
+            return strprintf("PTB: occupancy %u reported after "
+                             "release, reference holds %zu",
+                             reported_in_use, _live.size());
+        }
+        return std::nullopt;
+    }
+
+    /** A packet was dropped because the PTB reported full. */
+    std::optional<std::string>
+    dropped() const
+    {
+        if (_live.size() != _capacity) {
+            return strprintf("PTB: packet dropped at occupancy "
+                             "%zu/%u — drops are only legal when "
+                             "full",
+                             _live.size(), _capacity);
+        }
+        return std::nullopt;
+    }
+
+    size_t inUse() const { return _live.size(); }
+    unsigned capacity() const { return _capacity; }
+
+  private:
+    unsigned _capacity = 0;
+    std::unordered_set<unsigned> _live;
+};
+
+} // namespace hypersio::oracle
+
+#endif // HYPERSIO_ORACLE_REF_PTB_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Untimed reference of the two-dimensional page-walk cost model.
+ *
+ * Restates Table II / Fig. 2 independently of the timed IOMMU: each
+ * guest level still to be read costs a full host walk of the guest
+ * PTE pointer (`levels` reads) plus the guest PTE read itself, and
+ * the walk ends with a host walk of the final guest-physical
+ * address. The deepest paging-structure cache hit decides how many
+ * guest levels remain: an L2 entry covers down to guest level 2, an
+ * L3 entry down to level 3, otherwise the walk starts at the root.
+ * 2 MB mappings terminate one guest level early (leaf level 2).
+ */
+
+#ifndef HYPERSIO_ORACLE_REF_WALK_HH
+#define HYPERSIO_ORACLE_REF_WALK_HH
+
+namespace hypersio::oracle
+{
+
+/**
+ * Memory accesses a walk must perform.
+ *
+ * @param l2_hit the L2 paging cache holds the request's prefix
+ * @param l3_hit the L3 paging cache holds the request's prefix
+ *        (only consulted when the L2 missed)
+ * @param levels paging depth of both dimensions (4 or 5)
+ * @param huge the request targets a 2 MB mapping
+ */
+constexpr unsigned
+refWalkAccesses(bool l2_hit, bool l3_hit, unsigned levels, bool huge)
+{
+    const unsigned leaf = huge ? 2 : 1;
+    unsigned remaining_guest_levels;
+    if (l2_hit)
+        remaining_guest_levels = 2 - leaf;
+    else if (l3_hit)
+        remaining_guest_levels = 3 - leaf;
+    else
+        remaining_guest_levels = levels - leaf + 1;
+    return (levels + 1) * remaining_guest_levels + levels;
+}
+
+static_assert(refWalkAccesses(false, false, 4, false) == 24,
+              "full 4-level 4K walk is 24 accesses (Table II)");
+static_assert(refWalkAccesses(false, false, 5, false) == 35,
+              "full 5-level 4K walk is 35 accesses");
+static_assert(refWalkAccesses(false, true, 4, false) == 14,
+              "L3 hit leaves two guest levels");
+static_assert(refWalkAccesses(true, false, 4, false) == 9,
+              "L2 hit leaves one guest level");
+static_assert(refWalkAccesses(true, false, 4, true) == 4,
+              "L2 hit on a 2M mapping needs only the host walk");
+
+} // namespace hypersio::oracle
+
+#endif // HYPERSIO_ORACLE_REF_WALK_HH

@@ -1,0 +1,486 @@
+#include "oracle/shadow.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "iommu/iommu.hh"
+#include "iommu/keys.hh"
+#include "oracle/fault_injection.hh"
+#include "oracle/ref_walk.hh"
+#include "util/logging.hh"
+
+namespace hypersio::oracle
+{
+
+namespace
+{
+
+/** Violations stored per checker; the count keeps going past this. */
+constexpr size_t MaxStoredViolations = 100;
+
+thread_local ShadowChecker *tls_checker = nullptr;
+
+bool
+initialAutoCheck()
+{
+    const char *env = std::getenv("HYPERSIO_SHADOW");
+    if (!env)
+        return true;
+    return std::strcmp(env, "off") != 0 && std::strcmp(env, "0") != 0;
+}
+
+std::atomic<bool> auto_check{initialAutoCheck()};
+
+long long
+optionalSid(const std::optional<uint32_t> &sid)
+{
+    return sid ? static_cast<long long>(*sid) : -1;
+}
+
+} // namespace
+
+// Collects the failure message of any check that does not hold.
+#define SHADOW_CHECK(cond, ...)                                       \
+    do {                                                              \
+        if (!(cond))                                                  \
+            record(strprintf(__VA_ARGS__));                           \
+    } while (0)
+
+FaultInjection &
+faultInjection()
+{
+    static FaultInjection injection;
+    return injection;
+}
+
+ShadowChecker::ShadowChecker(const ShadowConfig &config,
+                             const iommu::PageTableDirectory *tables,
+                             bool fail_fast)
+    : _config(config), _tables(tables), _failFast(fail_fast)
+{
+    _devtlb.configure("DevTLB", config.devtlbEntries,
+                      config.devtlbWays, config.devtlbPartitions);
+    const size_t pb = config.pbEntries ? config.pbEntries : 1;
+    _pb.configure("PB", pb, pb, 1); // fully associative
+    _iotlb.configure("IOTLB", config.iotlbEntries, config.iotlbWays,
+                     config.iotlbPartitions);
+    _l2.configure("L2TLB", config.l2Entries, config.l2Ways,
+                  config.l2Partitions, /*check_values=*/false);
+    _l3.configure("L3TLB", config.l3Entries, config.l3Ways,
+                  config.l3Partitions, /*check_values=*/false);
+    _ptb.configure(config.ptbEntries);
+    _predictor.configure(config.historyLength);
+    _history.configure(config.historyDepth);
+}
+
+void
+ShadowChecker::record(std::optional<std::string> violation)
+{
+    if (!violation)
+        return;
+    ++_violationCount;
+    if (_failFast)
+        panic("shadow oracle: %s", violation->c_str());
+    if (_violations.size() < MaxStoredViolations)
+        _violations.push_back(std::move(*violation));
+}
+
+// ---- Device events -----------------------------------------------------
+
+void
+ShadowChecker::devicePacketAccepted(uint32_t sid, unsigned idx,
+                                    unsigned in_use)
+{
+    (void)sid;
+    ++_events;
+    record(_ptb.allocated(idx, in_use));
+}
+
+void
+ShadowChecker::devicePacketCompleted(unsigned idx, unsigned in_use)
+{
+    ++_events;
+    record(_ptb.released(idx, in_use));
+}
+
+void
+ShadowChecker::devicePacketDropped()
+{
+    ++_events;
+    record(_ptb.dropped());
+}
+
+void
+ShadowChecker::deviceSidObserved(uint32_t sid)
+{
+    ++_events;
+    _predictor.observe(sid);
+}
+
+void
+ShadowChecker::deviceSidPredicted(uint32_t sid,
+                                  std::optional<uint32_t> predicted)
+{
+    ++_events;
+    const auto expected = _predictor.predict(sid);
+    SHADOW_CHECK(predicted == expected,
+                 "SID-predictor: sid %u predicted %lld, reference "
+                 "expects %lld (after %llu arrivals)",
+                 sid, optionalSid(predicted), optionalSid(expected),
+                 (unsigned long long)_predictor.observed());
+}
+
+void
+ShadowChecker::devicePbLookup(mem::DomainId did, mem::Iova iova,
+                              mem::PageSize size, bool hit,
+                              mem::Addr value)
+{
+    ++_events;
+    const uint64_t key = iommu::translationKey(did, iova, size);
+    record(_pb.lookup(key, 0, 0, hit, value));
+    // A PB hit consumes the entry.
+    if (hit)
+        _pb.consume(key);
+}
+
+void
+ShadowChecker::devicePbFill(mem::DomainId did, mem::Iova iova,
+                            mem::PageSize size, mem::Addr value,
+                            std::optional<uint64_t> evicted)
+{
+    ++_events;
+    record(_pb.fill(iommu::translationKey(did, iova, size), 0, 0,
+                    value, evicted));
+}
+
+void
+ShadowChecker::devicePbInvalidated(mem::DomainId did, mem::Iova iova,
+                                   mem::PageSize size, bool removed)
+{
+    ++_events;
+    record(_pb.invalidated(iommu::translationKey(did, iova, size),
+                           removed));
+}
+
+void
+ShadowChecker::deviceDevtlbLookup(uint32_t sid, mem::DomainId did,
+                                  mem::Iova iova, mem::PageSize size,
+                                  size_t set, bool hit,
+                                  mem::Addr value)
+{
+    ++_events;
+    ++_translationChecks;
+    record(_devtlb.lookup(iommu::translationKey(did, iova, size),
+                          set, sid, hit, value));
+}
+
+void
+ShadowChecker::deviceDevtlbFill(uint32_t sid, mem::DomainId did,
+                                mem::Iova iova, mem::PageSize size,
+                                size_t set, mem::Addr value,
+                                std::optional<uint64_t> evicted)
+{
+    ++_events;
+    record(_devtlb.fill(iommu::translationKey(did, iova, size), set,
+                        sid, value, evicted));
+}
+
+void
+ShadowChecker::deviceDevtlbInvalidated(uint32_t sid,
+                                       mem::DomainId did,
+                                       mem::Iova iova,
+                                       mem::PageSize size,
+                                       bool removed)
+{
+    (void)sid;
+    ++_events;
+    record(_devtlb.invalidated(
+        iommu::translationKey(did, iova, size), removed));
+}
+
+// ---- IOMMU events ------------------------------------------------------
+
+void
+ShadowChecker::iommuIotlbLookup(mem::DomainId domain, mem::Iova iova,
+                                mem::PageSize size, size_t set,
+                                bool hit, mem::Addr value)
+{
+    ++_events;
+    record(_iotlb.lookup(iommu::translationKey(domain, iova, size),
+                         set, domain, hit, value));
+}
+
+void
+ShadowChecker::iommuMshrAllocated(mem::DomainId domain,
+                                  mem::Iova iova, mem::PageSize size)
+{
+    ++_events;
+    const uint64_t key = iommu::translationKey(domain, iova, size);
+    SHADOW_CHECK(_mshr.insert(key).second,
+                 "MSHR: second walk allocated for in-flight key "
+                 "%#llx (did %u iova %#llx)",
+                 (unsigned long long)key, domain,
+                 (unsigned long long)iova);
+}
+
+void
+ShadowChecker::iommuCoalesced(mem::DomainId domain, mem::Iova iova,
+                              mem::PageSize size)
+{
+    ++_events;
+    const uint64_t key = iommu::translationKey(domain, iova, size);
+    SHADOW_CHECK(_mshr.count(key) == 1,
+                 "MSHR: request coalesced onto key %#llx with no "
+                 "walk in flight",
+                 (unsigned long long)key);
+}
+
+void
+ShadowChecker::iommuWalkStarted(mem::DomainId domain, mem::Iova iova,
+                                mem::PageSize size, unsigned accesses,
+                                unsigned active_walks)
+{
+    ++_events;
+    const bool huge = size == mem::PageSize::Size2M;
+    const bool l2_hit =
+        _l2.contains(iommu::pagingKey(domain, iova, 2));
+    const bool l3_hit =
+        _l3.contains(iommu::pagingKey(domain, iova, 3));
+    const unsigned expected = refWalkAccesses(
+        l2_hit, l3_hit, _config.pagingLevels, huge);
+    SHADOW_CHECK(accesses == expected,
+                 "walk did=%u iova=%#llx charged %u accesses, "
+                 "reference expects %u (L2 %d, L3 %d, %s)",
+                 domain, (unsigned long long)iova, accesses,
+                 expected, l2_hit ? 1 : 0, l3_hit ? 1 : 0,
+                 huge ? "2M" : "4K");
+    SHADOW_CHECK(_config.walkers == 0 ||
+                     active_walks <= _config.walkers,
+                 "walker bound: %u active walks exceed the %u "
+                 "walker slots",
+                 active_walks, _config.walkers);
+    SHADOW_CHECK(_mshr.count(iommu::translationKey(domain, iova,
+                                                   size)) == 1,
+                 "walk did=%u iova=%#llx started without an MSHR "
+                 "entry",
+                 domain, (unsigned long long)iova);
+}
+
+void
+ShadowChecker::iommuWalkCompleted(mem::DomainId domain,
+                                  mem::Iova iova,
+                                  mem::PageSize req_size, bool valid,
+                                  mem::Addr host_addr)
+{
+    ++_events;
+    const uint64_t key =
+        iommu::translationKey(domain, iova, req_size);
+    SHADOW_CHECK(_mshr.erase(key) == 1,
+                 "walk did=%u iova=%#llx completed without an MSHR "
+                 "entry",
+                 domain, (unsigned long long)iova);
+
+    if (!_tables)
+        return;
+    // The authoritative untimed translation, sampled at the same
+    // instant the timed walk samples the page table.
+    const mem::PageTable *table = _tables->find(domain);
+    mem::Translation ref;
+    if (table)
+        ref = table->translate(iova);
+    SHADOW_CHECK(valid == ref.valid,
+                 "walk did=%u iova=%#llx %s but the functional "
+                 "tables say %s",
+                 domain, (unsigned long long)iova,
+                 valid ? "succeeded" : "faulted",
+                 ref.valid ? "mapped" : "unmapped");
+    if (valid && ref.valid) {
+        SHADOW_CHECK(host_addr == ref.hostAddr,
+                     "hPA mismatch: did=%u iova=%#llx timed %#llx, "
+                     "functional %#llx",
+                     domain, (unsigned long long)iova,
+                     (unsigned long long)host_addr,
+                     (unsigned long long)ref.hostAddr);
+    }
+}
+
+void
+ShadowChecker::iommuIotlbFilled(mem::DomainId domain, mem::Iova iova,
+                                mem::PageSize mapped_size, size_t set,
+                                mem::Addr value,
+                                std::optional<uint64_t> evicted)
+{
+    ++_events;
+    record(_iotlb.fill(
+        iommu::translationKey(domain, iova, mapped_size), set,
+        domain, value, evicted));
+}
+
+void
+ShadowChecker::iommuPagingFilled(unsigned level, mem::DomainId domain,
+                                 mem::Iova iova, size_t set,
+                                 std::optional<uint64_t> evicted)
+{
+    ++_events;
+    SHADOW_CHECK(level == 2 || level == 3,
+                 "paging-structure fill at unexpected level %u",
+                 level);
+    CacheMirror &mirror = level == 2 ? _l2 : _l3;
+    record(mirror.fill(iommu::pagingKey(domain, iova, level), set,
+                       domain, 0, evicted));
+}
+
+void
+ShadowChecker::iommuIotlbInvalidated(mem::DomainId domain,
+                                     mem::Iova iova,
+                                     mem::PageSize size, bool removed)
+{
+    ++_events;
+    record(_iotlb.invalidated(
+        iommu::translationKey(domain, iova, size), removed));
+}
+
+void
+ShadowChecker::iommuFlushed()
+{
+    ++_events;
+    _iotlb.flush();
+    _l2.flush();
+    _l3.flush();
+}
+
+// ---- Chipset events ----------------------------------------------------
+
+void
+ShadowChecker::historyObserved(mem::DomainId did, mem::Iova iova,
+                               mem::PageSize size)
+{
+    ++_events;
+    _history.observe(did, mem::pageBase(iova, size),
+                     mem::pageShift(size));
+}
+
+void
+ShadowChecker::historyPrefetchIssued(mem::DomainId did, unsigned slot,
+                                     mem::Addr page_base,
+                                     mem::PageSize size)
+{
+    ++_events;
+    SHADOW_CHECK(slot < _config.pagesPerPrefetch,
+                 "history reader issued prefetch slot %u, burst "
+                 "limit is %u pages",
+                 slot, _config.pagesPerPrefetch);
+    const auto expected = _history.recent(did, slot);
+    const RefHistoryPage issued{page_base, mem::pageShift(size)};
+    SHADOW_CHECK(expected && *expected == issued,
+                 "history reader prefetched did=%u page %#llx (slot "
+                 "%u), reference history holds %#llx there",
+                 did, (unsigned long long)page_base, slot,
+                 expected
+                     ? (unsigned long long)expected->pageBase
+                     : 0ULL);
+}
+
+// ---- System events -----------------------------------------------------
+
+void
+ShadowChecker::systemUnmapped(mem::DomainId did, mem::Iova page_base,
+                              mem::PageSize size)
+{
+    ++_events;
+    const uint64_t key =
+        iommu::translationKey(did, page_base, size);
+    SHADOW_CHECK(!_devtlb.contains(key),
+                 "unmap of did=%u page %#llx left the translation "
+                 "in the DevTLB",
+                 did, (unsigned long long)page_base);
+    SHADOW_CHECK(!_pb.contains(key),
+                 "unmap of did=%u page %#llx left the translation "
+                 "in the Prefetch Buffer",
+                 did, (unsigned long long)page_base);
+    SHADOW_CHECK(!_iotlb.contains(key),
+                 "unmap of did=%u page %#llx left the translation "
+                 "in the IOTLB",
+                 did, (unsigned long long)page_base);
+}
+
+void
+ShadowChecker::systemRunCompleted(bool bypass, uint64_t processed,
+                                  uint64_t translations,
+                                  size_t devtlb_occupancy,
+                                  size_t pb_occupancy,
+                                  size_t iotlb_occupancy,
+                                  size_t l2_occupancy,
+                                  size_t l3_occupancy,
+                                  unsigned ptb_in_use)
+{
+    ++_events;
+    if (!bypass) {
+        SHADOW_CHECK(translations == 3 * processed,
+                     "run issued %llu translations for %llu "
+                     "processed packets (expected 3 per packet)",
+                     (unsigned long long)translations,
+                     (unsigned long long)processed);
+    }
+    SHADOW_CHECK(ptb_in_use == 0 && _ptb.inUse() == 0,
+                 "PTB not empty at end of run (timed %u, reference "
+                 "%zu)",
+                 ptb_in_use, _ptb.inUse());
+    SHADOW_CHECK(_mshr.empty(),
+                 "%zu walks still in the MSHR at end of run",
+                 _mshr.size());
+    SHADOW_CHECK(devtlb_occupancy == _devtlb.size(),
+                 "DevTLB occupancy %zu at end of run, reference "
+                 "holds %zu",
+                 devtlb_occupancy, _devtlb.size());
+    SHADOW_CHECK(pb_occupancy == _pb.size(),
+                 "PB occupancy %zu at end of run, reference holds "
+                 "%zu",
+                 pb_occupancy, _pb.size());
+    SHADOW_CHECK(iotlb_occupancy == _iotlb.size(),
+                 "IOTLB occupancy %zu at end of run, reference "
+                 "holds %zu",
+                 iotlb_occupancy, _iotlb.size());
+    SHADOW_CHECK(l2_occupancy == _l2.size(),
+                 "L2TLB occupancy %zu at end of run, reference "
+                 "holds %zu",
+                 l2_occupancy, _l2.size());
+    SHADOW_CHECK(l3_occupancy == _l3.size(),
+                 "L3TLB occupancy %zu at end of run, reference "
+                 "holds %zu",
+                 l3_occupancy, _l3.size());
+}
+
+// ---- Installation ------------------------------------------------------
+
+ShadowScope::ShadowScope(ShadowChecker &checker)
+    : _previous(tls_checker)
+{
+    tls_checker = &checker;
+}
+
+ShadowScope::~ShadowScope()
+{
+    tls_checker = _previous;
+}
+
+ShadowChecker *
+shadowChecker()
+{
+    return tls_checker;
+}
+
+bool
+shadowAutoCheckEnabled()
+{
+    return auto_check.load(std::memory_order_relaxed);
+}
+
+void
+setShadowAutoCheck(bool enabled)
+{
+    auto_check.store(enabled, std::memory_order_relaxed);
+}
+
+} // namespace hypersio::oracle

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Adversarial trace synthesis for differential fuzzing.
+ *
+ * Unlike the benchmark profiles (benchmarks.hh), which reproduce the
+ * paper's well-behaved tenants, these generators deliberately build
+ * interleavings that stress the corners of the translation path: SID
+ * bursts and phase shifts that mislead the SID-predictor, unmap
+ * storms that race invalidations against in-flight walks, Prefetch
+ * Buffer thrashing, partition-conflict SID sets, mixed page sizes,
+ * and map/unmap churn on hot pages. The fuzz harness
+ * (tests/fuzz_translation.cc) replays them under the shadow oracle
+ * (oracle/shadow.hh) and asserts that no invariant breaks.
+ *
+ * Generation is deterministic in (pattern, config): the same seed
+ * always produces the same trace, so any failure reproduces from the
+ * seed printed by the harness.
+ */
+
+#ifndef HYPERSIO_WORKLOAD_ADVERSARIAL_HH
+#define HYPERSIO_WORKLOAD_ADVERSARIAL_HH
+
+#include <cstdint>
+
+#include "trace/record.hh"
+
+namespace hypersio::workload
+{
+
+/** The adversarial interleaving families. */
+enum class AdversarialPattern
+{
+    /** Long per-SID bursts: trains the predictor, then breaks it. */
+    SidBursts,
+    /** Round-robin that reverses direction halfway through. */
+    SidPhaseShift,
+    /** Frequent unmaps of hot pages, including the ring page. */
+    InvalidateStorm,
+    /** Large random working set that thrashes the 8-entry PB. */
+    PbThrash,
+    /** All SIDs collide in one DevTLB partition row group. */
+    PartitionConflict,
+    /** Per-packet mix of 2 MB and 4 KB data pages. */
+    HugeMix,
+    /** Unmap-then-remap churn on the pages a packet is using. */
+    RemapChurn,
+    /** Uniformly random SIDs, pages, sizes, and unmaps. */
+    UniformRandom,
+};
+
+constexpr AdversarialPattern AllAdversarialPatterns[] = {
+    AdversarialPattern::SidBursts,
+    AdversarialPattern::SidPhaseShift,
+    AdversarialPattern::InvalidateStorm,
+    AdversarialPattern::PbThrash,
+    AdversarialPattern::PartitionConflict,
+    AdversarialPattern::HugeMix,
+    AdversarialPattern::RemapChurn,
+    AdversarialPattern::UniformRandom,
+};
+
+/** Pattern name, for repro lines and test labels. */
+const char *adversarialPatternName(AdversarialPattern pattern);
+
+/** Knobs of one adversarial trace. */
+struct AdversarialConfig
+{
+    unsigned tenants = 6;
+    uint64_t packets = 200;
+    uint64_t seed = 1;
+};
+
+/**
+ * Builds one adversarial hyper-trace. Page map operations are
+ * attached to the first packet that touches a page (and after any
+ * unmap, to the next packet that touches it again), so the functional
+ * page tables are always consistent with the request stream.
+ */
+trace::HyperTrace makeAdversarialTrace(AdversarialPattern pattern,
+                                       const AdversarialConfig &config);
+
+} // namespace hypersio::workload
+
+#endif // HYPERSIO_WORKLOAD_ADVERSARIAL_HH

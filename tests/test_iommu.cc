@@ -301,6 +301,48 @@ TEST(IommuTest, InvalidateDropsIotlbEntry)
     EXPECT_FALSE(seen.iotlbHit); // had to walk again
 }
 
+TEST(IommuTest, InvalidateKeepsPagingStructureCaches)
+{
+    // A leaf unmap changes no intermediate table pointers, so
+    // invalidate() must drop only the IOTLB entry: the re-walk
+    // starts from the surviving L2 entry (9 accesses, not 24).
+    Fixture f;
+    auto iommu = f.make();
+    f.tables.get(1).map(0x10000000, mem::PageSize::Size4K);
+    iommu->translate({1, 0x10000000, mem::PageSize::Size4K, false},
+                     [](const IommuResponse &) {});
+    f.queue.run();
+    ASSERT_EQ(iommu->iotlbOccupancy(), 1u);
+    ASSERT_EQ(iommu->l2Occupancy(), 1u);
+    ASSERT_EQ(iommu->l3Occupancy(), 1u);
+
+    iommu->invalidate(1, 0x10000000, mem::PageSize::Size4K);
+    EXPECT_EQ(iommu->iotlbOccupancy(), 0u);
+    EXPECT_EQ(iommu->l2Occupancy(), 1u); // survived
+    EXPECT_EQ(iommu->l3Occupancy(), 1u); // survived
+
+    const Tick start = f.queue.now();
+    Tick done_at = 0;
+    IommuResponse seen;
+    iommu->translate({1, 0x10000000, mem::PageSize::Size4K, false},
+                     [&](const IommuResponse &resp) {
+                         seen = resp;
+                         done_at = f.queue.now();
+                     });
+    f.queue.run();
+    ASSERT_TRUE(seen.valid);
+    EXPECT_FALSE(seen.iotlbHit);
+    EXPECT_EQ(done_at - start, 9 * 50 * TicksPerNs);
+}
+
+TEST(IommuTest, InvalidateOfUncachedPageIsHarmless)
+{
+    Fixture f;
+    auto iommu = f.make();
+    iommu->invalidate(1, 0xabc000, mem::PageSize::Size4K);
+    EXPECT_EQ(iommu->iotlbOccupancy(), 0u);
+}
+
 TEST(IommuTest, FlushAllDropsPagingCachesToo)
 {
     Fixture f;

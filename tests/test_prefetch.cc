@@ -128,6 +128,103 @@ TEST(PrefetchUnit, CapacityEvictsOldest)
     EXPECT_TRUE(pu.lookup(1, 0x3000, mem::PageSize::Size4K, addr));
 }
 
+TEST(PrefetchUnit, EightEntryBufferEvictsInLruOrder)
+{
+    // The paper's PB is 8 fully-associative entries. Fill all 8,
+    // then keep filling: evictions must leave in insertion (LRU)
+    // order, one per fill, and fill() must report each victim.
+    PrefetchUnit pu(pbConfig(8));
+    for (mem::Iova page = 0; page < 8; ++page) {
+        EXPECT_EQ(pu.fill(1, (page + 1) << 12, mem::PageSize::Size4K,
+                          page + 1),
+                  std::nullopt);
+    }
+    EXPECT_EQ(pu.bufferOccupancy(), 8u);
+
+    mem::Addr addr = 0;
+    for (mem::Iova page = 8; page < 12; ++page) {
+        const auto evicted = pu.fill(
+            1, (page + 1) << 12, mem::PageSize::Size4K, page + 1);
+        ASSERT_TRUE(evicted.has_value());
+        // The victim is the oldest resident fill, 8 pages back.
+        const mem::Iova victim = (page - 8 + 1) << 12;
+        EXPECT_EQ(*evicted,
+                  iommu::translationKey(1, victim,
+                                        mem::PageSize::Size4K));
+        EXPECT_FALSE(
+            pu.lookup(1, victim, mem::PageSize::Size4K, addr));
+        EXPECT_EQ(pu.bufferOccupancy(), 8u);
+    }
+    // The 8 most recent fills are all still resident.
+    for (mem::Iova page = 4; page < 12; ++page) {
+        EXPECT_TRUE(pu.lookup(1, (page + 1) << 12,
+                              mem::PageSize::Size4K, addr));
+    }
+}
+
+TEST(PrefetchUnit, ConsumedEntriesFreeSlotsWithoutEviction)
+{
+    PrefetchUnit pu(pbConfig(8));
+    for (mem::Iova page = 0; page < 8; ++page)
+        pu.fill(1, (page + 1) << 12, mem::PageSize::Size4K, 1);
+    // A hit consumes its entry, so the next fill needs no victim.
+    mem::Addr addr = 0;
+    ASSERT_TRUE(pu.lookup(1, 0x3000, mem::PageSize::Size4K, addr));
+    EXPECT_EQ(pu.bufferOccupancy(), 7u);
+    EXPECT_EQ(pu.fill(1, 0x20000, mem::PageSize::Size4K, 2),
+              std::nullopt);
+    EXPECT_EQ(pu.bufferOccupancy(), 8u);
+}
+
+TEST(SidPredictor, MispredictsAfterPhaseShiftThenRetrains)
+{
+    // Beyond the shrink regression: a schedule reversal makes every
+    // learned pairing wrong (stale, not absent), and sustained
+    // training under the new schedule must repair all of them.
+    // History length 3 with 8 tenants keeps the two phases distinct:
+    // (s + 3) % 8 != (s - 3) % 8 for every s.
+    SidPredictor pred(3);
+    const unsigned tenants = 8;
+    // Phase 1: ascending round-robin. predict(s) → (s + 3) % 8.
+    for (int i = 0; i < 32; ++i)
+        pred.train(i % tenants);
+    for (trace::SourceId s = 0; s < tenants; ++s)
+        ASSERT_EQ(*pred.predict(s), (s + 3) % tenants);
+
+    // Phase 2: descending round-robin 7,6,5,… — three packets after
+    // SID s the reversed cycle delivers (s - 3) mod 8, so every
+    // stale phase-1 entry must end up overwritten.
+    for (int i = 0; i < 32; ++i)
+        pred.train(tenants - 1 - (i % tenants));
+    for (trace::SourceId s = 0; s < tenants; ++s) {
+        ASSERT_TRUE(pred.predict(s).has_value());
+        EXPECT_EQ(*pred.predict(s), (s + tenants - 3) % tenants)
+            << "sid " << s << " kept its stale phase-1 pairing";
+    }
+}
+
+TEST(SidPredictor, RetrainsAfterTenantSetChanges)
+{
+    // A tenant disappears and a new SID joins: every live pairing is
+    // replaced once training resumes on the new schedule.
+    SidPredictor pred(2);
+    for (int i = 0; i < 12; ++i)
+        pred.train(i % 3); // 0,1,2 cycle
+    ASSERT_EQ(*pred.predict(0), 2u);
+    ASSERT_EQ(*pred.predict(1), 0u);
+    // Tenant 2 leaves; the 0,1,9 cycle takes over.
+    const trace::SourceId cycle[] = {0, 1, 9};
+    for (int i = 0; i < 12; ++i)
+        pred.train(cycle[i % 3]);
+    EXPECT_EQ(*pred.predict(0), 9u);
+    EXPECT_EQ(*pred.predict(1), 0u);
+    EXPECT_EQ(*pred.predict(9), 1u);
+    // The departed tenant's entry was retrained one last time as it
+    // left the window: it pairs with the new cycle, not with a SID
+    // from the dead schedule.
+    EXPECT_EQ(*pred.predict(2), 1u);
+}
+
 TEST(PrefetchUnit, InvalidateDropsEntry)
 {
     PrefetchUnit pu(pbConfig());

@@ -75,6 +75,36 @@ TEST(BenchOptionsDeathTest, JobsRejectsZeroAndGarbage)
                 ::testing::ExitedWithCode(1), "positive integer");
 }
 
+TEST(BenchOptionsDeathTest, UnknownFlagPrintsUsageToStderr)
+{
+    // A typo'd flag must exit 1 and put the full usage text on
+    // stderr (stdout may be piped into a report).
+    EXPECT_EXIT(parseArgs({"--tenant", "8"}),
+                ::testing::ExitedWithCode(1),
+                "options:(.|\n)*--tenants <n>(.|\n)*"
+                "unknown option '--tenant'");
+    EXPECT_EXIT(parseArgs({"-x"}), ::testing::ExitedWithCode(1),
+                "unknown option '-x' \\(try --help\\)");
+}
+
+TEST(BenchOptionsDeathTest, MissingValuesNameTheFlagGiven)
+{
+    EXPECT_EXIT(parseArgs({"--seed"}),
+                ::testing::ExitedWithCode(1),
+                "--seed needs a value");
+    // The alias reports itself, not its canonical spelling.
+    EXPECT_EXIT(parseArgs({"--stats-json"}),
+                ::testing::ExitedWithCode(1),
+                "--stats-json needs a value");
+}
+
+TEST(BenchOptionsTest, StatsJsonAliasSetsJsonPath)
+{
+    EXPECT_EQ(parseArgs({"--stats-json", "out.json"}).jsonPath,
+              "out.json");
+    EXPECT_EQ(parseArgs({"--json", "r.json"}).jsonPath, "r.json");
+}
+
 TEST(PrintBandwidthTable, FormatsRowsAndColumns)
 {
     std::ostringstream os;
