@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Event-kernel microbenchmark: the slab kernel (`sim::EventQueue`)
+ * against the preserved pre-slab kernel
+ * (`sim::LegacyEventQueue`), on identical deterministic workloads.
+ *
+ * Three mixes, each reported in million events/sec (Meps):
+ *
+ *   schedule_fire        schedule batches at pseudo-random ticks and
+ *                        drain; captures sized like the translation
+ *                        pipeline's hot-path closures (32 B — past
+ *                        std::function's inline buffer, well inside
+ *                        the slab record's).
+ *   schedule_cancel_fire same, but half the scheduled events are
+ *                        cancelled before the drain.
+ *   closure_sweep        schedule_fire at 8/32/48/64-byte captures,
+ *                        crossing both kernels' inline/heap
+ *                        boundaries.
+ *
+ * Usage:
+ *   event_kernel_microbench [--events N] [--smoke]
+ *       [--check-speedup X] [--json FILE]
+ *
+ * `--check-speedup X` exits nonzero unless the slab kernel achieves
+ * at least X times the legacy kernel's events/sec on the
+ * schedule_fire mix (the repo gate runs with 1.3). The JSON report
+ * (schema hypersio-bench-1) carries the exact per-mix event counts
+ * (machine-independent) plus the measured rates and speedups
+ * (machine-dependent; scripts/check_repo.sh compares them against
+ * the committed BENCH_event_kernel.json with a loose tolerance).
+ */
+
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/runner.hh"
+#include "json_report.hh"
+#include "sim/event_queue.hh"
+#include "sim/legacy_event_queue.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+using namespace hypersio;
+
+/** Deterministic xorshift64* stream; identical for both kernels. */
+struct Rng
+{
+    uint64_t state;
+
+    explicit Rng(uint64_t seed) : state(seed | 1) {}
+
+    uint64_t
+    next()
+    {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        return state * 0x2545f4914f6cdd1dULL;
+    }
+};
+
+/** Callback capture payload of a chosen size. */
+template <size_t Bytes>
+struct Payload
+{
+    static_assert(Bytes % 8 == 0);
+    std::array<uint64_t, Bytes / 8> words;
+};
+
+double
+seconds(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/**
+ * schedule_fire mix: rounds of `Batch` events at pseudo-random
+ * offsets, drained after each round. Returns wall seconds; the
+ * executed-event count lands in `executed`.
+ */
+template <typename Queue, size_t CaptureBytes>
+double
+scheduleFire(uint64_t events, uint64_t &executed, uint64_t &sink)
+{
+    constexpr uint64_t Batch = 256;
+    Queue q;
+    Rng rng(0x9e3779b97f4a7c15ULL);
+    uint64_t local_sink = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (uint64_t done = 0; done < events; done += Batch) {
+        for (uint64_t i = 0; i < Batch; ++i) {
+            Payload<CaptureBytes> p;
+            for (auto &w : p.words)
+                w = rng.next();
+            q.scheduleAfter(rng.next() % 1024,
+                            [&local_sink, p] {
+                                local_sink += p.words.front() ^
+                                              p.words.back();
+                            });
+        }
+        q.run();
+    }
+    const double wall = seconds(t0);
+    executed = q.executed();
+    sink += local_sink;
+    return wall;
+}
+
+/**
+ * schedule_cancel_fire mix: two events per slot, every other one
+ * cancelled before the drain. Executed + cancelled events both count
+ * as kernel work.
+ */
+template <typename Queue>
+double
+scheduleCancelFire(uint64_t events, uint64_t &processed,
+                   uint64_t &sink)
+{
+    constexpr uint64_t Batch = 128;
+    Queue q;
+    Rng rng(0xc6a4a7935bd1e995ULL);
+    uint64_t local_sink = 0;
+    uint64_t cancelled = 0;
+    std::vector<typename Queue::Handle> victims;
+    victims.reserve(Batch);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (uint64_t done = 0; done < events; done += 2 * Batch) {
+        victims.clear();
+        for (uint64_t i = 0; i < Batch; ++i) {
+            Payload<32> p;
+            for (auto &w : p.words)
+                w = rng.next();
+            q.scheduleAfter(rng.next() % 1024,
+                            [&local_sink, p] {
+                                local_sink += p.words.front();
+                            });
+            victims.push_back(q.scheduleAfter(
+                rng.next() % 1024, [&local_sink, p] {
+                    local_sink += p.words.back();
+                }));
+        }
+        for (const auto &h : victims)
+            cancelled += q.cancel(h) ? 1 : 0;
+        q.run();
+    }
+    const double wall = seconds(t0);
+    HYPERSIO_ASSERT(cancelled == events / 2,
+                    "cancel bookkeeping went wrong");
+    processed = q.executed() + cancelled;
+    sink += local_sink;
+    return wall;
+}
+
+struct Options
+{
+    uint64_t events = 1u << 20;
+    double checkSpeedup = 0.0;
+    std::string jsonPath;
+    bool smoke = false;
+};
+
+[[noreturn]] void
+usage(const char *argv0, int code)
+{
+    std::fprintf(
+        code == 0 ? stdout : stderr,
+        "usage: %s [--events N] [--smoke] [--check-speedup X]\n"
+        "          [--json FILE]\n"
+        "  --events N         events per mix (default %u)\n"
+        "  --smoke            small run for CI smoke (16K events)\n"
+        "  --check-speedup X  fail unless slab/legacy >= X on the\n"
+        "                     schedule_fire mix\n"
+        "  --json FILE        write a hypersio-bench-1 report\n",
+        argv0, 1u << 20);
+    std::exit(code);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0], 2);
+            return argv[++i];
+        };
+        if (arg == "--events") {
+            opts.events = std::strtoull(value(), nullptr, 0);
+        } else if (arg == "--smoke") {
+            opts.smoke = true;
+        } else if (arg == "--check-speedup") {
+            opts.checkSpeedup = std::strtod(value(), nullptr);
+        } else if (arg == "--json") {
+            opts.jsonPath = value();
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0], 0);
+        } else {
+            std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+            usage(argv[0], 2);
+        }
+    }
+    if (opts.smoke)
+        opts.events = 1u << 14;
+    // Round to the batch granularity the mixes assume.
+    opts.events &= ~uint64_t{255};
+    if (opts.events == 0)
+        opts.events = 256;
+    return opts;
+}
+
+double
+meps(uint64_t events, double wall)
+{
+    return wall <= 0.0 ? 0.0
+                       : static_cast<double>(events) / wall / 1e6;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseArgs(argc, argv);
+    const auto wall0 = std::chrono::steady_clock::now();
+
+    core::BenchOptions ropts;
+    ropts.jsonPath = opts.jsonPath;
+    bench::JsonReport report("event_kernel_microbench", ropts);
+
+    uint64_t sink = 0;
+    std::printf("event kernel microbench: %llu events/mix\n",
+                (unsigned long long)opts.events);
+    std::printf("%-28s %12s %12s %9s\n", "mix", "legacy Meps",
+                "slab Meps", "speedup");
+
+    auto emit = [&](const char *mix, uint64_t count,
+                    double legacy_wall, double slab_wall) {
+        const double legacy_meps = meps(count, legacy_wall);
+        const double slab_meps = meps(count, slab_wall);
+        const double speedup =
+            slab_meps > 0.0 && legacy_meps > 0.0
+                ? slab_meps / legacy_meps
+                : 0.0;
+        std::printf("%-28s %12.2f %12.2f %8.2fx\n", mix,
+                    legacy_meps, slab_meps, speedup);
+        report.addScalar(std::string(mix) + "_events",
+                         static_cast<double>(count));
+        report.addScalar(std::string(mix) + "_legacy_meps",
+                         legacy_meps);
+        report.addScalar(std::string(mix) + "_slab_meps",
+                         slab_meps);
+        report.addScalar(std::string(mix) + "_speedup", speedup);
+        return speedup;
+    };
+
+    // Warm both allocators/slabs once outside the timed regions.
+    {
+        uint64_t n = 0;
+        scheduleFire<sim::EventQueue, 32>(1u << 12, n, sink);
+        scheduleFire<sim::LegacyEventQueue, 32>(1u << 12, n, sink);
+    }
+
+    uint64_t count_legacy = 0;
+    uint64_t count_slab = 0;
+
+    // schedule_fire: the headline mix (translation hot path shape).
+    double legacy_wall = scheduleFire<sim::LegacyEventQueue, 32>(
+        opts.events, count_legacy, sink);
+    double slab_wall = scheduleFire<sim::EventQueue, 32>(
+        opts.events, count_slab, sink);
+    HYPERSIO_ASSERT(count_legacy == count_slab,
+                    "kernels executed different event counts");
+    const double headline_speedup = emit(
+        "schedule_fire", count_slab, legacy_wall, slab_wall);
+
+    // schedule_cancel_fire.
+    legacy_wall = scheduleCancelFire<sim::LegacyEventQueue>(
+        opts.events, count_legacy, sink);
+    slab_wall = scheduleCancelFire<sim::EventQueue>(
+        opts.events, count_slab, sink);
+    HYPERSIO_ASSERT(count_legacy == count_slab,
+                    "kernels processed different event counts");
+    emit("schedule_cancel_fire", count_slab, legacy_wall,
+         slab_wall);
+
+    // Closure-size sweep across both kernels' inline boundaries:
+    // 8 B fits everywhere, 32/48 B spill std::function but stay in
+    // the slab record, 64 B spills both.
+    legacy_wall = scheduleFire<sim::LegacyEventQueue, 8>(
+        opts.events, count_legacy, sink);
+    slab_wall = scheduleFire<sim::EventQueue, 8>(opts.events,
+                                                 count_slab, sink);
+    emit("closure_8b", count_slab, legacy_wall, slab_wall);
+
+    legacy_wall = scheduleFire<sim::LegacyEventQueue, 48>(
+        opts.events, count_legacy, sink);
+    slab_wall = scheduleFire<sim::EventQueue, 48>(opts.events,
+                                                  count_slab, sink);
+    emit("closure_48b", count_slab, legacy_wall, slab_wall);
+
+    legacy_wall = scheduleFire<sim::LegacyEventQueue, 64>(
+        opts.events, count_legacy, sink);
+    slab_wall = scheduleFire<sim::EventQueue, 64>(opts.events,
+                                                  count_slab, sink);
+    emit("closure_64b", count_slab, legacy_wall, slab_wall);
+
+    // The checksum depends on every callback having run; printing it
+    // also keeps the whole pipeline observable (no dead-code wins).
+    std::printf("checksum: %016llx\n", (unsigned long long)sink);
+
+    report.write(seconds(wall0));
+
+    if (opts.checkSpeedup > 0.0 &&
+        headline_speedup < opts.checkSpeedup) {
+        std::fprintf(stderr,
+                     "FAIL: schedule_fire speedup %.2fx below the "
+                     "required %.2fx\n",
+                     headline_speedup, opts.checkSpeedup);
+        return 1;
+    }
+    return 0;
+}

@@ -249,14 +249,38 @@ class SetAssocCache
     /** Resets statistics but keeps contents. */
     void resetStats() { _stats = CacheStats{}; }
 
-    /** Registers this cache's stats in a StatGroup (dump-time copy). */
+    /**
+     * Registers this cache's counters in `group` as lazily-read
+     * Callback stats. Values are read from the live CacheStats at
+     * dump time, so the exported numbers always match stats(); the
+     * cache must outlive the group's dumps.
+     */
     void
     exportStats(stats::StatGroup &group) const
     {
-        // Lazily copied at dump time via scalars would need hooks;
-        // instead callers snapshot stats() — this helper emits a
-        // human-readable line for debugging.
-        (void)group;
+        const CacheStats *s = &_stats;
+        group.makeCallback("lookups", "tag lookups", [s] {
+            return static_cast<double>(s->lookups);
+        });
+        group.makeCallback("hits", "tag hits", [s] {
+            return static_cast<double>(s->hits);
+        });
+        group.makeCallback("misses", "tag misses", [s] {
+            return static_cast<double>(s->misses());
+        });
+        group.makeCallback("miss_rate", "misses / lookups",
+                           [s] { return s->missRate(); });
+        group.makeCallback("insertions", "lines allocated", [s] {
+            return static_cast<double>(s->insertions);
+        });
+        group.makeCallback("evictions", "lines evicted", [s] {
+            return static_cast<double>(s->evictions);
+        });
+        group.makeCallback("invalidations", "lines invalidated",
+                           [s] {
+                               return static_cast<double>(
+                                   s->invalidations);
+                           });
     }
 
     /**

@@ -78,6 +78,10 @@ Device::Device(const DeviceConfig &config, sim::EventQueue &queue,
 {
     HYPERSIO_ASSERT(_ports.translate != nullptr,
                     "device needs a translate port");
+
+    // Per-structure hit/miss breakdowns, read live at dump time.
+    _devtlb.exportStats(statGroup().child("devtlb"));
+    _context.exportStats(statGroup().child("context_cache"));
 }
 
 void
@@ -98,31 +102,30 @@ Device::accept(const trace::PacketRecord &packet,
         HYPERSIO_SHADOW(deviceSidObserved(packet.sid));
     }
 
-    auto state = std::make_shared<Inflight>(
-        Inflight{static_cast<unsigned>(idx), std::move(done)});
-    issueNext(static_cast<unsigned>(idx), std::move(state));
+    _ptb.entry(static_cast<unsigned>(idx)).done = std::move(done);
+    issueNext(static_cast<unsigned>(idx));
 }
 
 void
-Device::issueNext(unsigned idx, std::shared_ptr<Inflight> state)
+Device::issueNext(unsigned idx)
 {
     PtbEntry &entry = _ptb.entry(idx);
     if (entry.nextReq >= trace::NumReqClasses) {
         // All three translations done: packet fully processed.
         _packetLatency.sample(ticksToNs(now() - entry.accepted));
+        std::function<void()> done = std::move(entry.done);
         _ptb.release(idx);
         HYPERSIO_SHADOW(devicePacketCompleted(idx, _ptb.inUse()));
-        state->done();
+        done();
         return;
     }
     const auto cls = static_cast<trace::ReqClass>(entry.nextReq);
     ++entry.nextReq;
-    resolve(idx, cls, std::move(state));
+    resolve(idx, cls);
 }
 
 void
-Device::resolve(unsigned idx, trace::ReqClass cls,
-                std::shared_ptr<Inflight> state)
+Device::resolve(unsigned idx, trace::ReqClass cls)
 {
     PtbEntry &entry = _ptb.entry(idx);
     const trace::PacketRecord &pkt = entry.packet;
@@ -181,43 +184,51 @@ Device::resolve(unsigned idx, trace::ReqClass cls,
                      size == mem::PageSize::Size2M ? " 2M" : "");
 
     if (pb_hit || tlb_hit) {
-        eventQueue().scheduleAfter(
-            _config.devtlbHitLatency,
-            [this, idx, state = std::move(state)]() mutable {
-                issueNext(idx, std::move(state));
-            });
+        eventQueue().scheduleAfter(_config.devtlbHitLatency,
+                                   [this, idx] { issueNext(idx); });
         return;
     }
 
     // Miss in both: consult the SID-predictor (prefetch trigger; at
-    // most one prefetch per packet) and send the request on.
+    // most one prefetch per packet) and send the request on. The
+    // entry records what is on the wire; the response continuation
+    // re-derives everything from it, so its closure stays two words.
+    entry.did = did;
+    entry.curCls = cls;
     if (!entry.prefetchIssued) {
         entry.prefetchIssued = true;
         maybePrefetch(pkt.sid);
     }
 
-    _ports.translate(
-        did, iova, size,
-        [this, idx, did, sid = pkt.sid, iova, size,
-         state = std::move(state)](
-            const iommu::IommuResponse &resp) mutable {
-            if (resp.valid) {
-                const DevtlbAddr fill = devtlbAddr(
-                    did, sid, iova, size,
-                    _config.devtlb.partitions);
-                [[maybe_unused]] auto evicted =
-                    _devtlb.insert(fill.key, fill.index,
-                                   resp.hostAddr, fill.partition);
-                HYPERSIO_SHADOW(deviceDevtlbFill(
-                    sid, did, iova, size,
-                    _devtlb.setFor(fill.key, fill.index,
-                                   fill.partition),
-                    resp.hostAddr,
-                    evicted ? std::optional<uint64_t>(evicted->key)
-                            : std::nullopt));
-            }
-            issueNext(idx, std::move(state));
-        });
+    _ports.translate(did, iova, size,
+                     [this, idx](const iommu::IommuResponse &resp) {
+                         onTranslateResponse(idx, resp);
+                     });
+}
+
+void
+Device::onTranslateResponse(unsigned idx,
+                            const iommu::IommuResponse &resp)
+{
+    PtbEntry &entry = _ptb.entry(idx);
+    if (resp.valid) {
+        const trace::PacketRecord &pkt = entry.packet;
+        const mem::Iova iova = pkt.iova(entry.curCls);
+        const mem::PageSize size = pkt.pageSize(entry.curCls);
+        const DevtlbAddr fill = devtlbAddr(
+            entry.did, pkt.sid, iova, size,
+            _config.devtlb.partitions);
+        [[maybe_unused]] auto evicted =
+            _devtlb.insert(fill.key, fill.index, resp.hostAddr,
+                           fill.partition);
+        HYPERSIO_SHADOW(deviceDevtlbFill(
+            pkt.sid, entry.did, iova, size,
+            _devtlb.setFor(fill.key, fill.index, fill.partition),
+            resp.hostAddr,
+            evicted ? std::optional<uint64_t>(evicted->key)
+                    : std::nullopt));
+    }
+    issueNext(idx);
 }
 
 void

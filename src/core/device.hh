@@ -106,19 +106,17 @@ class Device : public sim::SimObject
     uint64_t prefetchesSent() const { return _prefetchesSent.count(); }
 
   private:
-    struct Inflight
-    {
-        unsigned ptbIdx;
-        std::function<void()> done;
-    };
-
-    /** Issues the next translation request of PTB entry `idx`. */
-    void issueNext(unsigned idx, std::shared_ptr<Inflight> state);
-    /** One translation of the packet completed. */
-    void requestDone(unsigned idx, std::shared_ptr<Inflight> state);
+    /**
+     * Issues the next translation request of PTB entry `idx`. All
+     * in-flight state lives in the entry itself, so the continuation
+     * events only carry (this, idx).
+     */
+    void issueNext(unsigned idx);
     /** Resolves one request through PB → DevTLB → chipset. */
-    void resolve(unsigned idx, trace::ReqClass cls,
-                 std::shared_ptr<Inflight> state);
+    void resolve(unsigned idx, trace::ReqClass cls);
+    /** The chipset answered entry `idx`'s outstanding request. */
+    void onTranslateResponse(unsigned idx,
+                             const iommu::IommuResponse &resp);
     /** Triggers a SID prediction + prefetch on a PB miss. */
     void maybePrefetch(trace::SourceId sid);
 

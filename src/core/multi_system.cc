@@ -52,31 +52,16 @@ MultiSystem::MultiSystem(const SystemConfig &config,
             reader = _historyReaders.back().get();
         }
 
+        // Each device routes its demand path through its own pooled
+        // round-trip records (one XlatePort per device).
+        _xlatePorts.push_back(std::make_unique<XlatePort>(
+            _queue, *_iommu, reader, pcie));
         DevicePorts ports;
-        ports.translate = [this, reader, pcie](
+        ports.translate = [port = _xlatePorts.back().get()](
                               mem::DomainId did, mem::Iova iova,
                               mem::PageSize size,
                               DevicePorts::ResponseFn done) {
-            _queue.scheduleAfter(
-                pcie, [this, reader, pcie, did, iova, size,
-                       done = std::move(done)]() mutable {
-                    if (reader)
-                        reader->observe(did, iova, size);
-                    iommu::IommuRequest req;
-                    req.domain = did;
-                    req.iova = iova;
-                    req.size = size;
-                    _iommu->translate(
-                        req,
-                        [this, pcie, done = std::move(done)](
-                            const iommu::IommuResponse &resp) {
-                            _queue.scheduleAfter(
-                                pcie,
-                                [done = std::move(done), resp]() {
-                                    done(resp);
-                                });
-                        });
-                });
+            port->translate(did, iova, size, std::move(done));
         };
         if (reader) {
             ports.prefetch = [this, reader,
@@ -159,11 +144,15 @@ MultiSystem::run(const trace::HyperTrace &trace)
                     _lastCompletion = _queue.now();
                 });
             }
-            if (link.cursor < link.packetIdx.size())
-                _queue.scheduleAfter(interval, arrivals[d]);
+            if (link.cursor < link.packetIdx.size()) {
+                // Re-arm by reference: the closure itself is never
+                // copied per arrival slot.
+                _queue.scheduleAfter(
+                    interval, [fn = &arrivals[d]] { (*fn)(); });
+            }
         };
         if (!_links[d].packetIdx.empty())
-            _queue.schedule(0, arrivals[d]);
+            _queue.schedule(0, [fn = &arrivals[d]] { (*fn)(); });
     }
 
     _queue.run();

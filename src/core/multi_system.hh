@@ -20,6 +20,7 @@
 #include "core/chipset.hh"
 #include "core/config.hh"
 #include "core/device.hh"
+#include "core/xlate_port.hh"
 #include "trace/record.hh"
 
 namespace hypersio::core
@@ -84,6 +85,7 @@ class MultiSystem
     iommu::PageTableDirectory _tables;
     std::unique_ptr<iommu::Iommu> _iommu;
     std::vector<std::unique_ptr<HistoryReader>> _historyReaders;
+    std::vector<std::unique_ptr<XlatePort>> _xlatePorts;
     std::vector<std::unique_ptr<Device>> _devices;
 
     struct LinkState

@@ -20,8 +20,10 @@
 #define HYPERSIO_CORE_PTB_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
+#include "mem/page_table.hh"
 #include "trace/record.hh"
 #include "util/logging.hh"
 #include "util/units.hh"
@@ -29,7 +31,12 @@
 namespace hypersio::core
 {
 
-/** One PTB entry: an accepted packet in translation. */
+/**
+ * One PTB entry: an accepted packet in translation. The entry IS the
+ * packet's in-flight state — the completion callback and the
+ * parameters of the translation currently on the wire live here, so
+ * per-hop events only need to carry the entry index.
+ */
 struct PtbEntry
 {
     bool busy = false;
@@ -39,6 +46,12 @@ struct PtbEntry
     /** A prefetch was already triggered for this packet. */
     bool prefetchIssued = false;
     Tick accepted = 0;
+    /** Fires when all three translations complete. */
+    std::function<void()> done;
+    /** Domain of the request currently outstanding. */
+    mem::DomainId did = 0;
+    /** Request class currently outstanding (set by each resolve). */
+    trace::ReqClass curCls = trace::ReqClass::Ring;
 };
 
 /**
@@ -100,6 +113,7 @@ class PendingTranslationBuffer
         HYPERSIO_ASSERT(idx < _pool.size() && _pool[idx].busy,
                         "double free of PTB entry %u", idx);
         _pool[idx].busy = false;
+        _pool[idx].done = nullptr;
         _free.push_back(idx);
     }
 

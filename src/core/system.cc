@@ -9,54 +9,38 @@
 namespace hypersio::core
 {
 
-namespace
-{
-
 /**
  * Wires the device-to-chipset ports with PCIe latency on each hop:
- * demand path device → IOMMU → device, prefetch path device →
- * history reader (which later fills back through its own callback).
+ * demand path device → IOMMU → device (state pooled in _xlatePort),
+ * prefetch path device → history reader (which later fills back
+ * through its own callback).
  */
 DevicePorts
-makePorts(System &system, sim::EventQueue &queue,
-          iommu::Iommu &iommu_unit, HistoryReader *history,
-          Tick pcie)
+System::makeDevicePorts()
 {
-    (void)system;
+    if (!_xlatePort) {
+        _xlatePort = std::make_unique<XlatePort>(
+            _queue, *_iommu, _historyReader.get(),
+            _config.pcieOneWay);
+    }
     DevicePorts ports;
-    ports.translate = [&queue, &iommu_unit, history, pcie](
+    ports.translate = [port = _xlatePort.get()](
                           mem::DomainId did, mem::Iova iova,
                           mem::PageSize size,
                           DevicePorts::ResponseFn done) {
-        queue.scheduleAfter(pcie, [&queue, &iommu_unit, history, pcie,
-                                   did, iova, size,
-                                   done = std::move(done)]() mutable {
-            if (history)
-                history->observe(did, iova, size);
-            iommu::IommuRequest req;
-            req.domain = did;
-            req.iova = iova;
-            req.size = size;
-            iommu_unit.translate(
-                req, [&queue, pcie, done = std::move(done)](
-                         const iommu::IommuResponse &resp) {
-                    queue.scheduleAfter(
-                        pcie, [done = std::move(done), resp]() {
-                            done(resp);
-                        });
-                });
-        });
+        port->translate(did, iova, size, std::move(done));
     };
-    if (history) {
-        ports.prefetch = [&queue, history, pcie](mem::DomainId did) {
-            queue.scheduleAfter(
-                pcie, [history, did]() { history->prefetch(did); });
+    if (_historyReader) {
+        ports.prefetch = [this](mem::DomainId did) {
+            _queue.scheduleAfter(
+                _config.pcieOneWay,
+                [reader = _historyReader.get(), did] {
+                    reader->prefetch(did);
+                });
         };
     }
     return ports;
 }
-
-} // namespace
 
 System::System(const SystemConfig &config)
     : _config(config), _stats("system"), _tables(config.seed)
@@ -86,10 +70,9 @@ System::System(const SystemConfig &config)
     // device is then built lazily there.
     if (_config.device.devtlb.policy !=
         cache::ReplPolicyKind::Oracle) {
-        _device = std::make_unique<Device>(
-            _config.device, _queue, _stats,
-            makePorts(*this, _queue, *_iommu, _historyReader.get(),
-                      _config.pcieOneWay));
+        _device = std::make_unique<Device>(_config.device, _queue,
+                                           _stats,
+                                           makeDevicePorts());
     }
 }
 
@@ -127,9 +110,7 @@ System::run(const trace::HyperTrace &trace, bool bypass_translation)
         // Oracle-replacement run: build the feed, then the device.
         buildOracleFeed(trace);
         _device = std::make_unique<Device>(
-            _config.device, _queue, _stats,
-            makePorts(*this, _queue, *_iommu, _historyReader.get(),
-                      _config.pcieOneWay),
+            _config.device, _queue, _stats, makeDevicePorts(),
             _oracleFeed.get());
     }
 
@@ -192,15 +173,18 @@ System::run(const trace::HyperTrace &trace, bool bypass_translation)
         if (_cursor < total) {
             // The next arrival follows the serialization time of
             // the packet now occupying the wire (the retried packet
-            // on a drop, the next one otherwise).
+            // on a drop, the next one otherwise). Re-arm through a
+            // one-word reference so the arrival closure itself is
+            // never copied per slot.
             const Tick gap = serializationTicks(
                 wire_bytes(trace.packets[_cursor]),
                 _config.link.gbps);
-            _queue.scheduleAfter(gap == 0 ? interval : gap, arrival);
+            _queue.scheduleAfter(gap == 0 ? interval : gap,
+                                 [&arrival] { arrival(); });
         }
     };
 
-    _queue.schedule(0, arrival);
+    _queue.schedule(0, [&arrival] { arrival(); });
     _queue.run();
 
     HYPERSIO_SHADOW(systemRunCompleted(

@@ -21,6 +21,7 @@
 #include "core/chipset.hh"
 #include "core/config.hh"
 #include "core/device.hh"
+#include "core/xlate_port.hh"
 #include "iommu/iommu.hh"
 #include "mem/memory_model.hh"
 #include "trace/record.hh"
@@ -102,6 +103,8 @@ class System
     void applyOps(const trace::HyperTrace &trace,
                   const trace::PacketRecord &pkt);
     void buildOracleFeed(const trace::HyperTrace &trace);
+    /** Wires the device-to-chipset ports through _xlatePort. */
+    DevicePorts makeDevicePorts();
 
     SystemConfig _config;
     sim::EventQueue _queue;
@@ -110,6 +113,7 @@ class System
     iommu::PageTableDirectory _tables;
     std::unique_ptr<iommu::Iommu> _iommu;
     std::unique_ptr<HistoryReader> _historyReader;
+    std::unique_ptr<XlatePort> _xlatePort;
     std::unique_ptr<cache::OracleFeed> _oracleFeed;
     std::unique_ptr<Device> _device;
 

@@ -96,6 +96,12 @@ class ContextCache
     }
 
     const cache::CacheStats &stats() const { return _cache.stats(); }
+    /** See SetAssocCache::exportStats(). */
+    void
+    exportStats(stats::StatGroup &group) const
+    {
+        _cache.exportStats(group);
+    }
     void flush() { _cache.flush(); }
 
   private:

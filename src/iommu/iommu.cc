@@ -35,6 +35,11 @@ Iommu::Iommu(const IommuConfig &config, sim::EventQueue &queue,
     if (config.pagingLevels != 4 && config.pagingLevels != 5)
         fatal("pagingLevels must be 4 or 5 (got %u)",
               config.pagingLevels);
+
+    // Per-structure hit/miss breakdowns, read live at dump time.
+    _iotlb.exportStats(statGroup().child("iotlb"));
+    _l2.exportStats(statGroup().child("l2_cache"));
+    _l3.exportStats(statGroup().child("l3_cache"));
 }
 
 void

@@ -3,19 +3,34 @@
  * Discrete-event simulation kernel.
  *
  * The performance model is an event-driven simulator: components
- * schedule callbacks at absolute ticks, and the queue executes them in
- * (tick, priority, sequence) order so simulation is fully
- * deterministic. Events are heap-allocated callables owned by the
- * queue; cancellation is supported via EventHandle.
+ * schedule callbacks at absolute ticks, and the queue executes them
+ * in (tick, priority, sequence) order so simulation is fully
+ * deterministic.
+ *
+ * Internals (see DESIGN.md "Slab event kernel"): events live in a
+ * slab of fixed-size records with chunk-stable addresses and
+ * free-list recycling. Callbacks are stored through a small-buffer
+ * optimization — captures up to CallbackInlineSize bytes go directly
+ * into the record, larger ones fall back to one heap allocation.
+ * Ordering is a 4-ary index heap over (tick, priority, seq) keys;
+ * the heap moves 24-byte keys, never callbacks. Cancellation is O(1)
+ * and generation-checked: a cancelled record is tombstoned in place
+ * (its callback destroyed immediately) and its slot recycles when
+ * the key pops. Handles carry (slot, generation), so cancelling an
+ * already-fired or already-cancelled event is a detected no-op.
  */
 
 #ifndef HYPERSIO_SIM_EVENT_QUEUE_HH
 #define HYPERSIO_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "util/logging.hh"
@@ -35,7 +50,8 @@ constexpr Priority LatePriority = 10;
 
 /**
  * Opaque handle to a scheduled event. Valid until the event fires or
- * is cancelled; safe to keep after either (cancel becomes a no-op).
+ * is cancelled; safe to keep after either (cancel becomes a no-op
+ * that returns false, thanks to the generation check).
  */
 class EventHandle
 {
@@ -57,6 +73,32 @@ class EventQueue
 {
   public:
     using Callback = std::function<void()>;
+    using Handle = EventHandle;
+
+    /**
+     * Captures up to this many bytes are stored inline in the event
+     * record; larger callables cost one heap allocation. Sized so
+     * every hot-path closure of the translation pipeline (a handful
+     * of words: object pointer, slot index, a response struct) stays
+     * inline.
+     */
+    static constexpr size_t CallbackInlineSize = 48;
+
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    ~EventQueue()
+    {
+        // Destroy callbacks of events that never fired. Cancelled
+        // tombstones already destroyed theirs.
+        for (const HeapItem &item : _heap) {
+            Record &rec = record(item.idx);
+            if (rec.state == Record::Pending)
+                rec.destroyCallback();
+        }
+    }
 
     /** Current simulated time. */
     Tick now() const { return _now; }
@@ -64,48 +106,76 @@ class EventQueue
     /** Number of events executed so far. */
     uint64_t executed() const { return _executed; }
 
-    /** Number of events currently pending. */
-    size_t pending() const { return _heap.size() - _cancelled; }
+    /** Number of events currently pending (tombstones excluded). */
+    size_t pending() const { return _live; }
+
+    /** True when no live events remain. */
+    bool empty() const { return _live == 0; }
+
+    /** Event records ever allocated (slab high-water mark; tests). */
+    size_t poolCapacity() const { return _slabSize; }
 
     /**
-     * Schedules `cb` to run at absolute tick `when` (>= now()).
+     * Schedules `fn` to run at absolute tick `when` (>= now()).
      * Same-tick events run in priority order, then insertion order.
+     * Any callable convertible to void() is accepted; its captures
+     * are stored inline when they fit (see CallbackInlineSize).
      */
+    template <typename F>
     EventHandle
-    schedule(Tick when, Callback cb,
-             Priority priority = DefaultPriority)
+    schedule(Tick when, F &&fn, Priority priority = DefaultPriority)
     {
         HYPERSIO_ASSERT(when >= _now,
                         "scheduling in the past: %llu < %llu",
                         (unsigned long long)when,
                         (unsigned long long)_now);
-        uint64_t id = ++_nextId;
-        _heap.push(Entry{when, priority, id, std::move(cb), false});
-        return EventHandle(id);
+        const uint32_t idx = allocRecord();
+        Record &rec = record(idx);
+        rec.emplace(std::forward<F>(fn));
+        rec.state = Record::Pending;
+        ++_live;
+        heapPush(HeapItem{when, ++_nextSeq, priority, idx});
+        return EventHandle((static_cast<uint64_t>(rec.gen) << 32) |
+                           (idx + 1));
     }
 
-    /** Schedules `cb` to run `delay` ticks from now. */
+    /** Schedules `fn` to run `delay` ticks from now. */
+    template <typename F>
     EventHandle
-    scheduleAfter(Tick delay, Callback cb,
+    scheduleAfter(Tick delay, F &&fn,
                   Priority priority = DefaultPriority)
     {
-        return schedule(_now + delay, std::move(cb), priority);
+        return schedule(_now + delay, std::forward<F>(fn), priority);
     }
 
     /**
-     * Cancels a scheduled event. Returns true if the event was still
-     * pending. Cancelled events stay in the heap as tombstones and are
-     * skipped on pop.
+     * Cancels a scheduled event in O(1). Returns true if the event
+     * was still pending; false for an invalid handle or one whose
+     * event already fired or was already cancelled (the generation
+     * check catches both, so late cancels never corrupt accounting).
+     * The callback is destroyed immediately; the record's heap key
+     * is skipped and recycled when it reaches the top.
      */
     bool
     cancel(EventHandle handle)
     {
         if (!handle.valid())
             return false;
-        auto inserted = _dead.insert(handle._id).second;
-        if (inserted)
-            ++_cancelled;
-        return inserted;
+        const uint32_t idx =
+            static_cast<uint32_t>(handle._id & 0xffffffffu) - 1;
+        const uint32_t gen = static_cast<uint32_t>(handle._id >> 32);
+        if (idx >= _slabSize)
+            return false;
+        Record &rec = record(idx);
+        if (rec.state != Record::Pending || rec.gen != gen)
+            return false;
+        rec.destroyCallback();
+        rec.state = Record::Cancelled;
+        // Invalidate every outstanding handle to this record,
+        // including the one just used.
+        ++rec.gen;
+        --_live;
+        return true;
     }
 
     /**
@@ -116,21 +186,23 @@ class EventQueue
     run(Tick limit = MaxTick)
     {
         while (!_heap.empty()) {
-            const Entry &top = _heap.top();
+            const HeapItem top = _heap.front();
             if (top.when > limit)
                 break;
-            if (_dead.erase(top.id)) {
-                --_cancelled;
-                _heap.pop();
+            Record &rec = record(top.idx);
+            if (rec.state == Record::Cancelled) {
+                heapPopTop();
+                releaseRecord(top.idx, rec);
                 continue;
             }
-            // Move the callback out before popping.
-            Entry entry = std::move(const_cast<Entry &>(top));
-            _heap.pop();
-            HYPERSIO_ASSERT(entry.when >= _now, "time went backwards");
-            _now = entry.when;
+            HYPERSIO_ASSERT(top.when >= _now, "time went backwards");
+            FiredCallback cb(rec);
+            heapPopTop();
+            releaseRecord(top.idx, rec);
+            --_live;
+            _now = top.when;
             ++_executed;
-            entry.cb();
+            cb();
         }
         if (_now < limit && limit != MaxTick)
             _now = limit;
@@ -142,53 +214,249 @@ class EventQueue
     step()
     {
         while (!_heap.empty()) {
-            const Entry &top = _heap.top();
-            if (_dead.erase(top.id)) {
-                --_cancelled;
-                _heap.pop();
+            const HeapItem top = _heap.front();
+            Record &rec = record(top.idx);
+            if (rec.state == Record::Cancelled) {
+                heapPopTop();
+                releaseRecord(top.idx, rec);
                 continue;
             }
-            Entry entry = std::move(const_cast<Entry &>(top));
-            _heap.pop();
-            _now = entry.when;
+            HYPERSIO_ASSERT(top.when >= _now, "time went backwards");
+            FiredCallback cb(rec);
+            heapPopTop();
+            releaseRecord(top.idx, rec);
+            --_live;
+            _now = top.when;
             ++_executed;
-            entry.cb();
+            cb();
             return true;
         }
         return false;
     }
 
-    /** True when no live events remain. */
-    bool empty() const { return pending() == 0; }
-
   private:
-    struct Entry
+    /** Type-erased operations of one stored callable. */
+    struct CallbackOps
     {
-        Tick when;
-        Priority priority;
-        uint64_t id;
-        Callback cb;
-        bool dead;
+        void (*invoke)(void *buf);
+        /** Move-construct dst's storage from src, destroying src. */
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *buf);
     };
 
-    struct Later
+    template <typename T>
+    struct InlineOps
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
+        static T *get(void *buf)
         {
-            if (a.when != b.when)
-                return a.when > b.when;
-            if (a.priority != b.priority)
-                return a.priority > b.priority;
-            return a.id > b.id;
+            return std::launder(reinterpret_cast<T *>(buf));
+        }
+        static void invoke(void *buf) { (*get(buf))(); }
+        static void
+        relocate(void *dst, void *src)
+        {
+            T *s = get(src);
+            ::new (dst) T(std::move(*s));
+            s->~T();
+        }
+        static void destroy(void *buf) { get(buf)->~T(); }
+        static constexpr CallbackOps ops{&invoke, &relocate,
+                                         &destroy};
+    };
+
+    template <typename T>
+    struct HeapOps
+    {
+        static T *&ptr(void *buf)
+        {
+            return *std::launder(reinterpret_cast<T **>(buf));
+        }
+        static void invoke(void *buf) { (*ptr(buf))(); }
+        static void
+        relocate(void *dst, void *src)
+        {
+            ::new (dst) (T *)(ptr(src));
+        }
+        static void destroy(void *buf) { delete ptr(buf); }
+        static constexpr CallbackOps ops{&invoke, &relocate,
+                                         &destroy};
+    };
+
+    /**
+     * One slab record. `when`/`priority`/`seq` live in the heap key,
+     * not here — cancellation and firing only need the callback and
+     * the generation.
+     */
+    struct Record
+    {
+        enum State : uint8_t { Free, Pending, Cancelled };
+
+        alignas(alignof(std::max_align_t))
+            unsigned char buf[CallbackInlineSize];
+        const CallbackOps *ops = nullptr;
+        /**
+         * Bumped on cancel and on fire, so stale handles miss. A
+         * 32-bit generation would need 4G reuses of one slot to
+         * alias — beyond any simulated workload.
+         */
+        uint32_t gen = 0;
+        State state = Free;
+
+        template <typename F>
+        void
+        emplace(F &&fn)
+        {
+            using T = std::decay_t<F>;
+            if constexpr (sizeof(T) <= CallbackInlineSize &&
+                          alignof(T) <=
+                              alignof(std::max_align_t) &&
+                          std::is_nothrow_move_constructible_v<T>) {
+                ::new (static_cast<void *>(buf))
+                    T(std::forward<F>(fn));
+                ops = &InlineOps<T>::ops;
+            } else {
+                ::new (static_cast<void *>(buf))
+                    (T *)(new T(std::forward<F>(fn)));
+                ops = &HeapOps<T>::ops;
+            }
+        }
+
+        void
+        destroyCallback()
+        {
+            ops->destroy(buf);
+            ops = nullptr;
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
-    std::unordered_set<uint64_t> _dead;
-    size_t _cancelled = 0;
+    /**
+     * Moves a firing record's callback onto the stack so the slot
+     * can recycle before the callback runs (callbacks routinely
+     * schedule new events, and a cancel arriving after the fire must
+     * see a released record).
+     */
+    class FiredCallback
+    {
+      public:
+        explicit FiredCallback(Record &rec) : _ops(rec.ops)
+        {
+            _ops->relocate(_buf, rec.buf);
+            rec.ops = nullptr;
+        }
+        ~FiredCallback() { _ops->destroy(_buf); }
+
+        FiredCallback(const FiredCallback &) = delete;
+        FiredCallback &operator=(const FiredCallback &) = delete;
+
+        void operator()() { _ops->invoke(_buf); }
+
+      private:
+        alignas(alignof(std::max_align_t))
+            unsigned char _buf[CallbackInlineSize];
+        const CallbackOps *_ops;
+    };
+
+    /** One 4-ary-heap element: the full sort key plus record index. */
+    struct HeapItem
+    {
+        Tick when;
+        uint64_t seq;
+        Priority priority;
+        uint32_t idx;
+    };
+
+    static bool
+    before(const HeapItem &a, const HeapItem &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        if (a.priority != b.priority)
+            return a.priority < b.priority;
+        return a.seq < b.seq;
+    }
+
+    static constexpr size_t ChunkShift = 8; ///< 256 records/chunk
+    static constexpr size_t ChunkSize = size_t(1) << ChunkShift;
+    static constexpr size_t ChunkMask = ChunkSize - 1;
+
+    Record &
+    record(uint32_t idx)
+    {
+        return _chunks[idx >> ChunkShift][idx & ChunkMask];
+    }
+
+    uint32_t
+    allocRecord()
+    {
+        if (!_free.empty()) {
+            const uint32_t idx = _free.back();
+            _free.pop_back();
+            return idx;
+        }
+        if ((_slabSize & ChunkMask) == 0)
+            _chunks.push_back(
+                std::make_unique<Record[]>(ChunkSize));
+        return static_cast<uint32_t>(_slabSize++);
+    }
+
+    void
+    releaseRecord(uint32_t idx, Record &rec)
+    {
+        if (rec.state == Record::Pending)
+            ++rec.gen; // cancelled records bumped theirs already
+        rec.state = Record::Free;
+        _free.push_back(idx);
+    }
+
+    void
+    heapPush(HeapItem item)
+    {
+        size_t i = _heap.size();
+        _heap.push_back(item);
+        while (i > 0) {
+            const size_t parent = (i - 1) >> 2;
+            if (!before(item, _heap[parent]))
+                break;
+            _heap[i] = _heap[parent];
+            i = parent;
+        }
+        _heap[i] = item;
+    }
+
+    void
+    heapPopTop()
+    {
+        const HeapItem last = _heap.back();
+        _heap.pop_back();
+        const size_t n = _heap.size();
+        if (n == 0)
+            return;
+        size_t i = 0;
+        for (;;) {
+            const size_t first = (i << 2) + 1;
+            if (first >= n)
+                break;
+            size_t best = first;
+            const size_t end = std::min(first + 4, n);
+            for (size_t c = first + 1; c < end; ++c) {
+                if (before(_heap[c], _heap[best]))
+                    best = c;
+            }
+            if (!before(_heap[best], last))
+                break;
+            _heap[i] = _heap[best];
+            i = best;
+        }
+        _heap[i] = last;
+    }
+
+    std::vector<std::unique_ptr<Record[]>> _chunks;
+    std::vector<uint32_t> _free;
+    std::vector<HeapItem> _heap;
+    size_t _slabSize = 0;
+    size_t _live = 0;
     Tick _now = 0;
-    uint64_t _nextId = 0;
+    uint64_t _nextSeq = 0;
     uint64_t _executed = 0;
 };
 

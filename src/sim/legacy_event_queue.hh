@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The pre-slab event kernel, preserved verbatim for measurement and
+ * regression demonstration.
+ *
+ * This is the original `EventQueue` implementation: a
+ * `std::priority_queue` of fat entries, each carrying its
+ * `std::function` callback through every heap sift, with tombstone
+ * cancellation through an `unordered_set`. It is kept (under a new
+ * name) for two reasons:
+ *
+ *  1. `bench/event_kernel_microbench` runs identical workloads
+ *     against this kernel and the slab kernel in `event_queue.hh`
+ *     and reports the events/sec speedup, so the rewrite's win stays
+ *     measured instead of assumed.
+ *  2. `tests/test_event_queue.cc` demonstrates the cancel-after-fire
+ *     accounting bug this kernel ships (cancelling an already-fired
+ *     handle inserts a permanent tombstone and underflows
+ *     `pending()`), proving the regression tests would fail here.
+ *
+ * Nothing in the simulator proper may use this class.
+ */
+
+#ifndef HYPERSIO_SIM_LEGACY_EVENT_QUEUE_HH
+#define HYPERSIO_SIM_LEGACY_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace hypersio::sim
+{
+
+/** Handle into a LegacyEventQueue (the old EventHandle). */
+class LegacyEventHandle
+{
+  public:
+    LegacyEventHandle() = default;
+
+    bool valid() const { return _id != 0; }
+
+  private:
+    friend class LegacyEventQueue;
+    explicit LegacyEventHandle(uint64_t id) : _id(id) {}
+    uint64_t _id = 0;
+};
+
+/** The old fat-entry event queue. See the file comment. */
+class LegacyEventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+    using Handle = LegacyEventHandle;
+
+    Tick now() const { return _now; }
+    uint64_t executed() const { return _executed; }
+    size_t pending() const { return _heap.size() - _cancelled; }
+
+    LegacyEventHandle
+    schedule(Tick when, Callback cb, int priority = 0)
+    {
+        HYPERSIO_ASSERT(when >= _now,
+                        "scheduling in the past: %llu < %llu",
+                        (unsigned long long)when,
+                        (unsigned long long)_now);
+        uint64_t id = ++_nextId;
+        _heap.push(Entry{when, priority, id, std::move(cb), false});
+        return LegacyEventHandle(id);
+    }
+
+    LegacyEventHandle
+    scheduleAfter(Tick delay, Callback cb, int priority = 0)
+    {
+        return schedule(_now + delay, std::move(cb), priority);
+    }
+
+    /**
+     * The buggy cancel: it never checks whether the event already
+     * fired, so a late cancel tombstones a dead id forever and bumps
+     * `_cancelled` past the heap size.
+     */
+    bool
+    cancel(LegacyEventHandle handle)
+    {
+        if (!handle.valid())
+            return false;
+        auto inserted = _dead.insert(handle._id).second;
+        if (inserted)
+            ++_cancelled;
+        return inserted;
+    }
+
+    Tick
+    run(Tick limit = MaxTick)
+    {
+        while (!_heap.empty()) {
+            const Entry &top = _heap.top();
+            if (top.when > limit)
+                break;
+            if (_dead.erase(top.id)) {
+                --_cancelled;
+                _heap.pop();
+                continue;
+            }
+            // Move the callback out before popping.
+            Entry entry = std::move(const_cast<Entry &>(top));
+            _heap.pop();
+            HYPERSIO_ASSERT(entry.when >= _now, "time went backwards");
+            _now = entry.when;
+            ++_executed;
+            entry.cb();
+        }
+        if (_now < limit && limit != MaxTick)
+            _now = limit;
+        return _now;
+    }
+
+    bool
+    step()
+    {
+        while (!_heap.empty()) {
+            const Entry &top = _heap.top();
+            if (_dead.erase(top.id)) {
+                --_cancelled;
+                _heap.pop();
+                continue;
+            }
+            Entry entry = std::move(const_cast<Entry &>(top));
+            _heap.pop();
+            _now = entry.when;
+            ++_executed;
+            entry.cb();
+            return true;
+        }
+        return false;
+    }
+
+    bool empty() const { return pending() == 0; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        uint64_t id;
+        Callback cb;
+        bool dead;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.id > b.id;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
+    std::unordered_set<uint64_t> _dead;
+    size_t _cancelled = 0;
+    Tick _now = 0;
+    uint64_t _nextId = 0;
+    uint64_t _executed = 0;
+};
+
+} // namespace hypersio::sim
+
+#endif // HYPERSIO_SIM_LEGACY_EVENT_QUEUE_HH

@@ -189,6 +189,21 @@ StatGroup::makeHistogram(const std::string &name,
     return ref;
 }
 
+Callback &
+StatGroup::makeCallback(const std::string &name,
+                        const std::string &desc,
+                        Callback::Source source)
+{
+    HYPERSIO_ASSERT(source != nullptr,
+                    "callback stat '%s' needs a source",
+                    name.c_str());
+    auto stat =
+        std::make_unique<Callback>(name, desc, std::move(source));
+    Callback &ref = *stat;
+    _stats.push_back(std::move(stat));
+    return ref;
+}
+
 StatGroup &
 StatGroup::child(const std::string &name)
 {
@@ -265,6 +280,13 @@ void
 JsonWriter::visit(const Ratio &r)
 {
     leaf(r, "ratio");
+    _out.endObject();
+}
+
+void
+JsonWriter::visit(const Callback &cb)
+{
+    leaf(cb, "callback");
     _out.endObject();
 }
 

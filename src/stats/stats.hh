@@ -28,6 +28,7 @@ class Counter;
 class Scalar;
 class Ratio;
 class Histogram;
+class Callback;
 
 /** Double-dispatch interface over the concrete stat kinds. */
 class StatVisitor
@@ -39,6 +40,7 @@ class StatVisitor
     virtual void visit(const Scalar &s) = 0;
     virtual void visit(const Ratio &r) = 0;
     virtual void visit(const Histogram &h) = 0;
+    virtual void visit(const Callback &cb) = 0;
 };
 
 /** Base class for all named statistics. */
@@ -135,6 +137,32 @@ class Ratio : public StatBase
     const StatBase *_denom;
 };
 
+/**
+ * Lazily evaluated statistic: value() calls back into the owning
+ * component at dump time. Lets components that keep their counters
+ * in plain structs (e.g. cache::CacheStats) appear in the stat tree
+ * without double bookkeeping — the exported value can never drift
+ * from the component's own copy. The source must outlive the group.
+ */
+class Callback : public StatBase
+{
+  public:
+    using Source = std::function<double()>;
+
+    Callback(std::string name, std::string desc, Source source)
+        : StatBase(std::move(name), std::move(desc)),
+          _source(std::move(source))
+    {}
+
+    double value() const override { return _source(); }
+    /** The owning component resets its own state. */
+    void reset() override {}
+    void accept(StatVisitor &v) const override { v.visit(*this); }
+
+  private:
+    Source _source;
+};
+
 /** Linear-binned histogram with underflow/overflow buckets. */
 class Histogram : public StatBase
 {
@@ -213,6 +241,9 @@ class StatGroup
     Histogram &makeHistogram(const std::string &name,
                              const std::string &desc, double lo,
                              double hi, size_t nbins);
+    Callback &makeCallback(const std::string &name,
+                           const std::string &desc,
+                           Callback::Source source);
 
     /** Creates (or returns an existing) nested child group. */
     StatGroup &child(const std::string &name);
@@ -270,6 +301,7 @@ class JsonWriter : public StatVisitor
     void visit(const Scalar &s) override;
     void visit(const Ratio &r) override;
     void visit(const Histogram &h) override;
+    void visit(const Callback &cb) override;
 
   private:
     void leaf(const StatBase &stat, const char *kind);

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Generic slab pool: fixed records addressed by index, chunk-stable
+ * storage, free-list recycling.
+ *
+ * Components on the simulation hot path keep their in-flight state
+ * in pooled records and pass 32-bit slot indices through event
+ * closures instead of heap-allocating per-operation state (see the
+ * translation round trip in core::XlatePort). Records are
+ * default-constructed once per chunk and reused as-is — the caller
+ * resets whatever fields matter on alloc() and should move out or
+ * clear owning members (e.g. std::function) on release().
+ */
+
+#ifndef HYPERSIO_UTIL_POOL_HH
+#define HYPERSIO_UTIL_POOL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace hypersio::util
+{
+
+/**
+ * Index-addressed pool of reusable T records. Addresses are stable
+ * for the pool's lifetime (storage grows in chunks, never moves), so
+ * references obtained from at() survive later alloc() calls.
+ */
+template <typename T>
+class SlabPool
+{
+  public:
+    /** Allocates a slot (recycled when possible) and returns it. */
+    uint32_t
+    alloc()
+    {
+        ++_live;
+        if (!_free.empty()) {
+            const uint32_t idx = _free.back();
+            _free.pop_back();
+            return idx;
+        }
+        if ((_size & ChunkMask) == 0)
+            _chunks.push_back(std::make_unique<T[]>(ChunkSize));
+        return static_cast<uint32_t>(_size++);
+    }
+
+    /** The record at `idx` (must be a live slot). */
+    T &
+    at(uint32_t idx)
+    {
+        HYPERSIO_ASSERT(idx < _size, "bad pool index %u", idx);
+        return _chunks[idx >> ChunkShift][idx & ChunkMask];
+    }
+
+    /** Returns `idx` to the free list. */
+    void
+    release(uint32_t idx)
+    {
+        HYPERSIO_ASSERT(idx < _size && _live > 0,
+                        "bad pool release %u", idx);
+        --_live;
+        _free.push_back(idx);
+    }
+
+    /** Records ever allocated (high-water mark). */
+    size_t capacity() const { return _size; }
+    /** Currently allocated records. */
+    size_t inUse() const { return _live; }
+
+  private:
+    static constexpr size_t ChunkShift = 6; ///< 64 records/chunk
+    static constexpr size_t ChunkSize = size_t(1) << ChunkShift;
+    static constexpr size_t ChunkMask = ChunkSize - 1;
+
+    std::vector<std::unique_ptr<T[]>> _chunks;
+    std::vector<uint32_t> _free;
+    size_t _size = 0;
+    size_t _live = 0;
+};
+
+} // namespace hypersio::util
+
+#endif // HYPERSIO_UTIL_POOL_HH

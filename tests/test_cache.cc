@@ -260,5 +260,41 @@ TEST_P(PartitionIsolationTest, CrossPartitionTrafficCannotEvict)
 INSTANTIATE_TEST_SUITE_P(Partitions, PartitionIsolationTest,
                          ::testing::Values(1, 2, 4, 8));
 
+TEST(SetAssocCache, ExportStatsTracksLiveCounters)
+{
+    CacheConfig config;
+    config.entries = 4;
+    config.ways = 2;
+    SetAssocCache<int> cache(config);
+    stats::StatGroup group("devtlb");
+    cache.exportStats(group);
+
+    // Freshly exported: everything reads zero.
+    ASSERT_NE(group.find("lookups"), nullptr);
+    EXPECT_EQ(group.find("lookups")->value(), 0.0);
+    EXPECT_EQ(group.find("miss_rate")->value(), 0.0);
+
+    cache.insert(1, 0, 10);
+    cache.lookup(1, 0); // hit
+    cache.lookup(2, 0); // miss
+    cache.lookup(3, 0); // miss
+
+    // The exported stats follow the cache's own counters exactly —
+    // no snapshot to go stale.
+    const CacheStats &s = cache.stats();
+    EXPECT_EQ(group.find("lookups")->value(),
+              static_cast<double>(s.lookups));
+    EXPECT_EQ(group.find("hits")->value(),
+              static_cast<double>(s.hits));
+    EXPECT_EQ(group.find("misses")->value(), 2.0);
+    EXPECT_EQ(group.find("miss_rate")->value(), s.missRate());
+    EXPECT_EQ(group.find("insertions")->value(), 1.0);
+    EXPECT_EQ(group.find("evictions")->value(), 0.0);
+    EXPECT_EQ(group.find("invalidations")->value(), 0.0);
+
+    cache.resetStats();
+    EXPECT_EQ(group.find("lookups")->value(), 0.0);
+}
+
 } // namespace
 } // namespace hypersio::cache

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/legacy_event_queue.hh"
 
 namespace hypersio::sim
 {
@@ -161,6 +163,202 @@ TEST(EventHandle, DefaultIsInvalid)
     EXPECT_FALSE(h.valid());
     EventQueue q;
     EXPECT_FALSE(q.cancel(h));
+}
+
+// Regression: cancelling an event after it fired must be a detected
+// no-op. The legacy kernel tombstoned the dead id forever, so its
+// pending() underflowed and empty() lied (see the companion test
+// below, which pins down the old behaviour).
+TEST(EventQueue, CancelAfterFireReturnsFalse)
+{
+    EventQueue q;
+    int fired = 0;
+    EventHandle h = q.schedule(10, [&] { ++fired; });
+    q.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(q.cancel(h));
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_TRUE(q.empty());
+
+    // The queue must remain fully usable after the late cancel.
+    q.scheduleAfter(1, [&] { ++fired; });
+    EXPECT_EQ(q.pending(), 1u);
+    q.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_TRUE(q.empty());
+}
+
+// The same sequence against the preserved legacy kernel: cancel
+// claims success on a fired event and corrupts the accounting. This
+// documents that CancelAfterFireReturnsFalse genuinely fails on the
+// old implementation (its EXPECTs invert here).
+TEST(LegacyEventQueue, CancelAfterFireCorruptsAccounting)
+{
+    LegacyEventQueue q;
+    int fired = 0;
+    LegacyEventHandle h = q.schedule(10, [&] { ++fired; });
+    q.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(q.cancel(h)); // bug: the event already fired
+    EXPECT_NE(q.pending(), 0u); // size_t underflow
+    EXPECT_FALSE(q.empty());
+}
+
+// A handle must die with its event even when the slot is recycled:
+// a stale cancel may not hit the new occupant.
+TEST(EventQueue, StaleHandleMissesRecycledSlot)
+{
+    EventQueue q;
+    EventHandle old = q.schedule(1, [] {});
+    q.run();
+    // The new event reuses the fired event's slab slot.
+    bool ran = false;
+    q.scheduleAfter(1, [&] { ran = true; });
+    EXPECT_FALSE(q.cancel(old));
+    EXPECT_EQ(q.pending(), 1u);
+    q.run();
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, SameTickOrderSurvivesInterleavedCancels)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&] { order.push_back(2); }, DefaultPriority);
+    EventHandle a =
+        q.schedule(5, [&] { order.push_back(9); }, EarlyPriority);
+    q.schedule(5, [&] { order.push_back(3); }, LatePriority);
+    q.schedule(5, [&] { order.push_back(1); }, EarlyPriority);
+    EventHandle b =
+        q.schedule(5, [&] { order.push_back(9); }, DefaultPriority);
+    q.schedule(5, [&] { order.push_back(21); }, DefaultPriority);
+    EXPECT_TRUE(q.cancel(a));
+    EXPECT_TRUE(q.cancel(b));
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 21, 3}));
+}
+
+TEST(EventQueue, RunLimitBoundaryIsInclusive)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, [&] { order.push_back(10); });
+    q.schedule(15, [&] { order.push_back(15); });
+    q.schedule(16, [&] { order.push_back(16); });
+    // Events at exactly the limit tick still run.
+    q.run(15);
+    EXPECT_EQ(order, (std::vector<int>{10, 15}));
+    EXPECT_EQ(q.now(), 15u);
+    EXPECT_EQ(q.pending(), 1u);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{10, 15, 16}));
+}
+
+// Steady-state churn must recycle slab slots, not grow the pool:
+// the high-water mark tracks the peak number of in-flight events,
+// not the total scheduled.
+TEST(EventQueue, SlabRecyclesUnderChurn)
+{
+    EventQueue q;
+    uint64_t fired = 0;
+    for (int round = 0; round < 1000; ++round) {
+        EventHandle keep = q.scheduleAfter(1, [&] { ++fired; });
+        EventHandle drop = q.scheduleAfter(2, [&] { ++fired; });
+        if (round % 2 == 0) {
+            EXPECT_TRUE(q.cancel(drop));
+        } else {
+            (void)keep;
+        }
+        q.run(q.now() + 2);
+    }
+    EXPECT_EQ(fired, 1000u + 500u);
+    EXPECT_TRUE(q.empty());
+    // Two live events max; one chunk of records is ample.
+    EXPECT_LE(q.poolCapacity(), 8u);
+}
+
+/** Counts constructions/destructions of callback captures. */
+struct LifeCounter
+{
+    static int alive;
+    LifeCounter() { ++alive; }
+    LifeCounter(const LifeCounter &) { ++alive; }
+    LifeCounter(LifeCounter &&) noexcept { ++alive; }
+    ~LifeCounter() { --alive; }
+};
+int LifeCounter::alive = 0;
+
+TEST(EventQueue, SmallClosureStaysInlineAndIsDestroyed)
+{
+    LifeCounter::alive = 0;
+    {
+        EventQueue q;
+        bool ran = false;
+        LifeCounter c;
+        static_assert(sizeof(bool *) + sizeof(LifeCounter) <=
+                      EventQueue::CallbackInlineSize);
+        q.schedule(1, [&ran, c] { ran = true; });
+        q.run();
+        EXPECT_TRUE(ran);
+    }
+    EXPECT_EQ(LifeCounter::alive, 0);
+}
+
+TEST(EventQueue, LargeClosureFallsBackToHeapAndIsDestroyed)
+{
+    LifeCounter::alive = 0;
+    {
+        EventQueue q;
+        uint64_t sum = 0;
+        std::array<uint64_t, 16> payload{};
+        payload.fill(3);
+        LifeCounter c;
+        static_assert(sizeof(payload) >
+                      EventQueue::CallbackInlineSize);
+        q.schedule(1, [&sum, payload, c] {
+            for (uint64_t v : payload)
+                sum += v;
+        });
+        q.run();
+        EXPECT_EQ(sum, 48u);
+
+        // Cancelled oversized closures free their heap copy too.
+        EventHandle h = q.scheduleAfter(1, [&sum, payload, c] {
+            sum += payload[0];
+        });
+        EXPECT_TRUE(q.cancel(h));
+        q.run();
+        EXPECT_EQ(sum, 48u);
+    }
+    EXPECT_EQ(LifeCounter::alive, 0);
+}
+
+// Destroying a queue with events still scheduled must release every
+// callback, inline and heap-allocated alike.
+TEST(EventQueue, DestructorReleasesUnfiredCallbacks)
+{
+    LifeCounter::alive = 0;
+    {
+        EventQueue q;
+        LifeCounter c;
+        std::array<uint64_t, 16> fat{};
+        q.schedule(5, [c] {});
+        q.schedule(6, [c, fat] { (void)fat[0]; });
+    }
+    EXPECT_EQ(LifeCounter::alive, 0);
+}
+
+TEST(EventQueue, StepRefusesToRunPastCancelledTop)
+{
+    EventQueue q;
+    int count = 0;
+    EventHandle a = q.schedule(1, [&] { ++count; });
+    q.schedule(2, [&] { ++count; });
+    EXPECT_TRUE(q.cancel(a));
+    EXPECT_TRUE(q.step()); // skips the tombstone, runs tick 2
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(q.now(), 2u);
+    EXPECT_FALSE(q.step());
 }
 
 } // namespace

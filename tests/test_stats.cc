@@ -280,6 +280,45 @@ TEST(JsonExport, RoundTripMatchesFind)
               root.child("dev").find("packets")->value());
 }
 
+TEST(Callback, ReadsSourceLazily)
+{
+    StatGroup root("root");
+    uint64_t hits = 0;
+    Callback &cb = root.makeCallback(
+        "hits", "live hit count",
+        [&hits] { return static_cast<double>(hits); });
+    EXPECT_EQ(cb.value(), 0.0);
+    hits = 7;
+    EXPECT_EQ(cb.value(), 7.0); // no snapshot: reads the source
+    EXPECT_EQ(root.find("hits"), &cb);
+}
+
+TEST(Callback, ResetLeavesSourceAlone)
+{
+    StatGroup root("root");
+    double v = 3.5;
+    Callback &cb =
+        root.makeCallback("v", "", [&v] { return v; });
+    root.resetAll();
+    EXPECT_EQ(cb.value(), 3.5); // the owner resets its own state
+}
+
+TEST(Callback, AppearsInDumpAndJson)
+{
+    StatGroup root("root");
+    root.makeCallback("load", "current load", [] { return 0.25; });
+    std::ostringstream os;
+    root.dump(os);
+    EXPECT_NE(os.str().find("root.load"), std::string::npos);
+    EXPECT_NE(os.str().find("0.25"), std::string::npos);
+
+    auto doc = json::Value::parse(toJsonString(root));
+    ASSERT_TRUE(doc.has_value());
+    const json::Value &stat = doc->find("stats")->array.at(0);
+    EXPECT_EQ(stat.find("kind")->str, "callback");
+    EXPECT_EQ(stat.find("value")->number, 0.25);
+}
+
 TEST(JsonExport, EmptyGroupHasEmptyArrays)
 {
     StatGroup root("empty");
