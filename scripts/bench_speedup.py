@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Compute a speedup ratio between two hypersio-bench-1 reports.
+
+Usage:
+    bench_speedup.py FAST.json SLOW.json --scalar NAME --min-ratio R
+
+Prints the ratio FAST/SLOW of the named scalar and exits nonzero if
+it falls below --min-ratio. Before comparing rates, every pair of
+deterministic count scalars (names ending in _packets, _lookups,
+_walks, _translations, _requests) is required to match exactly: the
+two builds must have done identical simulated work, otherwise the
+ratio is meaningless and the run fails loudly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+COUNT_SUFFIXES = (
+    "_packets",
+    "_lookups",
+    "_walks",
+    "_translations",
+    "_requests",
+    "_detaches",
+)
+
+
+def load_scalars(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != "hypersio-bench-1":
+        sys.exit(f"{path}: not a hypersio-bench-1 report")
+    return doc.get("scalars", {})
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fast", help="report from the optimised build")
+    parser.add_argument("slow", help="report from the reference build")
+    parser.add_argument("--scalar", default="total_packets_per_sec",
+                        help="rate scalar to form the ratio from")
+    parser.add_argument("--min-ratio", type=float, default=1.3,
+                        help="fail if fast/slow falls below this")
+    args = parser.parse_args()
+
+    fast = load_scalars(args.fast)
+    slow = load_scalars(args.slow)
+
+    mismatches = []
+    for name, value in sorted(fast.items()):
+        if not name.endswith(COUNT_SUFFIXES):
+            continue
+        if name not in slow:
+            mismatches.append(f"{name}: missing from {args.slow}")
+        elif slow[name] != value:
+            mismatches.append(
+                f"{name}: {value:g} (fast) != {slow[name]:g} (slow)")
+    if mismatches:
+        print("deterministic scalars differ between builds:")
+        for line in mismatches:
+            print(f"  {line}")
+        return 1
+    print(f"deterministic scalars identical across builds "
+          f"({sum(1 for n in fast if n.endswith(COUNT_SUFFIXES))} "
+          f"checked)")
+
+    for name, scalars, path in ((args.scalar, fast, args.fast),
+                                (args.scalar, slow, args.slow)):
+        if name not in scalars:
+            sys.exit(f"{path}: scalar '{name}' not found")
+    if slow[args.scalar] <= 0:
+        sys.exit(f"{args.slow}: scalar '{args.scalar}' is not positive")
+
+    ratio = fast[args.scalar] / slow[args.scalar]
+    print(f"{args.scalar}: fast={fast[args.scalar]:.0f} "
+          f"slow={slow[args.scalar]:.0f} ratio={ratio:.2f}x "
+          f"(minimum {args.min_ratio:.2f}x)")
+    if ratio < args.min_ratio:
+        print("FAIL: speedup below minimum")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,17 @@
 #      tolerance: it catches missing/renamed scalars and order-of-
 #      magnitude regressions, while the hard >= 1.3x bound is
 #      enforced in-process by --check-speedup on this machine.
+#   7. The translation-path microbench must show the flat-hash/SoA
+#      data layouts at >= 1.3x the pinned reference layouts'
+#      packets/sec. The two layouts are a compile-time choice
+#      (HYPERSIO_LEGACY_STRUCTURES), so the ratio is taken across
+#      two -DHYPERSIO_CHECKED=OFF builds of the same binary;
+#      scripts/bench_speedup.py additionally requires every
+#      deterministic probe-count scalar to match exactly between
+#      them (the layouts must do identical simulated work). The
+#      report shape is compared against the committed
+#      BENCH_translation_path.json with the same loose wall-clock
+#      tolerance as gate 6.
 #
 # scripts/coverage.sh (gcov line coverage) is a separate, slower
 # workflow and is not part of this gate.
@@ -37,7 +48,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 UNCHECKED_DIR="${BUILD_DIR}-unchecked"
 
-echo "== 1/6 repo hygiene: no tracked build artifacts"
+echo "== 1/7 repo hygiene: no tracked build artifacts"
 if git ls-files | grep -q '^build'; then
     echo "FAIL: build trees are tracked in git:" >&2
     git ls-files | grep '^build' | head >&2
@@ -47,12 +58,12 @@ if git ls-files | grep -q '^build'; then
 fi
 echo "   ok"
 
-echo "== 2/6 tier-1 build + ctest (shadow oracle compiled in)"
+echo "== 2/7 tier-1 build + ctest (shadow oracle compiled in)"
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
 
-echo "== 3/6 extended adversarial fuzz campaign"
+echo "== 3/7 extended adversarial fuzz campaign"
 # The ctest invocation above already ran the bounded smoke; this is
 # the long campaign: more packets, multiple seeds. Reproduce any
 # failure with the HYPERSIO_FUZZ_SEED printed in its repro line.
@@ -66,7 +77,7 @@ if ! HYPERSIO_FUZZ_PACKETS=400 HYPERSIO_FUZZ_ROUNDS=3 \
 fi
 grep 'translation requests checked' "$FUZZ_LOG"
 
-echo "== 4/6 shadow checking is observation-only (checked vs not)"
+echo "== 4/7 shadow checking is observation-only (checked vs not)"
 cmake -B "$UNCHECKED_DIR" -S . -DHYPERSIO_CHECKED=OFF > /dev/null
 cmake --build "$UNCHECKED_DIR" -j "$(nproc)" \
     --target fig10_scalability
@@ -83,7 +94,7 @@ if ! cmp -s "$BUILD_DIR/fig10_checked.out" \
 fi
 echo "   ok: fig10 --quick output byte-identical"
 
-echo "== 5/6 bench JSON regression gate (fig10, quick scale)"
+echo "== 5/7 bench JSON regression gate (fig10, quick scale)"
 # Deterministic settings: quick scale, 8-tenant sweep, fixed seed.
 # --jobs only changes scheduling, never results, but pin it anyway
 # so the config block is stable too.
@@ -100,7 +111,7 @@ else
     cp "$FRESH" BENCH_fig10.json
 fi
 
-echo "== 6/6 event-kernel microbench speedup + report shape"
+echo "== 6/7 event-kernel microbench speedup + report shape"
 KERNEL_FRESH="$BUILD_DIR/BENCH_event_kernel.json"
 "$BUILD_DIR"/bench/event_kernel_microbench --check-speedup 1.3 \
     --json "$KERNEL_FRESH"
@@ -113,6 +124,43 @@ else
     echo "   no committed baseline; installing $KERNEL_FRESH as" \
          "BENCH_event_kernel.json"
     cp "$KERNEL_FRESH" BENCH_event_kernel.json
+fi
+
+echo "== 7/7 translation-path microbench speedup + report shape"
+# Both sides run without the shadow oracle (its mirrors would
+# dominate the probes being measured). The flat side reuses the
+# gate-4 unchecked build; the reference side pins the pre-flat
+# layouts with HYPERSIO_LEGACY_STRUCTURES=ON.
+LEGACY_DIR="${BUILD_DIR}-legacy-structs"
+cmake --build "$UNCHECKED_DIR" -j "$(nproc)" \
+    --target translation_path_microbench
+cmake -B "$LEGACY_DIR" -S . -DHYPERSIO_CHECKED=OFF \
+    -DHYPERSIO_LEGACY_STRUCTURES=ON > /dev/null
+cmake --build "$LEGACY_DIR" -j "$(nproc)" \
+    --target translation_path_microbench
+FLAT_JSON="$BUILD_DIR/BENCH_translation_path.json"
+LEGACY_JSON="$BUILD_DIR/BENCH_translation_path_legacy.json"
+"$UNCHECKED_DIR"/bench/translation_path_microbench \
+    --json "$FLAT_JSON" > /dev/null
+"$LEGACY_DIR"/bench/translation_path_microbench \
+    --json "$LEGACY_JSON" > /dev/null
+# The gated rate is the walk storm: a tenant-lifecycle replay whose
+# every probe lands on the converted structures. The timed
+# full-system phase also runs (its deterministic scalars anchor the
+# cross-build differential check) but its rate is dominated by the
+# event kernel, which both layouts share.
+python3 scripts/bench_speedup.py "$FLAT_JSON" "$LEGACY_JSON" \
+    --scalar total_walkstorm_packets_per_sec --min-ratio 1.3
+if [ -f BENCH_translation_path.json ]; then
+    echo "   comparing against committed" \
+         "BENCH_translation_path.json baseline (loose tolerance:" \
+         "rates are wall-clock)"
+    python3 scripts/bench_compare.py BENCH_translation_path.json \
+        "$FLAT_JSON" --tol-throughput 3.0 --tol-rate 1.0
+else
+    echo "   no committed baseline; installing $FLAT_JSON as" \
+         "BENCH_translation_path.json"
+    cp "$FLAT_JSON" BENCH_translation_path.json
 fi
 
 echo "check_repo: all gates passed"

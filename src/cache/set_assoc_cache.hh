@@ -12,11 +12,29 @@
  * a request may look up and allocate only inside the set group
  * selected by its partition id (low bits of the Source ID). With
  * partitions == 1 the cache behaves classically.
+ *
+ * Storage is split structure-of-arrays style: a dense (valid, key)
+ * tag region scanned by the way-matching loop, and a parallel value
+ * array touched only on a hit. An 8-way tag scan therefore reads one
+ * 64-byte key line (plus 8 valid bytes) regardless of sizeof(V) —
+ * with the old array-of-Line layout, a 24-byte value padded every
+ * probe step to 40 bytes and dragged five cache lines through the
+ * scan. A live valid-entry counter makes occupancy() O(1), and a
+ * per-set fill count skips the invalid-way scan once a set has
+ * filled (sets never "unfill" except via invalidate/flush, so a full
+ * set usually stays full).
+ *
+ * Building with -DHYPERSIO_LEGACY_STRUCTURES=ON selects the original
+ * array-of-structures layout (same behaviour, bit-identical
+ * simulation results) as the pinned reference for the
+ * translation-path microbenchmark; see util/flat_map.hh for the
+ * matching map-side reference mode.
  */
 
 #ifndef HYPERSIO_CACHE_SET_ASSOC_CACHE_HH
 #define HYPERSIO_CACHE_SET_ASSOC_CACHE_HH
 
+#include <algorithm>
 #include <optional>
 #include <vector>
 
@@ -76,6 +94,8 @@ struct CacheStats
     }
 };
 
+#ifndef HYPERSIO_LEGACY_STRUCTURES
+
 /**
  * Set-associative cache mapping a 64-bit key to a value of type V.
  *
@@ -122,7 +142,10 @@ class SetAssocCache
                         "partitions (%zu) must divide sets (%zu)",
                         _config.partitions, sets);
         _setsPerPartition = sets / _config.partitions;
-        _lines.resize(sets * _config.ways);
+        _tagValid.resize(sets * _config.ways, 0);
+        _tagKeys.resize(sets * _config.ways, 0);
+        _values.resize(sets * _config.ways);
+        _setFill.resize(sets, 0);
         _victimKeys.resize(_config.ways);
         _policy->init(sets, _config.ways);
     }
@@ -143,12 +166,12 @@ class SetAssocCache
     {
         ++_stats.lookups;
         const size_t set = setFor(key, index, partition);
-        Line *line = findLine(set, key);
-        if (!line)
+        const size_t way = findWay(set, key);
+        if (way == _config.ways)
             return nullptr;
         ++_stats.hits;
-        _policy->touch(set, wayOf(set, line), key);
-        return &line->value;
+        _policy->touch(set, way, key);
+        return &_values[set * _config.ways + way];
     }
 
     /** Like lookup() but with no policy/statistics side effects. */
@@ -156,8 +179,10 @@ class SetAssocCache
     peek(uint64_t key, uint64_t index, uint32_t partition = 0) const
     {
         const size_t set = setFor(key, index, partition);
-        const Line *line = findLine(set, key);
-        return line ? &line->value : nullptr;
+        const size_t way = findWay(set, key);
+        return way == _config.ways
+                   ? nullptr
+                   : &_values[set * _config.ways + way];
     }
 
     /**
@@ -169,42 +194,48 @@ class SetAssocCache
            uint32_t partition = 0)
     {
         const size_t set = setFor(key, index, partition);
+        const size_t base = set * _config.ways;
+
         // Update in place on re-insertion.
-        if (Line *line = findLine(set, key)) {
-            line->value = std::move(value);
-            _policy->touch(set, wayOf(set, line), key);
+        if (const size_t way = findWay(set, key);
+            way != _config.ways) {
+            _values[base + way] = std::move(value);
+            _policy->touch(set, way, key);
             return std::nullopt;
         }
 
         ++_stats.insertions;
 
-        // Use an invalid way if one exists.
-        for (size_t w = 0; w < _config.ways; ++w) {
-            Line &line = at(set, w);
-            if (!line.valid) {
-                line.valid = true;
-                line.key = key;
-                line.value = std::move(value);
-                _policy->insert(set, w, key);
-                return std::nullopt;
-            }
+        // Use an invalid way if one exists; the fill count lets a
+        // full set (the steady state) skip the scan entirely.
+        if (_setFill[set] < _config.ways) {
+            size_t way = 0;
+            while (_tagValid[base + way])
+                ++way;
+            _tagValid[base + way] = 1;
+            _tagKeys[base + way] = key;
+            _values[base + way] = std::move(value);
+            ++_setFill[set];
+            ++_occupied;
+            _policy->insert(set, way, key);
+            return std::nullopt;
         }
 
         // All ways valid: ask the policy for a victim.
         _victimWays.clear();
         for (size_t w = 0; w < _config.ways; ++w) {
             _victimWays.push_back(w);
-            _victimKeys[w] = at(set, w).key;
+            _victimKeys[w] = _tagKeys[base + w];
         }
         size_t victim = _policy->victim(set, _victimWays,
                                         _victimKeys.data());
         HYPERSIO_ASSERT(victim < _config.ways, "policy victim range");
 
-        Line &line = at(set, victim);
-        Eviction evicted{line.key, std::move(line.value)};
+        Eviction evicted{_tagKeys[base + victim],
+                         std::move(_values[base + victim])};
         ++_stats.evictions;
-        line.key = key;
-        line.value = std::move(value);
+        _tagKeys[base + victim] = key;
+        _values[base + victim] = std::move(value);
         _policy->insert(set, victim, key);
         return evicted;
     }
@@ -214,12 +245,14 @@ class SetAssocCache
     invalidate(uint64_t key, uint64_t index, uint32_t partition = 0)
     {
         const size_t set = setFor(key, index, partition);
-        Line *line = findLine(set, key);
-        if (!line)
+        const size_t way = findWay(set, key);
+        if (way == _config.ways)
             return false;
-        line->valid = false;
+        _tagValid[set * _config.ways + way] = 0;
+        --_setFill[set];
+        --_occupied;
         ++_stats.invalidations;
-        _policy->invalidate(set, wayOf(set, line));
+        _policy->invalidate(set, way);
         return true;
     }
 
@@ -227,24 +260,19 @@ class SetAssocCache
     void
     flush()
     {
-        for (auto &line : _lines) {
-            if (line.valid) {
-                line.valid = false;
+        for (auto &valid : _tagValid) {
+            if (valid) {
+                valid = 0;
                 ++_stats.invalidations;
             }
         }
+        std::fill(_setFill.begin(), _setFill.end(), 0u);
+        _occupied = 0;
         _policy->reset();
     }
 
-    /** Number of currently valid entries (O(entries)). */
-    size_t
-    occupancy() const
-    {
-        size_t n = 0;
-        for (const auto &line : _lines)
-            n += line.valid ? 1 : 0;
-        return n;
-    }
+    /** Number of currently valid entries (O(1): live counter). */
+    size_t occupancy() const { return _occupied; }
 
     /** Resets statistics but keeps contents. */
     void resetStats() { _stats = CacheStats{}; }
@@ -294,9 +322,9 @@ class SetAssocCache
         const size_t sets = _config.sets();
         for (size_t s = 0; s < sets; ++s) {
             for (size_t w = 0; w < _config.ways; ++w) {
-                const Line &line = at(s, w);
-                if (line.valid)
-                    fn(line.key, line.value, s, w);
+                const size_t slot = s * _config.ways + w;
+                if (_tagValid[slot])
+                    fn(_tagKeys[slot], _values[slot], s, w);
             }
         }
     }
@@ -310,6 +338,256 @@ class SetAssocCache
     }
 
     /** Computes the global set index for (index, partition). */
+    size_t
+    setIndex(uint64_t index, uint32_t partition) const
+    {
+        const uint32_t part =
+            _config.partitions == 1
+                ? 0
+                : partition % static_cast<uint32_t>(_config.partitions);
+        return static_cast<size_t>(part) * _setsPerPartition +
+               static_cast<size_t>(index % _setsPerPartition);
+    }
+
+  private:
+    /**
+     * Scans the set's tag region for `key`.
+     * @return the matching way, or `ways` when absent.
+     */
+    size_t
+    findWay(size_t set, uint64_t key) const
+    {
+        const size_t base = set * _config.ways;
+        for (size_t w = 0; w < _config.ways; ++w) {
+            if (_tagValid[base + w] && _tagKeys[base + w] == key)
+                return w;
+        }
+        return _config.ways;
+    }
+
+    CacheConfig _config;
+    std::unique_ptr<ReplacementPolicy> _policy;
+
+    // SoA storage: the tag arrays are all the way scan touches; the
+    // value array is indexed only on hit/insert/evict.
+    std::vector<uint8_t> _tagValid;
+    std::vector<uint64_t> _tagKeys;
+    std::vector<V> _values;
+    /** Valid ways per set; `ways` means the invalid-way scan is moot. */
+    std::vector<uint32_t> _setFill;
+    /** Live valid-entry count across all sets. */
+    size_t _occupied = 0;
+
+    size_t _setsPerPartition = 1;
+    CacheStats _stats;
+
+    // Scratch buffers for victim selection (avoid per-miss alloc).
+    std::vector<size_t> _victimWays;
+    std::vector<uint64_t> _victimKeys;
+};
+
+#else // HYPERSIO_LEGACY_STRUCTURES
+
+/**
+ * Reference mode: the original array-of-Line layout, kept verbatim
+ * (O(entries) occupancy, per-insert invalid-way scan) so the
+ * translation-path microbench can measure the SoA split end-to-end.
+ * Behaviour is bit-identical to the SoA implementation above.
+ */
+template <typename V>
+class SetAssocCache
+{
+  public:
+    /** Result of an insertion: the evicted key, if any. */
+    struct Eviction
+    {
+        uint64_t key;
+        V value;
+    };
+
+    explicit SetAssocCache(const CacheConfig &config)
+        : SetAssocCache(config, makePolicy(config.policy, config.seed,
+                                           config.lfuBits))
+    {}
+
+    SetAssocCache(const CacheConfig &config,
+                  std::unique_ptr<ReplacementPolicy> policy)
+        : _config(config), _policy(std::move(policy))
+    {
+        HYPERSIO_ASSERT(_config.ways > 0 && _config.entries > 0,
+                        "cache must have entries");
+        HYPERSIO_ASSERT(_config.entries % _config.ways == 0,
+                        "entries (%zu) not a multiple of ways (%zu)",
+                        _config.entries, _config.ways);
+        const size_t sets = _config.sets();
+        HYPERSIO_ASSERT(_config.partitions >= 1 &&
+                            sets % _config.partitions == 0,
+                        "partitions (%zu) must divide sets (%zu)",
+                        _config.partitions, sets);
+        _setsPerPartition = sets / _config.partitions;
+        _lines.resize(sets * _config.ways);
+        _victimKeys.resize(_config.ways);
+        _policy->init(sets, _config.ways);
+    }
+
+    const CacheConfig &config() const { return _config; }
+    const CacheStats &stats() const { return _stats; }
+    size_t numSets() const { return _config.sets(); }
+    size_t numWays() const { return _config.ways; }
+    size_t numPartitions() const { return _config.partitions; }
+
+    V *
+    lookup(uint64_t key, uint64_t index, uint32_t partition = 0)
+    {
+        ++_stats.lookups;
+        const size_t set = setFor(key, index, partition);
+        Line *line = findLine(set, key);
+        if (!line)
+            return nullptr;
+        ++_stats.hits;
+        _policy->touch(set, wayOf(set, line), key);
+        return &line->value;
+    }
+
+    const V *
+    peek(uint64_t key, uint64_t index, uint32_t partition = 0) const
+    {
+        const size_t set = setFor(key, index, partition);
+        const Line *line = findLine(set, key);
+        return line ? &line->value : nullptr;
+    }
+
+    std::optional<Eviction>
+    insert(uint64_t key, uint64_t index, V value,
+           uint32_t partition = 0)
+    {
+        const size_t set = setFor(key, index, partition);
+        // Update in place on re-insertion.
+        if (Line *line = findLine(set, key)) {
+            line->value = std::move(value);
+            _policy->touch(set, wayOf(set, line), key);
+            return std::nullopt;
+        }
+
+        ++_stats.insertions;
+
+        // Use an invalid way if one exists.
+        for (size_t w = 0; w < _config.ways; ++w) {
+            Line &line = at(set, w);
+            if (!line.valid) {
+                line.valid = true;
+                line.key = key;
+                line.value = std::move(value);
+                _policy->insert(set, w, key);
+                return std::nullopt;
+            }
+        }
+
+        // All ways valid: ask the policy for a victim.
+        _victimWays.clear();
+        for (size_t w = 0; w < _config.ways; ++w) {
+            _victimWays.push_back(w);
+            _victimKeys[w] = at(set, w).key;
+        }
+        size_t victim = _policy->victim(set, _victimWays,
+                                        _victimKeys.data());
+        HYPERSIO_ASSERT(victim < _config.ways, "policy victim range");
+
+        Line &line = at(set, victim);
+        Eviction evicted{line.key, std::move(line.value)};
+        ++_stats.evictions;
+        line.key = key;
+        line.value = std::move(value);
+        _policy->insert(set, victim, key);
+        return evicted;
+    }
+
+    bool
+    invalidate(uint64_t key, uint64_t index, uint32_t partition = 0)
+    {
+        const size_t set = setFor(key, index, partition);
+        Line *line = findLine(set, key);
+        if (!line)
+            return false;
+        line->valid = false;
+        ++_stats.invalidations;
+        _policy->invalidate(set, wayOf(set, line));
+        return true;
+    }
+
+    void
+    flush()
+    {
+        for (auto &line : _lines) {
+            if (line.valid) {
+                line.valid = false;
+                ++_stats.invalidations;
+            }
+        }
+        _policy->reset();
+    }
+
+    /** Number of currently valid entries (O(entries)). */
+    size_t
+    occupancy() const
+    {
+        size_t n = 0;
+        for (const auto &line : _lines)
+            n += line.valid ? 1 : 0;
+        return n;
+    }
+
+    void resetStats() { _stats = CacheStats{}; }
+
+    void
+    exportStats(stats::StatGroup &group) const
+    {
+        const CacheStats *s = &_stats;
+        group.makeCallback("lookups", "tag lookups", [s] {
+            return static_cast<double>(s->lookups);
+        });
+        group.makeCallback("hits", "tag hits", [s] {
+            return static_cast<double>(s->hits);
+        });
+        group.makeCallback("misses", "tag misses", [s] {
+            return static_cast<double>(s->misses());
+        });
+        group.makeCallback("miss_rate", "misses / lookups",
+                           [s] { return s->missRate(); });
+        group.makeCallback("insertions", "lines allocated", [s] {
+            return static_cast<double>(s->insertions);
+        });
+        group.makeCallback("evictions", "lines evicted", [s] {
+            return static_cast<double>(s->evictions);
+        });
+        group.makeCallback("invalidations", "lines invalidated",
+                           [s] {
+                               return static_cast<double>(
+                                   s->invalidations);
+                           });
+    }
+
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        const size_t sets = _config.sets();
+        for (size_t s = 0; s < sets; ++s) {
+            for (size_t w = 0; w < _config.ways; ++w) {
+                const Line &line = at(s, w);
+                if (line.valid)
+                    fn(line.key, line.value, s, w);
+            }
+        }
+    }
+
+    size_t
+    setFor(uint64_t key, uint64_t index, uint32_t partition) const
+    {
+        return setIndex(_config.hashIndex ? splitmix64(key) : index,
+                        partition);
+    }
+
     size_t
     setIndex(uint64_t index, uint32_t partition) const
     {
@@ -376,6 +654,8 @@ class SetAssocCache
     std::vector<size_t> _victimWays;
     std::vector<uint64_t> _victimKeys;
 };
+
+#endif // HYPERSIO_LEGACY_STRUCTURES
 
 } // namespace hypersio::cache
 

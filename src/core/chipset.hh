@@ -18,12 +18,12 @@
 #define HYPERSIO_CORE_CHIPSET_HH
 
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/config.hh"
 #include "iommu/iommu.hh"
 #include "sim/sim_object.hh"
+#include "util/flat_map.hh"
 
 namespace hypersio::core
 {
@@ -74,7 +74,7 @@ class HistoryReader : public sim::SimObject
     iommu::Iommu &_iommu;
     mem::MemoryModel &_memory;
     FillFn _fill;
-    std::unordered_map<mem::DomainId, TenantHistory> _history;
+    util::FlatMap<mem::DomainId, TenantHistory> _history;
 
     stats::Counter &_started;
     stats::Counter &_deduped;

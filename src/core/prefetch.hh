@@ -20,14 +20,14 @@
 #ifndef HYPERSIO_CORE_PREFETCH_HH
 #define HYPERSIO_CORE_PREFETCH_HH
 
-#include <deque>
+#include <vector>
 #include <optional>
-#include <unordered_map>
 
 #include "cache/set_assoc_cache.hh"
 #include "core/config.hh"
 #include "iommu/keys.hh"
 #include "trace/record.hh"
+#include "util/flat_map.hh"
 
 namespace hypersio::core
 {
@@ -37,17 +37,18 @@ class SidPredictor
 {
   public:
     explicit SidPredictor(unsigned history_length)
-        : _historyLength(history_length)
+        : _historyLength(history_length),
+          _window(history_length + 1)
     {}
 
     /** Observes the SID of an arriving packet and trains the table. */
     void
     train(trace::SourceId sid)
     {
-        _window.push_back(sid);
-        if (_window.size() > _historyLength) {
-            _table[_window.front()] = sid;
-            _window.pop_front();
+        pushBack(sid);
+        if (_count > _historyLength) {
+            _table[front()] = sid;
+            popFront();
         }
     }
 
@@ -55,10 +56,10 @@ class SidPredictor
     std::optional<trace::SourceId>
     predict(trace::SourceId sid) const
     {
-        auto it = _table.find(sid);
-        if (it == _table.end())
+        const trace::SourceId *next = _table.find(sid);
+        if (!next)
             return std::nullopt;
-        return it->second;
+        return *next;
     }
 
     /**
@@ -72,9 +73,10 @@ class SidPredictor
     setHistoryLength(unsigned length)
     {
         _historyLength = length;
-        while (_window.size() > _historyLength) {
-            _table[_window.front()] = _window[_historyLength];
-            _window.pop_front();
+        growTo(size_t(length) + 1);
+        while (_count > _historyLength) {
+            _table[front()] = at(_historyLength);
+            popFront();
         }
     }
 
@@ -82,9 +84,60 @@ class SidPredictor
     size_t tableSize() const { return _table.size(); }
 
   private:
+    // The observation window is a fixed circular buffer: train()
+    // runs for every packet, and a deque's branchy block management
+    // was measurable on the translation path. Capacity is
+    // historyLength + 1 (one transient slot between the push and
+    // the paired eviction).
+    trace::SourceId
+    at(size_t i) const
+    {
+        size_t p = _head + i;
+        if (p >= _window.size())
+            p -= _window.size();
+        return _window[p];
+    }
+
+    trace::SourceId front() const { return _window[_head]; }
+
+    void
+    pushBack(trace::SourceId sid)
+    {
+        size_t p = _head + _count;
+        if (p >= _window.size())
+            p -= _window.size();
+        _window[p] = sid;
+        ++_count;
+    }
+
+    void
+    popFront()
+    {
+        ++_head;
+        if (_head == _window.size())
+            _head = 0;
+        --_count;
+    }
+
+    /** Re-packs the ring into a larger buffer (hypervisor grows
+     *  the history-length register). */
+    void
+    growTo(size_t capacity)
+    {
+        if (_window.size() >= capacity)
+            return;
+        std::vector<trace::SourceId> fresh(capacity);
+        for (size_t i = 0; i < _count; ++i)
+            fresh[i] = at(i);
+        _window.swap(fresh);
+        _head = 0;
+    }
+
     unsigned _historyLength;
-    std::deque<trace::SourceId> _window;
-    std::unordered_map<trace::SourceId, trace::SourceId> _table;
+    std::vector<trace::SourceId> _window; ///< circular buffer
+    size_t _head = 0;
+    size_t _count = 0;
+    util::FlatMap<trace::SourceId, trace::SourceId> _table;
 };
 
 /** A translation held in the Prefetch Buffer. */

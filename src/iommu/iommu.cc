@@ -69,21 +69,20 @@ Iommu::translate(const IommuRequest &req, ResponseFn done)
     }
 
     // 2. MSHR: coalesce onto an in-flight walk for the same page.
-    if (auto it = _mshr.find(key); it != _mshr.end()) {
+    if (Walk *walk = _mshr.find(key)) {
         ++_coalesced;
         HYPERSIO_SHADOW(
             iommuCoalesced(req.domain, req.iova, req.size));
-        it->second.waiters.push_back(std::move(done));
+        walk->waiters.push_back(std::move(done));
         return;
     }
 
     // 3. New walk.
-    Walk walk;
-    walk.req = req;
-    walk.key = key;
-    walk.waiters.push_back(std::move(done));
-    auto [it, inserted] = _mshr.emplace(key, std::move(walk));
+    auto [walk, inserted] = _mshr.tryEmplace(key);
     HYPERSIO_ASSERT(inserted, "duplicate MSHR entry");
+    walk->req = req;
+    walk->key = key;
+    walk->waiters.push_back(std::move(done));
     HYPERSIO_SHADOW(
         iommuMshrAllocated(req.domain, req.iova, req.size));
 
@@ -135,27 +134,27 @@ Iommu::startWalk(uint64_t key)
 {
     // The walk owns its MSHR entry; late arrivals keep appending to
     // the entry's waiter list until the walk finishes.
-    auto it = _mshr.find(key);
-    HYPERSIO_ASSERT(it != _mshr.end(), "walk without MSHR entry");
+    Walk *mshr_walk = _mshr.find(key);
+    HYPERSIO_ASSERT(mshr_walk, "walk without MSHR entry");
 
     ++_walks;
-    const unsigned accesses = walkAccessesFor(it->second.req);
+    const unsigned accesses = walkAccessesFor(mshr_walk->req);
     _walkAccessHist.sample(accesses);
     HYPERSIO_SHADOW(iommuWalkStarted(
-        it->second.req.domain, it->second.req.iova,
-        it->second.req.size, accesses, _activeWalks));
+        mshr_walk->req.domain, mshr_walk->req.iova,
+        mshr_walk->req.size, accesses, _activeWalks));
     HYPERSIO_DPRINTF(IommuFlag, now(),
                      "walk did=%u iova=%#llx accesses=%u%s",
-                     it->second.req.domain,
-                     (unsigned long long)it->second.req.iova,
+                     mshr_walk->req.domain,
+                     (unsigned long long)mshr_walk->req.iova,
                      accesses,
-                     it->second.req.prefetch ? " (prefetch)" : "");
+                     mshr_walk->req.prefetch ? " (prefetch)" : "");
 
     _memory.access(accesses, [this, key]() {
-        auto entry = _mshr.find(key);
-        HYPERSIO_ASSERT(entry != _mshr.end(), "finished walk lost");
-        Walk walk = std::move(entry->second);
-        _mshr.erase(entry);
+        Walk *entry = _mshr.find(key);
+        HYPERSIO_ASSERT(entry, "finished walk lost");
+        Walk walk = std::move(*entry);
+        _mshr.erase(key);
 
         const mem::Translation xlate =
             _tables.get(walk.req.domain).translate(walk.req.iova);
@@ -235,10 +234,9 @@ Iommu::dispatchQueued()
             key = _prefetchQueue.front();
             _prefetchQueue.pop_front();
         }
-        auto it = _mshr.find(key);
         // The entry must still exist: queued walks hold their MSHR
         // slot until they run.
-        HYPERSIO_ASSERT(it != _mshr.end(), "queued walk lost");
+        HYPERSIO_ASSERT(_mshr.contains(key), "queued walk lost");
         ++_activeWalks;
         startWalk(key);
     }

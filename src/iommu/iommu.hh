@@ -17,7 +17,6 @@
 
 #include <deque>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/set_assoc_cache.hh"
@@ -25,6 +24,7 @@
 #include "mem/memory_model.hh"
 #include "mem/page_table.hh"
 #include "sim/sim_object.hh"
+#include "util/flat_map.hh"
 
 namespace hypersio::iommu
 {
@@ -35,32 +35,38 @@ class PageTableDirectory
   public:
     explicit PageTableDirectory(uint64_t seed) : _seed(seed) {}
 
-    /** The page table of `domain`, created on first use. */
+    /**
+     * The page table of `domain`, created on first use. The
+     * reference is only stable until the next get() of a *new*
+     * domain (the directory is an open-addressed table); callers
+     * must not hold it across table creation.
+     */
     mem::PageTable &
     get(mem::DomainId domain)
     {
-        auto it = _tables.find(domain);
-        if (it == _tables.end()) {
-            it = _tables
-                     .emplace(domain,
-                              mem::PageTable(domain, _seed))
-                     .first;
-        }
-        return it->second;
+        auto [table, inserted] = _tables.tryEmplace(domain);
+        if (inserted)
+            *table = mem::PageTable(domain, _seed);
+        return *table;
     }
 
     const mem::PageTable *
     find(mem::DomainId domain) const
     {
-        auto it = _tables.find(domain);
-        return it == _tables.end() ? nullptr : &it->second;
+        return _tables.find(domain);
     }
+
+    /**
+     * Drops `domain`'s page table entirely (tenant detach).
+     * @return true when a table existed.
+     */
+    bool erase(mem::DomainId domain) { return _tables.erase(domain); }
 
     size_t size() const { return _tables.size(); }
 
   private:
     uint64_t _seed;
-    std::unordered_map<mem::DomainId, mem::PageTable> _tables;
+    util::FlatMap<mem::DomainId, mem::PageTable> _tables;
 };
 
 /** IOMMU configuration (paging caches per Table II / Table IV). */
@@ -179,7 +185,7 @@ class Iommu : public sim::SimObject
     cache::SetAssocCache<uint8_t> _l3;
 
     /** In-flight walks by translation key (MSHR coalescing). */
-    std::unordered_map<uint64_t, Walk> _mshr;
+    util::FlatMap<uint64_t, Walk> _mshr;
     unsigned _activeWalks = 0;
     std::deque<uint64_t> _demandQueue;
     std::deque<uint64_t> _prefetchQueue;

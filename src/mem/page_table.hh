@@ -19,9 +19,9 @@
 #define HYPERSIO_MEM_PAGE_TABLE_HH
 
 #include <cstdint>
-#include <unordered_map>
 
 #include "mem/addr.hh"
+#include "util/flat_map.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 
@@ -109,6 +109,9 @@ class PageTable
         : _domain(domain), _frameSeed(hashCombine(seed, domain))
     {}
 
+    /** Empty table; placeholder state for FlatMap slots only. */
+    PageTable() = default;
+
     DomainId domain() const { return _domain; }
 
     /**
@@ -120,14 +123,18 @@ class PageTable
     map(Iova iova, PageSize size)
     {
         const Addr base = pageBase(iova, size);
-        auto [it, inserted] = _mappings.try_emplace(base);
+        if (size == PageSize::Size2M)
+            _has2m = true;
+        else
+            _has4k = true;
+        auto [entry_ptr, inserted] = _mappings.tryEmplace(base);
         if (!inserted) {
-            HYPERSIO_ASSERT(it->second.pageSize == size,
+            HYPERSIO_ASSERT(entry_ptr->pageSize == size,
                             "page size change on remap of %llx",
                             (unsigned long long)base);
             return;
         }
-        Entry &entry = it->second;
+        Entry &entry = *entry_ptr;
         entry.pageSize = size;
         // Deterministic host frame: uniform over a 1 TB host space,
         // aligned to the page size.
@@ -141,26 +148,41 @@ class PageTable
     bool
     unmap(Iova iova)
     {
-        // Try 2 MB alignment first, then 4 KB.
-        if (_mappings.erase(pageBase(iova, PageSize::Size2M)) > 0)
+        // Try 2 MB alignment first, then 4 KB. Unlike translate(),
+        // the 2 MB probe cannot be gated on _has2m: a 4 KB mapping
+        // whose base happens to be 2 MB-aligned is erased by the
+        // first probe too, and that behaviour must not depend on
+        // which page sizes the domain used.
+        if (_mappings.erase(pageBase(iova, PageSize::Size2M)))
             return true;
-        return _mappings.erase(pageBase(iova, PageSize::Size4K)) > 0;
+        return _mappings.erase(pageBase(iova, PageSize::Size4K));
     }
 
-    /** Translates `iova`; invalid when unmapped. */
+    /**
+     * Translates `iova`; invalid when unmapped.
+     *
+     * A 2 MB mapping covers its whole range, so in general both the
+     * 2 MB and the 4 KB page base must be probed. The per-domain
+     * page-size flags (set by map(), never cleared) skip whichever
+     * probe cannot match: a domain that has only ever mapped one
+     * page size — the common case — costs a single probe.
+     */
     Translation
     translate(Iova iova) const
     {
-        // A 2 MB mapping covers its whole range; look up both bases.
-        if (const Entry *e = find(pageBase(iova, PageSize::Size2M))) {
-            if (e->pageSize == PageSize::Size2M) {
+        if (_has2m) {
+            if (const Entry *e =
+                    find(pageBase(iova, PageSize::Size2M));
+                e && e->pageSize == PageSize::Size2M) {
                 return {e->hostBase +
                             (iova - pageBase(iova, PageSize::Size2M)),
                         PageSize::Size2M, true};
             }
         }
-        if (const Entry *e = find(pageBase(iova, PageSize::Size4K))) {
-            if (e->pageSize == PageSize::Size4K) {
+        if (_has4k) {
+            if (const Entry *e =
+                    find(pageBase(iova, PageSize::Size4K));
+                e && e->pageSize == PageSize::Size4K) {
                 return {e->hostBase +
                             (iova - pageBase(iova, PageSize::Size4K)),
                         PageSize::Size4K, true};
@@ -179,16 +201,18 @@ class PageTable
         PageSize pageSize = PageSize::Size4K;
     };
 
-    const Entry *
-    find(Addr base) const
-    {
-        auto it = _mappings.find(base);
-        return it == _mappings.end() ? nullptr : &it->second;
-    }
+    const Entry *find(Addr base) const { return _mappings.find(base); }
 
-    DomainId _domain;
-    uint64_t _frameSeed;
-    std::unordered_map<Addr, Entry> _mappings;
+    DomainId _domain = 0;
+    uint64_t _frameSeed = 0;
+    util::FlatMap<Addr, Entry> _mappings;
+    /**
+     * Which page sizes this domain has ever mapped (sticky: unmap
+     * does not clear them — stale flags only cost a wasted probe,
+     * never a wrong result).
+     */
+    bool _has4k = false;
+    bool _has2m = false;
 };
 
 } // namespace hypersio::mem

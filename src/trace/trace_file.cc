@@ -102,20 +102,31 @@ readPackets(std::ifstream &in, uint64_t npackets, uint64_t nops,
             std::vector<PacketRecord> &pkts, std::vector<PageOp> &ops,
             const std::string &path)
 {
-    pkts.reserve(npackets);
-    for (uint64_t i = 0; i < npackets; ++i) {
-        PacketWire w;
-        in.read(reinterpret_cast<char *>(&w), sizeof(w));
+    // Bulk-read each wire array with one sized read instead of one
+    // stream extraction per record, then convert in memory. The
+    // malformed-input checks are unchanged: a short read is a
+    // truncated file, an out-of-range page size a corrupt one.
+    std::vector<PacketWire> pkt_wire(npackets);
+    if (npackets > 0) {
+        in.read(reinterpret_cast<char *>(pkt_wire.data()),
+                static_cast<std::streamsize>(npackets *
+                                             sizeof(PacketWire)));
         if (!in)
             fatal("truncated trace file '%s'", path.c_str());
+    }
+    pkts.reserve(npackets);
+    for (const PacketWire &w : pkt_wire)
         pkts.push_back(fromWire(w));
+
+    std::vector<OpWire> op_wire(nops);
+    if (nops > 0) {
+        in.read(reinterpret_cast<char *>(op_wire.data()),
+                static_cast<std::streamsize>(nops * sizeof(OpWire)));
+        if (!in)
+            fatal("truncated trace file '%s'", path.c_str());
     }
     ops.reserve(nops);
-    for (uint64_t i = 0; i < nops; ++i) {
-        OpWire w;
-        in.read(reinterpret_cast<char *>(&w), sizeof(w));
-        if (!in)
-            fatal("truncated trace file '%s'", path.c_str());
+    for (const OpWire &w : op_wire) {
         if (w.size > 1)
             fatal("corrupt page-op size in '%s'", path.c_str());
         ops.push_back({w.pageBase, static_cast<mem::PageSize>(w.size),

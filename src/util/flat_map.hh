@@ -1,0 +1,428 @@
+/**
+ * @file
+ * Open-addressing hash map for the translation hot path.
+ *
+ * Every per-tenant metadata structure the simulator probes per
+ * translation (page-table mappings, the page-table directory, the
+ * IOMMU MSHR, the prefetcher's per-DID history, the SID-predictor
+ * table) used to be a `std::unordered_map`: one heap node per entry,
+ * a pointer chase per probe, and an allocation per insert. FlatMap
+ * replaces them with a single open-addressed table:
+ *
+ *   - power-of-two capacity, so the bucket of a key is one Fibonacci
+ *     multiply plus a shift (no integer division);
+ *   - linear probing over a dense 1-byte tag array (0 for an empty
+ *     slot, otherwise a marker bit plus seven hash bits), with the
+ *     keys and values packed together in a parallel array touched
+ *     only when a tag matches. A miss therefore resolves inside a
+ *     single tag cache line, and a hit costs that line plus one
+ *     key/value line — which matters when thousands of per-tenant
+ *     maps are probed in interleaved (cold-cache) packet order;
+ *   - the tag array is the only zero-initialized storage: the
+ *     key/value array is allocated default-initialized, so growing a
+ *     table never memsets the (much larger) payload — the cost that
+ *     otherwise dominates tenant-attach storms;
+ *   - tombstone-free deletion by backward shifting, so probe chains
+ *     never accumulate dead slots and lookup cost stays bounded by
+ *     the live load factor;
+ *   - `reserve(n)` guarantees: no rehash — and therefore no pointer
+ *     or reference invalidation — for the next `n - size()` inserts.
+ *
+ * Determinism: the memory layout is a pure function of the insert /
+ * erase sequence, and nothing on the simulation path depends on
+ * iteration order (forEach exists for tests and teardown only, and
+ * its order is explicitly unspecified).
+ *
+ * Requirements on K/V: K is an integral (or enum) type no wider than
+ * 64 bits; V is default-constructible and move-assignable. Erasing a
+ * non-trivial V assigns `V()` into the vacated slot so resources
+ * release eagerly.
+ *
+ * Reference mode: building with -DHYPERSIO_LEGACY_STRUCTURES=ON pins
+ * the old node-based layout (a thin wrapper over std::unordered_map
+ * with this same API). scripts/check_repo.sh builds it to measure
+ * the flat layout's end-to-end speedup on
+ * bench/translation_path_microbench; it is not meant for production
+ * runs.
+ */
+
+#ifndef HYPERSIO_UTIL_FLAT_MAP_HH
+#define HYPERSIO_UTIL_FLAT_MAP_HH
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#ifdef HYPERSIO_LEGACY_STRUCTURES
+#include <unordered_map>
+#endif
+
+#include "util/logging.hh"
+
+namespace hypersio::util
+{
+
+#ifndef HYPERSIO_LEGACY_STRUCTURES
+
+/** Open-addressing map from an integral key to V (see file header). */
+template <typename K, typename V>
+class FlatMap
+{
+    static_assert(std::is_integral_v<K> || std::is_enum_v<K>,
+                  "FlatMap keys must be integral");
+    static_assert(sizeof(K) <= sizeof(uint64_t),
+                  "FlatMap keys must fit in 64 bits");
+
+  public:
+    FlatMap() = default;
+
+    size_t size() const { return _size; }
+    bool empty() const { return _size == 0; }
+    /** Allocated slots (power of two; 0 before the first insert). */
+    size_t capacity() const { return _capacity; }
+
+    /**
+     * Ensures `n` total entries fit without growing. Until size()
+     * exceeds `n`, inserts never rehash, so pointers returned by
+     * find()/operator[]/tryEmplace() stay valid (erase of *other*
+     * keys may still move entries via backward shift).
+     */
+    void
+    reserve(size_t n)
+    {
+        const size_t needed = capacityFor(n);
+        if (needed > _capacity)
+            rehash(needed);
+    }
+
+    /** Pointer to the value of `key`, or nullptr when absent. */
+    V *
+    find(K key)
+    {
+        const size_t slot = findSlot(key);
+        return slot == NoSlot ? nullptr : &_kv[slot].value;
+    }
+
+    const V *
+    find(K key) const
+    {
+        const size_t slot = findSlot(key);
+        return slot == NoSlot ? nullptr : &_kv[slot].value;
+    }
+
+    bool contains(K key) const { return findSlot(key) != NoSlot; }
+
+    /**
+     * Inserts a default-constructed value for `key` when absent.
+     * @return {value pointer, true when newly inserted}
+     */
+    std::pair<V *, bool>
+    tryEmplace(K key)
+    {
+        if (_size + 1 > _growAt)
+            rehash(capacityFor(_size + 1));
+        const uint64_t h = mix(key);
+        const uint8_t tag = tagOf(h);
+        size_t slot = h >> _shift;
+        while (_tags[slot]) {
+            if (_tags[slot] == tag && _kv[slot].key == key)
+                return {&_kv[slot].value, false};
+            slot = next(slot);
+        }
+        _tags[slot] = tag;
+        _kv[slot].key = key;
+        _kv[slot].value = V();
+        ++_size;
+        return {&_kv[slot].value, true};
+    }
+
+    /** The value of `key`, default-constructed on first access. */
+    V &operator[](K key) { return *tryEmplace(key).first; }
+
+    /** Inserts or overwrites key → value. @return true if inserted */
+    bool
+    insert(K key, V value)
+    {
+        auto [v, inserted] = tryEmplace(key);
+        *v = std::move(value);
+        return inserted;
+    }
+
+    /**
+     * Removes `key` by backward shifting the tail of its probe
+     * chain, leaving no tombstone. @return true when removed.
+     */
+    bool
+    erase(K key)
+    {
+        size_t hole = findSlot(key);
+        if (hole == NoSlot)
+            return false;
+        const size_t mask = _mask;
+        size_t probe = next(hole);
+        while (_tags[probe]) {
+            // An entry may back-fill the hole iff the hole lies on
+            // its probe path, i.e. within [home, probe) circularly.
+            const size_t home = mix(_kv[probe].key) >> _shift;
+            if (((hole - home) & mask) < ((probe - home) & mask)) {
+                _tags[hole] = _tags[probe];
+                _kv[hole].key = _kv[probe].key;
+                _kv[hole].value = std::move(_kv[probe].value);
+                hole = probe;
+            }
+            probe = next(probe);
+        }
+        _tags[hole] = 0;
+        releaseSlot(hole);
+        --_size;
+        return true;
+    }
+
+    /** Removes every entry; keeps the allocation. */
+    void
+    clear()
+    {
+        for (size_t s = 0; s < _capacity; ++s) {
+            if (_tags[s]) {
+                _tags[s] = 0;
+                releaseSlot(s);
+            }
+        }
+        _size = 0;
+    }
+
+    /**
+     * Visits every entry as fn(key, value&). Iteration order is
+     * unspecified — never call this on the simulation path.
+     */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        for (size_t s = 0; s < _capacity; ++s)
+            if (_tags[s])
+                fn(_kv[s].key, _kv[s].value);
+    }
+
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (size_t s = 0; s < _capacity; ++s)
+            if (_tags[s])
+                fn(_kv[s].key, _kv[s].value);
+    }
+
+  private:
+    static constexpr size_t NoSlot = SIZE_MAX;
+    static constexpr size_t MinCapacity = 64;
+
+    /** Key and value packed so a tag match costs one more line. */
+    struct KV
+    {
+        K key;
+        V value;
+    };
+
+    /**
+     * Smallest power-of-two capacity holding `n` at <= 1/4 load.
+     * The low ceiling keeps linear-probe chains short, which pays
+     * for itself twice: misses terminate after ~1 probe, and the
+     * backward-shift erase only walks a couple of slots. (At 1/2
+     * load and above, churn-heavy users like the IOMMU MSHR spent
+     * more time walking and shifting chain tails than the
+     * node-based map spent allocating.) The floor of 64 slots means
+     * typical per-tenant tables — a handful of pages — never rehash:
+     * one tag allocation plus one key/value allocation for the
+     * table's whole lifetime.
+     */
+    static size_t
+    capacityFor(size_t n)
+    {
+        size_t cap = MinCapacity;
+        while (n * 4 > cap)
+            cap <<= 1;
+        return cap;
+    }
+
+    /**
+     * Fibonacci (multiplicative) hash: one multiply whose top bits
+     * are well mixed even for the simulator's structured keys (page
+     * bases and small dense IDs). The bucket reads the *top*
+     * log2(capacity) bits, so one multiply plus one shift replaces
+     * the three-multiply SplitMix finalizer — the mix sits on every
+     * probe's critical path, so its latency is most of a warm
+     * probe's cost.
+     */
+    static uint64_t
+    mix(K key)
+    {
+        return static_cast<uint64_t>(key) * 0x9E3779B97F4A7C15ull;
+    }
+
+    /**
+     * Occupied-slot tag: the marker bit plus seven mixed-hash bits
+     * taken below the bucket bits (disjoint for every capacity this
+     * simulator uses). A probe only touches the key/value array
+     * when all eight bits match, so ~99% of colliding slots are
+     * rejected from the tag line alone.
+     */
+    static uint8_t tagOf(uint64_t h) { return uint8_t(h >> 40) | 0x80; }
+
+    size_t next(size_t slot) const { return (slot + 1) & _mask; }
+
+    size_t
+    findSlot(K key) const
+    {
+        if (_size == 0)
+            return NoSlot;
+        const uint64_t h = mix(key);
+        const uint8_t tag = tagOf(h);
+        const uint8_t *tags = _tags.data();
+        const KV *kv = _kv.get();
+        size_t slot = h >> _shift;
+        while (tags[slot]) {
+            if (tags[slot] == tag && kv[slot].key == key)
+                return slot;
+            slot = next(slot);
+        }
+        return NoSlot;
+    }
+
+    /** Eagerly releases a vacated value's resources. A trivial V
+     *  has none, and skipping the store keeps erase write-free on
+     *  the payload array. */
+    void
+    releaseSlot(size_t slot)
+    {
+        if constexpr (!std::is_trivially_destructible_v<V>)
+            _kv[slot].value = V();
+    }
+
+    void
+    rehash(size_t new_capacity)
+    {
+        HYPERSIO_ASSERT((new_capacity & (new_capacity - 1)) == 0,
+                        "flat map capacity must be a power of two");
+        std::vector<uint8_t> old_tags = std::move(_tags);
+        std::unique_ptr<KV[]> old_kv = std::move(_kv);
+        const size_t old_capacity = _capacity;
+        _tags.assign(new_capacity, 0);
+        // Default-initialized on purpose: for trivial K/V this is
+        // raw storage (no memset of the payload), and slots are
+        // only ever read after their tag marks them live.
+        _kv.reset(new KV[new_capacity]);
+        _capacity = new_capacity;
+        _mask = new_capacity - 1;
+        _shift = std::countl_zero(new_capacity) + 1;
+        _growAt = new_capacity / 4;
+        // Reinsert in slot order: deterministic given the same
+        // insert/erase history.
+        for (size_t s = 0; s < old_capacity; ++s) {
+            if (!old_tags[s])
+                continue;
+            const uint64_t h = mix(old_kv[s].key);
+            size_t slot = h >> _shift;
+            while (_tags[slot])
+                slot = next(slot);
+            _tags[slot] = tagOf(h);
+            _kv[slot].key = old_kv[s].key;
+            _kv[slot].value = std::move(old_kv[s].value);
+        }
+    }
+
+    std::vector<uint8_t> _tags; ///< 0 = empty; else tagOf(hash)
+    std::unique_ptr<KV[]> _kv;  ///< live iff the matching tag is set
+    size_t _capacity = 0;
+    size_t _size = 0;
+    size_t _growAt = 0;
+    size_t _mask = 0;  ///< capacity() - 1; 0 before the first insert
+    int _shift = 63;   ///< bucket = mix(key) >> _shift
+};
+
+#else // HYPERSIO_LEGACY_STRUCTURES
+
+/**
+ * Reference mode: the pre-flat node-based layout, kept selectable so
+ * bench/translation_path_microbench can measure the data-layout win
+ * end-to-end (scripts/check_repo.sh gate 7). API-compatible with the
+ * flat implementation above.
+ */
+template <typename K, typename V>
+class FlatMap
+{
+  public:
+    FlatMap() = default;
+
+    size_t size() const { return _map.size(); }
+    bool empty() const { return _map.empty(); }
+    size_t capacity() const { return _map.bucket_count(); }
+
+    void reserve(size_t n) { _map.reserve(n); }
+
+    V *
+    find(K key)
+    {
+        auto it = _map.find(key);
+        return it == _map.end() ? nullptr : &it->second;
+    }
+
+    const V *
+    find(K key) const
+    {
+        auto it = _map.find(key);
+        return it == _map.end() ? nullptr : &it->second;
+    }
+
+    bool contains(K key) const { return _map.count(key) != 0; }
+
+    std::pair<V *, bool>
+    tryEmplace(K key)
+    {
+        auto [it, inserted] = _map.try_emplace(key);
+        return {&it->second, inserted};
+    }
+
+    V &operator[](K key) { return _map[key]; }
+
+    bool
+    insert(K key, V value)
+    {
+        auto [it, inserted] = _map.try_emplace(key);
+        it->second = std::move(value);
+        return inserted;
+    }
+
+    bool erase(K key) { return _map.erase(key) != 0; }
+
+    void clear() { _map.clear(); }
+
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        for (auto &[key, value] : _map)
+            fn(key, value);
+    }
+
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &[key, value] : _map)
+            fn(key, value);
+    }
+
+  private:
+    std::unordered_map<K, V> _map;
+};
+
+#endif // HYPERSIO_LEGACY_STRUCTURES
+
+} // namespace hypersio::util
+
+#endif // HYPERSIO_UTIL_FLAT_MAP_HH
