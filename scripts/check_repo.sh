@@ -37,6 +37,12 @@
 #      report shape is compared against the committed
 #      BENCH_translation_path.json with the same loose wall-clock
 #      tolerance as gate 6.
+#   8. The hyper-scale streaming bench (tenant churn over bounded
+#      SID slots, sharded across systems) must complete its smoke
+#      configuration inside a fixed peak-RSS budget — the O(active)
+#      state invariant — and its deterministic scalars (packets,
+#      translations, retirements, merge checksum) must match the
+#      committed BENCH_hyperscale.json exactly.
 #
 # scripts/coverage.sh (gcov line coverage) is a separate, slower
 # workflow and is not part of this gate.
@@ -48,7 +54,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 UNCHECKED_DIR="${BUILD_DIR}-unchecked"
 
-echo "== 1/7 repo hygiene: no tracked build artifacts"
+echo "== 1/8 repo hygiene: no tracked build artifacts"
 if git ls-files | grep -q '^build'; then
     echo "FAIL: build trees are tracked in git:" >&2
     git ls-files | grep '^build' | head >&2
@@ -58,26 +64,26 @@ if git ls-files | grep -q '^build'; then
 fi
 echo "   ok"
 
-echo "== 2/7 tier-1 build + ctest (shadow oracle compiled in)"
+echo "== 2/8 tier-1 build + ctest (shadow oracle compiled in)"
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
 
-echo "== 3/7 extended adversarial fuzz campaign"
+echo "== 3/8 extended adversarial fuzz campaign"
 # The ctest invocation above already ran the bounded smoke; this is
 # the long campaign: more packets, multiple seeds. Reproduce any
 # failure with the HYPERSIO_FUZZ_SEED printed in its repro line.
 FUZZ_LOG="$BUILD_DIR/fuzz_campaign.log"
 if ! HYPERSIO_FUZZ_PACKETS=400 HYPERSIO_FUZZ_ROUNDS=3 \
     "$BUILD_DIR"/tests/fuzz_translation \
-    --gtest_filter='FuzzTranslation.AdversarialPatternsUnderShadowOracle' \
+    --gtest_filter='FuzzTranslation.*UnderShadowOracle' \
     > "$FUZZ_LOG" 2>&1; then
     cat "$FUZZ_LOG" >&2
     exit 1
 fi
 grep 'translation requests checked' "$FUZZ_LOG"
 
-echo "== 4/7 shadow checking is observation-only (checked vs not)"
+echo "== 4/8 shadow checking is observation-only (checked vs not)"
 cmake -B "$UNCHECKED_DIR" -S . -DHYPERSIO_CHECKED=OFF > /dev/null
 cmake --build "$UNCHECKED_DIR" -j "$(nproc)" \
     --target fig10_scalability
@@ -94,7 +100,7 @@ if ! cmp -s "$BUILD_DIR/fig10_checked.out" \
 fi
 echo "   ok: fig10 --quick output byte-identical"
 
-echo "== 5/7 bench JSON regression gate (fig10, quick scale)"
+echo "== 5/8 bench JSON regression gate (fig10, quick scale)"
 # Deterministic settings: quick scale, 8-tenant sweep, fixed seed.
 # --jobs only changes scheduling, never results, but pin it anyway
 # so the config block is stable too.
@@ -111,7 +117,7 @@ else
     cp "$FRESH" BENCH_fig10.json
 fi
 
-echo "== 6/7 event-kernel microbench speedup + report shape"
+echo "== 6/8 event-kernel microbench speedup + report shape"
 KERNEL_FRESH="$BUILD_DIR/BENCH_event_kernel.json"
 "$BUILD_DIR"/bench/event_kernel_microbench --check-speedup 1.3 \
     --json "$KERNEL_FRESH"
@@ -126,7 +132,7 @@ else
     cp "$KERNEL_FRESH" BENCH_event_kernel.json
 fi
 
-echo "== 7/7 translation-path microbench speedup + report shape"
+echo "== 7/8 translation-path microbench speedup + report shape"
 # Both sides run without the shadow oracle (its mirrors would
 # dominate the probes being measured). The flat side reuses the
 # gate-4 unchecked build; the reference side pins the pre-flat
@@ -161,6 +167,32 @@ else
     echo "   no committed baseline; installing $FLAT_JSON as" \
          "BENCH_translation_path.json"
     cp "$FLAT_JSON" BENCH_translation_path.json
+fi
+
+echo "== 8/8 hyper-scale streaming bench: bounded RSS + regression"
+# Measured without the shadow oracle (its mirrors would scale with
+# the mirrored state being bounded, muddying the RSS reading); the
+# unchecked build from gate 4 serves. The in-process assertions
+# already enforce attaches == retirements == population and empty
+# page-table directories per shard; --rss-budget-mb makes the
+# O(active) memory claim a hard failure. The JSON carries only
+# deterministic scalars, so the baseline comparison is exact.
+cmake --build "$UNCHECKED_DIR" -j "$(nproc)" \
+    --target hyperscale_bench
+HYPERSCALE_FRESH="$BUILD_DIR/BENCH_hyperscale.json"
+"$UNCHECKED_DIR"/bench/hyperscale_bench --smoke \
+    --rss-budget-mb 512 --json "$HYPERSCALE_FRESH" > /dev/null
+python3 scripts/bench_compare.py "$HYPERSCALE_FRESH" \
+    "$HYPERSCALE_FRESH"
+if [ -f BENCH_hyperscale.json ]; then
+    echo "   comparing against committed BENCH_hyperscale.json" \
+         "baseline (exact: all scalars deterministic)"
+    python3 scripts/bench_compare.py BENCH_hyperscale.json \
+        "$HYPERSCALE_FRESH"
+else
+    echo "   no committed baseline; installing $HYPERSCALE_FRESH" \
+         "as BENCH_hyperscale.json"
+    cp "$HYPERSCALE_FRESH" BENCH_hyperscale.json
 fi
 
 echo "check_repo: all gates passed"

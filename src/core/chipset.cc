@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "oracle/hooks.hh"
+#include "util/logging.hh"
 
 namespace hypersio::core
 {
@@ -48,14 +49,18 @@ HistoryReader::observe(mem::DomainId did, mem::Iova iova,
 void
 HistoryReader::prefetch(mem::DomainId did)
 {
-    TenantHistory &hist = _history[did];
-    if (hist.inFlight) {
+    // find() rather than operator[]: a predicted-but-never-observed
+    // (or retired) DID must not grow the history map back.
+    TenantHistory *hist = _history.find(did);
+    if (!hist)
+        return; // nothing known about this tenant yet
+    if (hist->inFlight) {
         ++_deduped;
         return;
     }
-    if (hist.recent.empty())
-        return; // nothing known about this tenant yet
-    hist.inFlight = true;
+    if (hist->recent.empty())
+        return;
+    hist->inFlight = true;
     ++_started;
 
     // Fetch the tenant's history from main memory, then translate.
@@ -66,13 +71,18 @@ HistoryReader::prefetch(mem::DomainId did)
 void
 HistoryReader::issueTranslations(mem::DomainId did)
 {
-    TenantHistory &hist = _history[did];
+    // Only ever reached from prefetch()'s memory callback with the
+    // in-flight flag set, so the entry is pinned until the flag
+    // clears (retire() refuses in-flight DIDs).
+    TenantHistory *hist = _history.find(did);
+    HYPERSIO_ASSERT(hist && hist->inFlight,
+                    "history burst issued without in-flight state");
     const unsigned count = std::min<unsigned>(
         _config.pagesPerPrefetch,
-        static_cast<unsigned>(hist.recent.size()));
+        static_cast<unsigned>(hist->recent.size()));
 
     if (count == 0) {
-        hist.inFlight = false;
+        hist->inFlight = false;
         return;
     }
 
@@ -80,7 +90,7 @@ HistoryReader::issueTranslations(mem::DomainId did)
     // a tenant has at most one prefetch burst outstanding.
     auto remaining = std::make_shared<unsigned>(count);
     for (unsigned i = 0; i < count; ++i) {
-        const HistoryPage page = hist.recent[i];
+        const HistoryPage page = hist->recent[i];
         ++_issued;
         HYPERSIO_SHADOW(
             historyPrefetchIssued(did, i, page.pageBase, page.size));
@@ -95,10 +105,33 @@ HistoryReader::issueTranslations(mem::DomainId did)
                 if (resp.valid && _fill)
                     _fill(did, page.pageBase, page.size,
                           resp.hostAddr);
-                if (--*remaining == 0)
-                    _history[did].inFlight = false;
+                if (--*remaining == 0) {
+                    TenantHistory *h = _history.find(did);
+                    HYPERSIO_ASSERT(h, "history entry vanished "
+                                       "under an in-flight burst");
+                    h->inFlight = false;
+                }
             });
     }
+}
+
+void
+HistoryReader::retire(mem::DomainId did)
+{
+    TenantHistory *hist = _history.find(did);
+    if (!hist)
+        return;
+    HYPERSIO_ASSERT(!hist->inFlight,
+                    "retiring a DID with a prefetch burst in flight");
+    HYPERSIO_SHADOW(historyRetired(did));
+    _history.erase(did);
+}
+
+bool
+HistoryReader::prefetchInFlight(mem::DomainId did) const
+{
+    const TenantHistory *hist = _history.find(did);
+    return hist && hist->inFlight;
 }
 
 } // namespace hypersio::core

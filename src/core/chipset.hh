@@ -58,6 +58,18 @@ class HistoryReader : public sim::SimObject
     /** Starts a prefetch for `did` (deduplicated per tenant). */
     void prefetch(mem::DomainId did);
 
+    /**
+     * Drops `did`'s history (tenant detach). The caller must first
+     * wait out any in-flight prefetch burst (prefetchInFlight).
+     */
+    void retire(mem::DomainId did);
+
+    /** True while a prefetch burst for `did` is outstanding. */
+    bool prefetchInFlight(mem::DomainId did) const;
+
+    /** Tenants with history state (O(active), eviction tests). */
+    size_t historySize() const { return _history.size(); }
+
     uint64_t prefetchesStarted() const { return _started.count(); }
     uint64_t prefetchesDeduped() const { return _deduped.count(); }
 

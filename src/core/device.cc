@@ -281,4 +281,13 @@ Device::invalidatePage(mem::DomainId did, mem::Iova iova,
     }
 }
 
+void
+Device::retireSid(trace::SourceId sid)
+{
+    if (!_prefetchUnit)
+        return;
+    _prefetchUnit->predictor().retire(sid);
+    HYPERSIO_SHADOW(deviceSidRetired(sid));
+}
+
 } // namespace hypersio::core

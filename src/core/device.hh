@@ -74,6 +74,13 @@ class Device : public sim::SimObject
     void invalidatePage(mem::DomainId did, mem::Iova iova,
                         mem::PageSize size);
 
+    /**
+     * Tenant detach: forgets the SID's predictor entry so a later
+     * tenant recycling the SID starts untrained. Cached translations
+     * must already be gone (the System unmaps every page first).
+     */
+    void retireSid(trace::SourceId sid);
+
     const cache::CacheStats &devtlbStats() const
     {
         return _devtlb.stats();

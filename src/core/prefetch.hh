@@ -80,6 +80,15 @@ class SidPredictor
         }
     }
 
+    /**
+     * Forgets the prediction entry keyed by a retired SID. Window
+     * slots still holding the SID are left alone: they age out in at
+     * most historyLength packets, exactly as a recycled SID would
+     * retrain them in hardware.
+     * @return true if an entry existed
+     */
+    bool retire(trace::SourceId sid) { return _table.erase(sid); }
+
     unsigned historyLength() const { return _historyLength; }
     size_t tableSize() const { return _table.size(); }
 

@@ -1,5 +1,6 @@
 #include "core/system.hh"
 
+#include <algorithm>
 #include <ostream>
 
 #include "iommu/keys.hh"
@@ -51,12 +52,21 @@ System::System(const SystemConfig &config)
         _config.iommu, _queue, _stats, *_memory, _tables);
 
     if (_config.device.prefetch.enabled) {
-        // Prefetch completions return to the device over PCIe.
+        // Prefetch completions return to the device over PCIe. The
+        // per-DID wire counter gates streaming-run retirement: a
+        // tenant cannot be torn down while one of its prefetched
+        // translations is still in flight toward the device.
         auto fill = [this](mem::DomainId did, mem::Iova iova,
                            mem::PageSize size, mem::Addr host_addr) {
+            ++_fillsInFlight[did];
             _queue.scheduleAfter(
                 _config.pcieOneWay,
                 [this, did, iova, size, host_addr]() {
+                    uint32_t *wire = _fillsInFlight.find(did);
+                    HYPERSIO_ASSERT(wire && *wire > 0,
+                                    "prefetch fill without a wire "
+                                    "counter");
+                    --*wire;
                     _device->prefetchFill(did, iova, size, host_addr);
                 });
         };
@@ -142,13 +152,9 @@ System::run(const trace::HyperTrace &trace, bool bypass_translation)
     // with an explicit wire size occupy the link for their own
     // serialization time (small packets arrive faster, leaving less
     // time per translation).
-    auto wire_bytes = [&](const trace::PacketRecord &pkt) {
-        return pkt.wireBytes != 0 ? pkt.wireBytes
-                                  : _config.link.packetBytes;
-    };
     std::function<void()> arrival = [&]() {
         const trace::PacketRecord &pkt = trace.packets[_cursor];
-        const uint64_t bytes = wire_bytes(pkt);
+        const uint64_t bytes = wireBytesOf(pkt);
 
         if (bypass_translation) {
             // Native mode: no address translation at all.
@@ -161,7 +167,7 @@ System::run(const trace::HyperTrace &trace, bool bypass_translation)
             ++_dropped;
             HYPERSIO_SHADOW(devicePacketDropped());
         } else {
-            applyOps(trace, pkt);
+            applyOps(pkt, trace.ops.data() + pkt.opBegin);
             ++_cursor;
             _device->accept(pkt, [this, bytes]() {
                 ++_processed;
@@ -177,7 +183,7 @@ System::run(const trace::HyperTrace &trace, bool bypass_translation)
             // one-word reference so the arrival closure itself is
             // never copied per slot.
             const Tick gap = serializationTicks(
-                wire_bytes(trace.packets[_cursor]),
+                wireBytesOf(trace.packets[_cursor]),
                 _config.link.gbps);
             _queue.scheduleAfter(gap == 0 ? interval : gap,
                                  [&arrival] { arrival(); });
@@ -194,6 +200,140 @@ System::run(const trace::HyperTrace &trace, bool bypass_translation)
         _iommu->iotlbOccupancy(), _iommu->l2Occupancy(),
         _iommu->l3Occupancy(), _device->ptbInUse()));
 
+    return collectResults(wireBytesOf(trace.packets.front()));
+}
+
+RunResults
+System::runStream(trace::PacketStream &stream,
+                  const StreamRunOptions &opts)
+{
+    HYPERSIO_ASSERT(!_streamRan && _cursor == 0 && _processed == 0,
+                    "System::runStream() may only be called once");
+    _streamRan = true;
+
+    if (!_device) {
+        fatal("streaming runs do not support Oracle DevTLB "
+              "replacement (the Belady feed needs the full trace "
+              "up front)");
+    }
+
+    const trace::PacketRecord *first = stream.peek();
+    if (!first) {
+        HYPERSIO_ASSERT(stream.exhausted(),
+                        "stream stalled before its first packet");
+        RunResults empty;
+        empty.configName = _config.name;
+        return empty;
+    }
+
+#ifdef HYPERSIO_CHECKED
+    // Same auto-installed differential oracle as run().
+    std::unique_ptr<oracle::ShadowChecker> auto_checker;
+    std::optional<oracle::ShadowScope> shadow_scope;
+    if (!oracle::shadowChecker() &&
+        oracle::shadowAutoCheckEnabled()) {
+        auto_checker = std::make_unique<oracle::ShadowChecker>(
+            toShadowConfig(_config), &_tables, /*fail_fast=*/true);
+        shadow_scope.emplace(*auto_checker);
+    }
+#endif
+
+    _stream = &stream;
+    _evictStream = opts.evictDetached;
+    _streamInterval = _config.link.packetInterval();
+    const uint64_t first_bytes = wireBytesOf(*first);
+
+    // The arrival process mirrors run()'s slot for slot; the only
+    // difference is where the next packet comes from. A stream that
+    // runs dry while tenants await retirement (ChurnStream parked on
+    // a full SID space) parks the process; retirement completions
+    // re-arm it through maybeRestartStreamArrival().
+    std::function<void()> arrival = [&]() {
+        const trace::PacketRecord *head = _stream->peek();
+        HYPERSIO_ASSERT(head,
+                        "stream arrival fired without a packet");
+        const uint64_t bytes = wireBytesOf(*head);
+
+        if (_device->ptbFull()) {
+            // Dropped; the same packet retries next slot.
+            ++_dropped;
+            HYPERSIO_SHADOW(devicePacketDropped());
+        } else {
+            // Copy the record out: advance() invalidates peek().
+            const trace::PacketRecord pkt = *head;
+            applyOps(pkt, _stream->ops());
+            ++_cursor;
+            if (_evictStream)
+                ++_outstanding[pkt.sid];
+            _stream->advance();
+            const trace::SourceId sid = pkt.sid;
+            _device->accept(pkt, [this, bytes, sid]() {
+                ++_processed;
+                _bytesProcessed += bytes;
+                _lastCompletion = _queue.now();
+                if (_evictStream)
+                    onStreamPacketDrained(sid);
+            });
+        }
+
+        if (_evictStream)
+            serviceRetirements();
+
+        if (const trace::PacketRecord *next = _stream->peek()) {
+            const Tick gap = serializationTicks(
+                wireBytesOf(*next), _config.link.gbps);
+            _queue.scheduleAfter(gap == 0 ? _streamInterval : gap,
+                                 [&arrival] { arrival(); });
+        } else if (!_stream->exhausted()) {
+            _streamStalled = true;
+        }
+    };
+    _streamArrival = &arrival;
+
+    _queue.schedule(0, [&arrival] { arrival(); });
+    for (;;) {
+        _queue.run();
+        if (!_evictStream)
+            break;
+        // Drained: every in-flight access is done, so anything still
+        // pending must retire now (and may unpark the stream).
+        serviceRetirements();
+        HYPERSIO_ASSERT(_pendingRetire.empty(),
+                        "tenants stuck awaiting retirement after "
+                        "the queue drained");
+        if (_streamStalled && _stream->peek()) {
+            _streamStalled = false;
+            _queue.scheduleAfter(_streamInterval,
+                                 [&arrival] { arrival(); });
+            continue;
+        }
+        break;
+    }
+    HYPERSIO_ASSERT(_stream->exhausted(),
+                    "streaming run ended with the stream unfinished");
+    _streamArrival = nullptr;
+    _stream = nullptr;
+
+    HYPERSIO_SHADOW(systemRunCompleted(
+        /*bypass=*/false, _processed,
+        _device->translationsIssued(), _device->devtlbOccupancy(),
+        _device->prefetchBufferOccupancy(),
+        _iommu->iotlbOccupancy(), _iommu->l2Occupancy(),
+        _iommu->l3Occupancy(), _device->ptbInUse()));
+
+    return collectResults(first_bytes);
+}
+
+uint64_t
+System::wireBytesOf(const trace::PacketRecord &pkt) const
+{
+    return pkt.wireBytes != 0 ? pkt.wireBytes
+                              : _config.link.packetBytes;
+}
+
+RunResults
+System::collectResults(uint64_t first_wire_bytes)
+{
     RunResults results;
     results.configName = _config.name;
     results.packetsProcessed = _processed;
@@ -204,8 +344,7 @@ System::run(const trace::HyperTrace &trace, bool bypass_translation)
     // translated run reports exactly the nominal link rate.
     results.elapsed =
         _lastCompletion +
-        serializationTicks(wire_bytes(trace.packets.front()),
-                           _config.link.gbps);
+        serializationTicks(first_wire_bytes, _config.link.gbps);
     results.achievedGbps =
         achievedGbps(_bytesProcessed, results.elapsed);
     results.utilization = results.achievedGbps / _config.link.gbps;
@@ -240,14 +379,14 @@ System::run(const trace::HyperTrace &trace, bool bypass_translation)
 }
 
 void
-System::applyOps(const trace::HyperTrace &trace,
-                 const trace::PacketRecord &pkt)
+System::applyOps(const trace::PacketRecord &pkt,
+                 const trace::PageOp *ops)
 {
     const mem::DomainId did =
         iommu::ContextCache::resolve(pkt.sid, pkt.pasid)
             .domain;
     for (uint16_t i = 0; i < pkt.opCount; ++i) {
-        const trace::PageOp &op = trace.ops[pkt.opBegin + i];
+        const trace::PageOp &op = ops[i];
         mem::PageTable &table = _tables.get(did);
         if (op.isMap) {
             table.map(op.pageBase, op.size);
@@ -261,6 +400,113 @@ System::applyOps(const trace::HyperTrace &trace,
                 systemUnmapped(did, op.pageBase, op.size));
         }
     }
+}
+
+void
+System::serviceRetirements()
+{
+    _stream->drainDetached(_pendingRetire);
+    if (_pendingRetire.empty())
+        return;
+    // Retire what can go; keep the rest in detach order. A SID may
+    // stay parked across many slots while its packets, prefetch
+    // bursts, or fills drain — retrying here every arrival and every
+    // completion keeps the latency O(in-flight work), not O(stream).
+    size_t keep = 0;
+    for (size_t i = 0; i < _pendingRetire.size(); ++i) {
+        if (!tryRetireSid(_pendingRetire[i]))
+            _pendingRetire[keep++] = _pendingRetire[i];
+    }
+    _pendingRetire.resize(keep);
+}
+
+bool
+System::tryRetireSid(trace::SourceId sid)
+{
+    // Gate 1: every accepted packet of the SID has completed.
+    if (const uint32_t *count = _outstanding.find(sid);
+        count && *count > 0) {
+        return false;
+    }
+
+    // The SID's domains (one per PASID the tenant used). Directory
+    // iteration order is unspecified; sort for determinism.
+    std::vector<mem::DomainId> dids;
+    _tables.forEachDomain([&](const mem::DomainId &did) {
+        if (iommu::ContextCache::sidOf(did) == sid)
+            dids.push_back(did);
+    });
+    std::sort(dids.begin(), dids.end());
+
+    for (const mem::DomainId did : dids) {
+        // Gate 2: no history-reader prefetch burst in flight.
+        if (_historyReader && _historyReader->prefetchInFlight(did))
+            return false;
+        // Gate 3: no prefetched translation on the PCIe wire.
+        if (const uint32_t *wire = _fillsInFlight.find(did);
+            wire && *wire > 0) {
+            return false;
+        }
+    }
+
+    for (const mem::DomainId did : dids)
+        retireDomain(did);
+    _device->retireSid(sid);
+    _streamRetirements.push_back(
+        {_queue.now(), _queue.scheduledSeq(), sid});
+    _stream->sidRetired(sid);
+    return true;
+}
+
+void
+System::retireDomain(mem::DomainId did)
+{
+    // Unmap every live page through the regular driver-unmap path so
+    // all cached translations (DevTLB, PB, IOTLB) and the shadow
+    // mirrors retire in lock-step, then drop the table and the
+    // chipset's access history. Mapping iteration order is
+    // unspecified; sort for determinism.
+    mem::PageTable *table = _tables.findExisting(did);
+    HYPERSIO_ASSERT(table, "retiring a domain without a table");
+    std::vector<std::pair<mem::Iova, mem::PageSize>> pages;
+    table->forEachMapping(
+        [&](mem::Iova base, mem::PageSize size) {
+            pages.emplace_back(base, size);
+        });
+    std::sort(pages.begin(), pages.end());
+    for (const auto &[base, size] : pages) {
+        table->unmap(base);
+        _device->invalidatePage(did, base, size);
+        _iommu->invalidate(did, base, size);
+        HYPERSIO_SHADOW(systemUnmapped(did, base, size));
+    }
+    _tables.erase(did);
+    if (_historyReader)
+        _historyReader->retire(did);
+}
+
+void
+System::onStreamPacketDrained(trace::SourceId sid)
+{
+    uint32_t *count = _outstanding.find(sid);
+    HYPERSIO_ASSERT(count && *count > 0,
+                    "packet completion without an outstanding "
+                    "counter");
+    --*count;
+    serviceRetirements();
+    maybeRestartStreamArrival();
+}
+
+void
+System::maybeRestartStreamArrival()
+{
+    if (!_streamStalled || !_streamArrival)
+        return;
+    if (!_stream->peek())
+        return;
+    _streamStalled = false;
+    _queue.scheduleAfter(_streamInterval,
+                         [fn = _streamArrival] { (*fn)(); });
 }
 
 void

@@ -17,6 +17,8 @@
 #include <optional>
 #include <string>
 
+#include <vector>
+
 #include "cache/oracle_feed.hh"
 #include "core/chipset.hh"
 #include "core/config.hh"
@@ -25,6 +27,8 @@
 #include "iommu/iommu.hh"
 #include "mem/memory_model.hh"
 #include "trace/record.hh"
+#include "trace/stream.hh"
+#include "util/flat_map.hh"
 #include "util/json.hh"
 
 namespace hypersio::core
@@ -58,6 +62,34 @@ struct RunResults
  */
 void writeRunResultsJson(json::Writer &w, const RunResults &r);
 
+/** Options of a streaming run (System::runStream). */
+struct StreamRunOptions
+{
+    /**
+     * Retire detached tenants: erase their page tables, history,
+     * and predictor state once every in-flight access drains, then
+     * confirm sidRetired() to the stream. Off, a run behaves exactly
+     * like run() over the equivalent materialized trace (state grows
+     * with every tenant ever seen) — the golden equivalence mode.
+     */
+    bool evictDetached = true;
+};
+
+/**
+ * One tenant retirement, stamped with the kernel's (tick, seq) key
+ * at retirement time. Per-shard retirement logs are merged into a
+ * deterministic global timeline by ShardedMultiSystem using
+ * (tick, shard, seq, index) — the slab kernel's ordering rule.
+ */
+struct StreamRetirement
+{
+    Tick tick = 0;
+    uint64_t seq = 0; ///< EventQueue::scheduledSeq() at retirement
+    trace::SourceId sid = 0;
+
+    bool operator==(const StreamRetirement &) const = default;
+};
+
 /**
  * One simulated system instance. Construct, then run() a trace.
  * run() may be called once per System (state is not reset between
@@ -81,6 +113,28 @@ class System
     RunResults run(const trace::HyperTrace &trace,
                    bool bypass_translation = false);
 
+    /**
+     * Simulates a lazily produced packet stream. With eviction off
+     * and a stream mirroring a materialized trace, the run is
+     * event-for-event identical to run() on that trace (same
+     * RunResults, same stats tree). With eviction on, tenants the
+     * stream detaches are fully retired — page tables erased,
+     * cached translations invalidated, history and predictor state
+     * dropped — keeping total state O(active tenants) regardless of
+     * the tenant population.
+     *
+     * Not supported with Oracle DevTLB replacement (the Belady feed
+     * needs the full trace up front).
+     */
+    RunResults runStream(trace::PacketStream &stream,
+                         const StreamRunOptions &opts = {});
+
+    /** Retirement log of the last runStream (merge rule input). */
+    const std::vector<StreamRetirement> &streamRetirements() const
+    {
+        return _streamRetirements;
+    }
+
     const SystemConfig &config() const { return _config; }
 
     /** Dumps the full statistics tree of the last run. */
@@ -98,13 +152,36 @@ class System
     sim::EventQueue &eventQueue() { return _queue; }
     /** The run's functional page tables (shadow checking, tests). */
     const iommu::PageTableDirectory &tables() const { return _tables; }
+    /** The chipset history reader, if prefetching is on (tests). */
+    const HistoryReader *historyReader() const
+    {
+        return _historyReader.get();
+    }
 
   private:
-    void applyOps(const trace::HyperTrace &trace,
-                  const trace::PacketRecord &pkt);
+    void applyOps(const trace::PacketRecord &pkt,
+                  const trace::PageOp *ops);
     void buildOracleFeed(const trace::HyperTrace &trace);
     /** Wires the device-to-chipset ports through _xlatePort. */
     DevicePorts makeDevicePorts();
+    uint64_t wireBytesOf(const trace::PacketRecord &pkt) const;
+    /** Results from the run counters (shared by run/runStream). */
+    RunResults collectResults(uint64_t first_wire_bytes);
+
+    // ---- Streaming-run eviction machinery ----------------------------
+    /** Drains detach notices and retires every SID that can go. */
+    void serviceRetirements();
+    /**
+     * Retires `sid` unless packets, prefetch bursts, or prefetch
+     * fills are still in flight for it. @return true when retired
+     */
+    bool tryRetireSid(trace::SourceId sid);
+    /** Tears down one domain through the regular unmap path. */
+    void retireDomain(mem::DomainId did);
+    /** Completion bookkeeping of a streaming-run packet. */
+    void onStreamPacketDrained(trace::SourceId sid);
+    /** Re-arms the arrival process after a stall, if unparked. */
+    void maybeRestartStreamArrival();
 
     SystemConfig _config;
     sim::EventQueue _queue;
@@ -123,6 +200,21 @@ class System
     uint64_t _dropped = 0;
     uint64_t _bytesProcessed = 0;
     Tick _lastCompletion = 0;
+
+    // Streaming-run state (runStream only; inert during run()).
+    trace::PacketStream *_stream = nullptr;
+    bool _evictStream = false;
+    bool _streamStalled = false;
+    bool _streamRan = false;
+    Tick _streamInterval = 0;
+    std::function<void()> *_streamArrival = nullptr;
+    /** In-flight (accepted, not completed) packets per SID. */
+    util::FlatMap<trace::SourceId, uint32_t> _outstanding;
+    /** Detached SIDs awaiting retirement, in detach order. */
+    std::vector<trace::SourceId> _pendingRetire;
+    /** Prefetch fills on the PCIe wire per DID (retirement gate). */
+    util::FlatMap<mem::DomainId, uint32_t> _fillsInFlight;
+    std::vector<StreamRetirement> _streamRetirements;
 };
 
 } // namespace hypersio::core

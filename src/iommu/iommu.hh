@@ -56,6 +56,13 @@ class PageTableDirectory
         return _tables.find(domain);
     }
 
+    /** Like find(), for callers that must mutate without creating. */
+    mem::PageTable *
+    findExisting(mem::DomainId domain)
+    {
+        return _tables.find(domain);
+    }
+
     /**
      * Drops `domain`'s page table entirely (tenant detach).
      * @return true when a table existed.
@@ -63,6 +70,20 @@ class PageTableDirectory
     bool erase(mem::DomainId domain) { return _tables.erase(domain); }
 
     size_t size() const { return _tables.size(); }
+
+    /**
+     * Visits every live domain ID. Unspecified order (see FlatMap);
+     * deterministic callers must sort the IDs they collect.
+     */
+    template <typename Fn>
+    void
+    forEachDomain(Fn &&fn) const
+    {
+        _tables.forEach(
+            [&](const mem::DomainId &domain, const mem::PageTable &) {
+                fn(domain);
+            });
+    }
 
   private:
     uint64_t _seed;

@@ -194,6 +194,21 @@ class PageTable
     /** Number of installed mappings. */
     size_t size() const { return _mappings.size(); }
 
+    /**
+     * Visits every installed mapping as fn(pageBase, pageSize).
+     * Iteration order is unspecified (open-addressed table): callers
+     * on a deterministic path must sort what they collect — the
+     * tenant-retirement teardown in System does exactly that.
+     */
+    template <typename Fn>
+    void
+    forEachMapping(Fn &&fn) const
+    {
+        _mappings.forEach([&](const Addr &base, const Entry &entry) {
+            fn(base, entry.pageSize);
+        });
+    }
+
   private:
     struct Entry
     {

@@ -62,6 +62,9 @@ class RefSidPredictor
         return it->second;
     }
 
+    /** Tenant detach: forgets the retired SID's prediction entry. */
+    void retire(uint32_t sid) { _table.erase(sid); }
+
     uint64_t observed() const { return _count; }
 
   private:
@@ -117,6 +120,9 @@ class RefHistory
         if (list.size() > _depth)
             list.pop_back();
     }
+
+    /** Tenant detach: drops the retired DID's history list. */
+    void retire(uint32_t did) { _lists.erase(did); }
 
     /** The i-th most recent page of `did`, if recorded. */
     std::optional<RefHistoryPage>

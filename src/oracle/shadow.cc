@@ -382,6 +382,22 @@ ShadowChecker::historyPrefetchIssued(mem::DomainId did, unsigned slot,
                      : 0ULL);
 }
 
+void
+ShadowChecker::historyRetired(mem::DomainId did)
+{
+    ++_events;
+    _history.retire(did);
+}
+
+// ---- Tenant-retirement events ------------------------------------------
+
+void
+ShadowChecker::deviceSidRetired(uint32_t sid)
+{
+    ++_events;
+    _predictor.retire(sid);
+}
+
 // ---- System events -----------------------------------------------------
 
 void

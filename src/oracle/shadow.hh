@@ -163,6 +163,10 @@ class ShadowChecker
     void historyPrefetchIssued(mem::DomainId did, unsigned slot,
                                mem::Addr page_base,
                                mem::PageSize size);
+    void historyRetired(mem::DomainId did);
+
+    // ---- Tenant-retirement events --------------------------------------
+    void deviceSidRetired(uint32_t sid);
 
     // ---- System events -------------------------------------------------
     void systemUnmapped(mem::DomainId did, mem::Iova page_base,

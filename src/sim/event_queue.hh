@@ -106,6 +106,14 @@ class EventQueue
     /** Number of events executed so far. */
     uint64_t executed() const { return _executed; }
 
+    /**
+     * Sequence number of the most recently scheduled event. Part of
+     * the kernel's total order (tick, priority, seq); the sharded
+     * MultiSystem reuses it as the deterministic tie-breaker when
+     * merging per-shard timelines.
+     */
+    uint64_t scheduledSeq() const { return _nextSeq; }
+
     /** Number of events currently pending (tombstones excluded). */
     size_t pending() const { return _live; }
 

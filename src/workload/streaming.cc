@@ -1,0 +1,426 @@
+#include "workload/streaming.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace hypersio::workload
+{
+
+// --- TenantStream ---------------------------------------------------
+//
+// Every RNG draw below mirrors one in TenantLogGenerator::generate();
+// the two must stay in lock-step or the streaming path diverges from
+// the materialized one. tests/test_hyperscale.cc enforces packet-for-
+// packet equality across patterns, budgets, and phases.
+
+TenantStream::TenantStream(const TenantPattern &pattern, uint64_t seed,
+                           trace::SourceId sid, uint64_t num_packets,
+                           bool include_init)
+    : _p(pattern), _sid(sid), _budget(num_packets),
+      _rng(hashCombine(seed, hashCombine(0x7e4a37, sid)))
+{
+    HYPERSIO_ASSERT(_p.streams >= 1, "need at least one stream");
+    HYPERSIO_ASSERT(_p.numDataPages >= _p.streams,
+                    "fewer data pages than streams");
+    if (_budget == 0)
+        return;
+
+    // Fixed hot pages are mapped up front by the driver.
+    _pending.push_back({_p.ringPage, mem::PageSize::Size4K, true});
+    _pending.push_back({_p.mailboxPage, mem::PageSize::Size4K, true});
+
+    if (include_init && _p.numInitPages > 0) {
+        _phase = Phase::Init;
+        startInitPage();
+    }
+}
+
+uint64_t
+TenantStream::dataPageBytes() const
+{
+    return mem::pageBytes(_p.hugeDataPages ? mem::PageSize::Size2M
+                                           : mem::PageSize::Size4K);
+}
+
+mem::Iova
+TenantStream::dataPageIova(unsigned idx) const
+{
+    return _p.dataBase +
+           static_cast<uint64_t>(idx) * dataPageBytes();
+}
+
+void
+TenantStream::startInitPage()
+{
+    const mem::Iova base =
+        _p.initBase +
+        static_cast<uint64_t>(_initPage) * mem::PageSize4K;
+    _pending.push_back({base, mem::PageSize::Size4K, true});
+    // Slightly varied access count, always < 100.
+    _initAccesses =
+        _p.accessesPerInitPage == 0
+            ? 0
+            : static_cast<unsigned>(
+                  _rng.range(_p.accessesPerInitPage / 2,
+                             _p.accessesPerInitPage));
+    _initDone = 0;
+}
+
+void
+TenantStream::assignPage(StreamState &st)
+{
+    st.currentPage = _nextFreePage;
+    _nextFreePage = (_nextFreePage + 1) % _p.numDataPages;
+    st.accessesLeft = _p.accessesPerDataPage;
+    st.offset = 0;
+    const mem::Iova iova = dataPageIova(st.currentPage);
+    const mem::PageSize size = _p.hugeDataPages
+                                   ? mem::PageSize::Size2M
+                                   : mem::PageSize::Size4K;
+    if (_pageMapped[st.currentPage])
+        _pending.push_back({iova, size, false}); // recycle: invalidate
+    _pending.push_back({iova, size, true});
+    _pageMapped[st.currentPage] = true;
+}
+
+void
+TenantStream::setupSteady()
+{
+    _streams.assign(_p.streams, StreamState{});
+    _pageMapped.assign(_p.numDataPages, false);
+    _nextFreePage = 0;
+    _rrStream = 0;
+    for (auto &st : _streams)
+        assignPage(st);
+    _steadyReady = true;
+}
+
+void
+TenantStream::emitPacket(trace::PacketRecord &pkt,
+                         std::vector<trace::PageOp> &ops,
+                         mem::Iova data_iova, bool huge)
+{
+    pkt = trace::PacketRecord{};
+    pkt.sid = _sid;
+    pkt.pasid = static_cast<uint16_t>(_pasid);
+    if (_p.smallPacketBytes > 0 && _rng.chance(_p.smallPacketProb))
+        pkt.wireBytes = _p.smallPacketBytes;
+    pkt.opBegin = 0;
+    pkt.opCount = static_cast<uint16_t>(_pending.size());
+    ops.clear();
+    ops.swap(_pending);
+    pkt.dataHuge = huge;
+    pkt.ringIova = _p.ringPage + (_ringCursor * _p.descriptorBytes) %
+                                     (mem::PageSize4K / 2);
+    pkt.dataIova = data_iova;
+    pkt.notifyIova = _p.mailboxPage + mem::PageSize4K - 256 +
+                     (_sid % 64) * 4;
+    ++_ringCursor;
+}
+
+bool
+TenantStream::next(trace::PacketRecord &pkt,
+                   std::vector<trace::PageOp> &ops)
+{
+    if (_emitted >= _budget)
+        return false;
+
+    for (;;) {
+        if (_phase == Phase::Init) {
+            if (_initDone < _initAccesses) {
+                const mem::Iova base =
+                    _p.initBase + static_cast<uint64_t>(_initPage) *
+                                      mem::PageSize4K;
+                emitPacket(pkt, ops,
+                           base + (_initDone * 64) % mem::PageSize4K,
+                           false);
+                ++_initDone;
+                break;
+            }
+            ++_initPage;
+            if (_initPage >= _p.numInitPages) {
+                _phase = Phase::Steady;
+                continue;
+            }
+            startInitPage();
+            continue;
+        }
+
+        if (!_steadyReady)
+            setupSteady();
+
+        // Pick the stream for this packet.
+        unsigned s;
+        if (_p.randomStreamOrder) {
+            s = static_cast<unsigned>(_rng.below(_p.streams));
+        } else {
+            s = _rrStream;
+            _rrStream = (_rrStream + 1) % _p.streams;
+        }
+        StreamState &st = _streams[s];
+        _pasid = _p.processesPerTenant > 1
+                     ? s % _p.processesPerTenant
+                     : 0;
+
+        mem::Iova data_iova;
+        if (_p.jitterProb > 0.0 && _rng.chance(_p.jitterProb)) {
+            unsigned page = static_cast<unsigned>(
+                _rng.below(_p.numDataPages));
+            while (!_pageMapped[page])
+                page = (page + 1) % _p.numDataPages;
+            data_iova = dataPageIova(page) +
+                        _rng.below(dataPageBytes() / 64) * 64;
+        } else {
+            data_iova = dataPageIova(st.currentPage) + st.offset;
+            st.offset += _p.bytesPerPacket;
+            if (st.offset + _p.bytesPerPacket > dataPageBytes())
+                st.offset = 0;
+            if (--st.accessesLeft == 0)
+                assignPage(st);
+        }
+        emitPacket(pkt, ops, data_iova, _p.hugeDataPages);
+        break;
+    }
+
+    ++_emitted;
+    return true;
+}
+
+// --- SpliceStream ---------------------------------------------------
+
+SpliceStream::SpliceStream(Benchmark bench, unsigned num_tenants,
+                           uint64_t seed,
+                           const trace::Interleaving &mode,
+                           double scale)
+    : _numTenants(num_tenants), _mode(mode), _pickRng(mode.seed)
+{
+    HYPERSIO_ASSERT(num_tenants >= 1, "need at least one tenant");
+    HYPERSIO_ASSERT(_mode.burst >= 1, "burst must be positive");
+    if (scale <= 0.0)
+        fatal("workload scale must be positive (got %f)", scale);
+
+    // Budget assignment replicates generateLogs: the same profile,
+    // the same init scaling, and the same budget RNG stream.
+    const BenchmarkProfile profile = benchmarkProfile(bench);
+    const uint64_t min_packets = profile.minTranslations / 3;
+    const uint64_t max_packets = profile.maxTranslations / 3;
+    auto scaled = [&](uint64_t packets) {
+        const auto value = static_cast<uint64_t>(
+            static_cast<double>(packets) * scale);
+        return std::max<uint64_t>(value, 64);
+    };
+    TenantPattern pattern = profile.pattern;
+    scaleInitPhase(pattern, scaled(min_packets));
+
+    Rng budget_rng(hashCombine(seed, static_cast<uint64_t>(bench)));
+    _tenants.reserve(num_tenants);
+    for (unsigned t = 0; t < num_tenants; ++t) {
+        uint64_t packets;
+        if (t == 0) {
+            packets = min_packets;
+        } else if (t == num_tenants - 1 && num_tenants > 1) {
+            packets = max_packets;
+        } else {
+            packets = budget_rng.range(min_packets, max_packets);
+        }
+        _tenants.emplace_back(pattern, seed,
+                              static_cast<trace::SourceId>(t),
+                              scaled(packets));
+    }
+}
+
+void
+SpliceStream::produce()
+{
+    if (_done)
+        return;
+    // One step of the constructTrace interleaving loop: a turn takes
+    // up to `burst` packets from one tenant, and construction stops
+    // at the first attempt to take from an exhausted tenant.
+    if (_burstPos == 0 &&
+        _mode.kind == trace::InterleaveKind::Random) {
+        _turnTenant =
+            static_cast<unsigned>(_pickRng.below(_numTenants));
+    }
+    TenantStream &tenant = _tenants[_turnTenant];
+    if (tenant.exhausted()) {
+        _done = true;
+        return;
+    }
+    _ops.clear();
+    tenant.next(_pkt, _ops);
+    _hasCur = true;
+    ++_burstPos;
+    if (_burstPos >= _mode.burst) {
+        _burstPos = 0;
+        if (_mode.kind == trace::InterleaveKind::RoundRobin)
+            _turnTenant = (_turnTenant + 1) % _numTenants;
+    }
+}
+
+const trace::PacketRecord *
+SpliceStream::peek()
+{
+    if (!_hasCur)
+        produce();
+    return _hasCur ? &_pkt : nullptr;
+}
+
+bool
+SpliceStream::exhausted()
+{
+    // A splice never stalls: no packet now means no packet ever.
+    return peek() == nullptr;
+}
+
+// --- ChurnStream ----------------------------------------------------
+
+ChurnStream::ChurnStream(const ChurnConfig &config) : _cfg(config)
+{
+    HYPERSIO_ASSERT(_cfg.population >= 1, "need at least one tenant");
+    HYPERSIO_ASSERT(_cfg.slots >= 1, "need at least one slot");
+    HYPERSIO_ASSERT(_cfg.burst >= 1, "burst must be positive");
+    HYPERSIO_ASSERT(_cfg.minBudget >= 1 &&
+                        _cfg.minBudget <= _cfg.maxBudget,
+                    "bad budget range");
+    HYPERSIO_ASSERT(_cfg.tailMin <= _cfg.tailMax, "bad tail range");
+    // Slots are SIDs; they must fit the context cache's SID space
+    // (iommu::ContextCache::SidSpace).
+    HYPERSIO_ASSERT(_cfg.slots <= 4096, "more slots than SIDs");
+    if (_cfg.slots > _cfg.population)
+        _cfg.slots = _cfg.population;
+
+    _pattern = benchmarkProfile(_cfg.bench).pattern;
+    // Cap the one-off init phase relative to the typical per-tenant
+    // budget, as generateLogs does for scaled-down logs. The init
+    // phase is each tenant's attach storm.
+    scaleInitPhase(_pattern,
+                   std::max<uint64_t>(
+                       (_cfg.minBudget + _cfg.maxBudget) / 2, 16));
+
+    _slots.resize(_cfg.slots);
+    for (unsigned s = 0; s < _cfg.slots; ++s)
+        bind(s, _nextVirtual++);
+}
+
+uint64_t
+ChurnStream::budgetFor(uint64_t v) const
+{
+    Rng rng(hashCombine(_cfg.seed, hashCombine(0x5ca1ab1eULL, v)));
+    uint64_t budget = rng.range(_cfg.minBudget, _cfg.maxBudget);
+    if (_cfg.tailProb > 0.0 && rng.chance(_cfg.tailProb))
+        budget = rng.range(_cfg.tailMin, _cfg.tailMax);
+    return std::max<uint64_t>(budget, 1);
+}
+
+void
+ChurnStream::bind(unsigned slot, uint64_t virtual_id)
+{
+    Slot &sl = _slots[slot];
+    // The per-virtual-tenant seed makes a recycled SID slot carry a
+    // genuinely different tenant (different budgets and RNG stream).
+    sl.stream = TenantStream(
+        _pattern,
+        hashCombine(_cfg.seed, hashCombine(0x7e47a9ULL, virtual_id)),
+        static_cast<trace::SourceId>(slot), budgetFor(virtual_id),
+        _cfg.includeInit);
+    sl.state = SlotState::Live;
+    sl.virtualId = virtual_id;
+    ++_attaches;
+}
+
+void
+ChurnStream::advanceCursor()
+{
+    _burstPos = 0;
+    _cursor = (_cursor + 1) % static_cast<unsigned>(_slots.size());
+}
+
+void
+ChurnStream::produce()
+{
+    // Round-robin over live slots; a full fruitless scan means every
+    // slot is parked (stalled) or dead (exhausted).
+    const auto n = static_cast<unsigned>(_slots.size());
+    for (unsigned tries = 0; tries < n; ++tries) {
+        Slot &sl = _slots[_cursor];
+        if (sl.state != SlotState::Live) {
+            advanceCursor();
+            continue;
+        }
+        _ops.clear();
+        sl.stream.next(_pkt, _ops);
+        _hasCur = true;
+        ++_produced;
+        const bool tenant_done = sl.stream.exhausted();
+        if (tenant_done) {
+            // Park the slot: no more packets until the System retires
+            // the SID's translation state and confirms sidRetired().
+            // The detach notice itself waits until the consumer takes
+            // this farewell packet (advance()) — announcing earlier
+            // would let the System retire the tenant while its last
+            // packet sits buffered through a full-PTB drop/retry, and
+            // the retry would then translate against a torn-down
+            // domain.
+            sl.state = SlotState::Parked;
+            _farewellSlot = static_cast<int>(_cursor);
+        }
+        ++_burstPos;
+        if (tenant_done || _burstPos >= _cfg.burst)
+            advanceCursor();
+        return;
+    }
+}
+
+void
+ChurnStream::advance()
+{
+    _hasCur = false;
+    if (_farewellSlot >= 0) {
+        _detached.push_back(
+            static_cast<trace::SourceId>(_farewellSlot));
+        ++_detaches;
+        _farewellSlot = -1;
+    }
+}
+
+const trace::PacketRecord *
+ChurnStream::peek()
+{
+    if (!_hasCur)
+        produce();
+    return _hasCur ? &_pkt : nullptr;
+}
+
+bool
+ChurnStream::exhausted()
+{
+    if (peek() != nullptr)
+        return false;
+    return _dead == _slots.size();
+}
+
+void
+ChurnStream::drainDetached(std::vector<trace::SourceId> &out)
+{
+    out.insert(out.end(), _detached.begin(), _detached.end());
+    _detached.clear();
+}
+
+void
+ChurnStream::sidRetired(trace::SourceId sid)
+{
+    HYPERSIO_ASSERT(sid < _slots.size(), "retired SID out of range");
+    Slot &sl = _slots[sid];
+    HYPERSIO_ASSERT(sl.state == SlotState::Parked,
+                    "retired a slot that is not parked");
+    if (_nextVirtual < _cfg.population) {
+        bind(sid, _nextVirtual++);
+    } else {
+        sl.state = SlotState::Dead;
+        ++_dead;
+    }
+}
+
+} // namespace hypersio::workload

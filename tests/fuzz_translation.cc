@@ -19,12 +19,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
 #include "core/system.hh"
 #include "oracle/shadow.hh"
 #include "workload/adversarial.hh"
+#include "workload/streaming.hh"
 
 namespace hypersio::core
 {
@@ -153,9 +155,89 @@ TEST(FuzzTranslation, AdversarialPatternsUnderShadowOracle)
                 (unsigned long long)checked);
 }
 
+/**
+ * Streaming-churn fuzz: tenant arrival/departure storms through
+ * runStream with eviction on. The eviction path (table erase, cache
+ * retirement, SID recycling, retirement gating on in-flight work) is
+ * the newest machinery in the translation path, so it gets fuzzed
+ * under every system variant like the adversarial traces do.
+ */
+uint64_t
+fuzzChurnOne(const SystemVariant &variant, uint64_t seed,
+             uint64_t packets)
+{
+    workload::ChurnConfig cc;
+    // Scale population so the run produces roughly `packets`
+    // accepted packets under the small budgets below.
+    cc.population =
+        std::max<uint64_t>(8, packets / 24);
+    cc.slots = 5;
+    cc.seed = seed;
+    cc.minBudget = 12;
+    cc.maxBudget = 36;
+    cc.tailProb = 0.1;
+    cc.tailMin = 64;
+    cc.tailMax = 160;
+
+    SystemConfig config = variant.make();
+    config.seed = seed;
+    System system(config);
+
+    std::printf("fuzz: pattern=churn-stream config=%s seed=%llu "
+                "population=%u\n",
+                variant.name, (unsigned long long)seed,
+                cc.population);
+
+    oracle::ShadowChecker checker(toShadowConfig(config),
+                                  &system.tables(),
+                                  /*fail_fast=*/false);
+    workload::ChurnStream stream(cc);
+    {
+        oracle::ShadowScope scope(checker);
+        system.runStream(stream);
+    }
+
+    EXPECT_GT(checker.eventCount(), 0u)
+        << "shadow hooks never fired";
+    EXPECT_GT(checker.translationChecks(), 0u);
+    EXPECT_EQ(checker.violationCount(), 0u);
+    for (const auto &violation : checker.violations()) {
+        ADD_FAILURE() << "pattern=churn-stream config="
+                      << variant.name << " seed=" << seed << ": "
+                      << violation;
+    }
+    // Eviction invariants: everyone attached retired, nothing leaks.
+    EXPECT_EQ(stream.attaches(), cc.population);
+    EXPECT_EQ(system.streamRetirements().size(), cc.population);
+    EXPECT_EQ(system.tables().size(), 0u);
+    return checker.translationChecks();
+}
+
+TEST(FuzzTranslation, StreamingChurnUnderShadowOracle)
+{
+    const uint64_t base_seed = envOr("HYPERSIO_FUZZ_SEED", 20260805);
+    const uint64_t packets = envOr("HYPERSIO_FUZZ_PACKETS", 150);
+    const uint64_t rounds = envOr("HYPERSIO_FUZZ_ROUNDS", 1);
+
+    uint64_t checked = 0;
+    for (uint64_t round = 0; round < rounds; ++round)
+        for (const auto &variant : Variants)
+            checked += fuzzChurnOne(variant, base_seed + round,
+                                    packets);
+    EXPECT_GT(checked, 0u);
+    std::printf("fuzz: %llu churn translation requests checked\n",
+                (unsigned long long)checked);
+}
+
 #else // !HYPERSIO_CHECKED
 
 TEST(FuzzTranslation, AdversarialPatternsUnderShadowOracle)
+{
+    GTEST_SKIP()
+        << "built without HYPERSIO_CHECKED; shadow hooks compiled out";
+}
+
+TEST(FuzzTranslation, StreamingChurnUnderShadowOracle)
 {
     GTEST_SKIP()
         << "built without HYPERSIO_CHECKED; shadow hooks compiled out";

@@ -6,14 +6,17 @@
 
 #include <atomic>
 #include <cstdio>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <thread>
 #include <vector>
 
+#include "core/multi_system.hh"
 #include "core/runner.hh"
 #include "util/debug.hh"
 #include "util/logging.hh"
+#include "workload/streaming.hh"
 
 namespace hypersio::core
 {
@@ -101,6 +104,44 @@ TEST(ParallelRunnerTest, GoldenEquivalenceJobs1VsJobs4)
     // unique traces exist in either runner.
     EXPECT_EQ(serial.traceConstructions(), 4u);
     EXPECT_EQ(parallel.traceConstructions(), 4u);
+}
+
+TEST(ShardedMultiSystemTest, GoldenEquivalenceJobs1VsJobsN)
+{
+    // Same discipline as the runner equivalence above, applied to
+    // the hyper-scale sharded runtime: the worker count must never
+    // leak into results. Each shard is an independent deterministic
+    // System, so jobs 1 / 2 / 4 must produce bit-identical counter
+    // totals, the same merged retirement timeline (and checksum),
+    // and byte-identical per-shard stats trees.
+    const auto factory = [](unsigned shard) {
+        workload::ChurnConfig cfg;
+        cfg.population = 60 + shard * 15;
+        cfg.slots = 6;
+        cfg.seed = hashCombine(77, shard);
+        cfg.minBudget = 16;
+        cfg.maxBudget = 48;
+        cfg.tailMin = 128;
+        cfg.tailMax = 256;
+        return std::make_unique<workload::ChurnStream>(cfg);
+    };
+
+    std::vector<ShardedRunResults> runs;
+    std::vector<std::string> stats;
+    for (const unsigned jobs : {1u, 2u, 4u}) {
+        ShardedMultiSystem sharded(SystemConfig::hypertrio(),
+                                   /*shards=*/4, jobs);
+        runs.push_back(sharded.run(factory));
+        std::ostringstream os;
+        sharded.dumpStatsJson(os, 0);
+        stats.push_back(os.str());
+    }
+
+    EXPECT_EQ(runs[0].tenantsRetired, 60u + 75u + 90u + 105u);
+    for (size_t i = 1; i < runs.size(); ++i) {
+        EXPECT_TRUE(runs[0] == runs[i]) << "jobs variant " << i;
+        EXPECT_EQ(stats[0], stats[i]) << "jobs variant " << i;
+    }
 }
 
 TEST(ParallelRunnerTest, MoreJobsThanPointsIsHarmless)
