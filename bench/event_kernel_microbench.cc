@@ -37,7 +37,7 @@
 #include <cstring>
 #include <string>
 
-#include "core/runner.hh"
+#include "core/bench_options.hh"
 #include "json_report.hh"
 #include "sim/event_queue.hh"
 #include "sim/legacy_event_queue.hh"

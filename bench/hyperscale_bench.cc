@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 
@@ -85,19 +86,31 @@ parseArgs(int argc, char **argv)
                 fatal("%s needs a positive integer", flag);
             return value;
         };
+        // Slot/shard/job counts are `unsigned` throughout the run
+        // machinery; narrowing silently (the old static_cast) turned
+        // e.g. --active 4G into --active 0. Reject out-of-range
+        // values with the offending number instead.
+        auto next_unsigned = [&](const char *flag) {
+            const uint64_t value = next_u64(flag);
+            if (value > std::numeric_limits<unsigned>::max()) {
+                fatal("%s value %" PRIu64 " does not fit in an "
+                      "unsigned count (max %u)",
+                      flag, value,
+                      std::numeric_limits<unsigned>::max());
+            }
+            return static_cast<unsigned>(value);
+        };
         if (arg == "--tenants") {
             opts.population = next_u64("--tenants");
             tenants_set = true;
         } else if (arg == "--active") {
-            opts.active =
-                static_cast<unsigned>(next_u64("--active"));
+            opts.active = next_unsigned("--active");
             active_set = true;
         } else if (arg == "--shards") {
-            opts.shards =
-                static_cast<unsigned>(next_u64("--shards"));
+            opts.shards = next_unsigned("--shards");
             shards_set = true;
         } else if (arg == "--jobs" || arg == "-j") {
-            opts.jobs = static_cast<unsigned>(next_u64(arg.c_str()));
+            opts.jobs = next_unsigned(arg.c_str());
             jobs_set = true;
         } else if (arg == "--seed") {
             uint64_t value = 0;
@@ -144,21 +157,21 @@ parseArgs(int argc, char **argv)
     return opts;
 }
 
-/** Peak resident set (VmHWM) in KiB from /proc/self/status. */
-uint64_t
-peakRssKib()
+/**
+ * Peak resident set (VmHWM) in KiB from /proc/self/status. Returns
+ * false when the file or the field is unavailable (non-Linux, masked
+ * procfs) — never a silent 0, which would make an RSS budget gate
+ * pass vacuously.
+ */
+bool
+peakRssKib(uint64_t &out)
 {
     std::ifstream status("/proc/self/status");
-    std::string line;
-    while (std::getline(status, line)) {
-        if (line.rfind("VmHWM:", 0) == 0) {
-            uint64_t kib = 0;
-            std::istringstream fields(line.substr(6));
-            fields >> kib;
-            return kib;
-        }
-    }
-    return 0;
+    if (!status)
+        return false;
+    std::ostringstream text;
+    text << status.rdbuf();
+    return parseVmHwmKib(text.str(), out);
 }
 
 /** Shard `s`'s churn workload: its slice of the population. */
@@ -261,13 +274,29 @@ main(int argc, char **argv)
                         s, sharded.shard(s).tables().size());
     }
 
-    const uint64_t rss_kib = peakRssKib();
-    std::printf("%-26s %.1f MiB%s\n", "peak RSS (VmHWM)",
-                static_cast<double>(rss_kib) / 1024.0,
-                opts.rssBudgetMb
-                    ? (" (budget " + std::to_string(opts.rssBudgetMb)
-                       + " MiB)").c_str()
-                    : "");
+    uint64_t rss_kib = 0;
+    const bool rss_known = peakRssKib(rss_kib);
+    if (rss_known) {
+        std::printf("%-26s %.1f MiB%s\n", "peak RSS (VmHWM)",
+                    static_cast<double>(rss_kib) / 1024.0,
+                    opts.rssBudgetMb
+                        ? (" (budget " +
+                           std::to_string(opts.rssBudgetMb) +
+                           " MiB)").c_str()
+                        : "");
+    } else {
+        std::printf("%-26s %s\n", "peak RSS (VmHWM)",
+                    "unavailable");
+    }
+    if (opts.rssBudgetMb && !rss_known) {
+        // A budget the harness cannot measure must not pass quietly:
+        // the old code read a missing VmHWM as 0 KiB, turning the
+        // O(active) memory gate into a no-op.
+        fatal("--rss-budget-mb %" PRIu64 " requested but VmHWM is "
+              "unavailable in /proc/self/status — cannot verify the "
+              "RSS budget",
+              opts.rssBudgetMb);
+    }
     if (opts.rssBudgetMb && rss_kib > opts.rssBudgetMb * 1024) {
         fatal("peak RSS %.1f MiB exceeds the %" PRIu64
               " MiB budget — O(active) state is broken",

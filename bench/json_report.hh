@@ -29,9 +29,11 @@
 #include <utility>
 #include <vector>
 
-#include "core/runner.hh"
+#include "core/bench_options.hh"
+#include "core/run_results.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
+#include "workload/benchmarks.hh"
 
 namespace hypersio::bench
 {
@@ -60,10 +62,16 @@ class JsonReport
                            results, std::move(stats_json)});
     }
 
-    /** Records an ExperimentRow as produced by the runner. */
+    /**
+     * Records an ExperimentRow as produced by the runner. Templated
+     * (rather than taking core::ExperimentPoint/Row directly) so
+     * benches that never touch the experiment harness don't pull
+     * core/runner.hh — and the whole simulator behind it — into
+     * their translation unit just for the report type.
+     */
+    template <typename ExperimentPointT, typename ExperimentRowT>
     void
-    addRow(const core::ExperimentPoint &point,
-           const core::ExperimentRow &row)
+    addRow(const ExperimentPointT &point, const ExperimentRowT &row)
     {
         addPoint(point.label, workload::benchmarkName(point.bench),
                  point.tenants, point.interleave.name(), row.results,
@@ -158,9 +166,14 @@ class JsonReport
     std::vector<std::pair<std::string, double>> _scalars;
 };
 
-/** Compact stat-tree capture for benches that run a System inline. */
-inline std::string
-captureStatsJson(const core::System &system)
+/**
+ * Compact stat-tree capture for benches that run a System inline.
+ * Templated for the same reason addRow is: callers already include
+ * core/system.hh; this header doesn't need to.
+ */
+template <typename SystemT>
+std::string
+captureStatsJson(const SystemT &system)
 {
     std::ostringstream os;
     system.dumpStatsJson(os, 0);

@@ -13,16 +13,20 @@
  * selected by its partition id (low bits of the Source ID). With
  * partitions == 1 the cache behaves classically.
  *
- * Storage is split structure-of-arrays style: a dense (valid, key)
- * tag region scanned by the way-matching loop, and a parallel value
- * array touched only on a hit. An 8-way tag scan therefore reads one
- * 64-byte key line (plus 8 valid bytes) regardless of sizeof(V) —
- * with the old array-of-Line layout, a 24-byte value padded every
- * probe step to 40 bytes and dragged five cache lines through the
- * scan. A live valid-entry counter makes occupancy() O(1), and a
- * per-set fill count skips the invalid-way scan once a set has
- * filled (sets never "unfill" except via invalidate/flush, so a full
- * set usually stays full).
+ * Storage is split structure-of-arrays style: a dense 1-byte tag
+ * plane scanned by the way-matching loop (0 for an invalid way,
+ * otherwise a marker bit plus a 7-bit key digest), and parallel
+ * key/value arrays touched only when a digest matches. Each set's
+ * tag row is padded to a 16-lane group so the whole scan is one
+ * group compare through util/simd.hh (SSE2/NEON, scalar fallback):
+ * candidate ways come back as a bitmask and are verified against the
+ * full 64-bit key lowest-way-first, so hit/miss results — and thus
+ * every replacement decision — are bit-identical across backends
+ * (padding lanes stay zero and can never match a digest, whose
+ * marker bit is always set). A live valid-entry counter makes
+ * occupancy() O(1), and a per-set fill count skips the invalid-way
+ * scan once a set has filled (sets never "unfill" except via
+ * invalidate/flush, so a full set usually stays full).
  *
  * Building with -DHYPERSIO_LEGACY_STRUCTURES=ON selects the original
  * array-of-structures layout (same behaviour, bit-identical
@@ -35,6 +39,7 @@
 #define HYPERSIO_CACHE_SET_ASSOC_CACHE_HH
 
 #include <algorithm>
+#include <bit>
 #include <optional>
 #include <vector>
 
@@ -43,6 +48,7 @@
 #include "util/bitfield.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
+#include "util/simd.hh"
 
 namespace hypersio::cache
 {
@@ -105,8 +111,12 @@ struct CacheStats
  * the key so that different tenants using the same gIOVA pages index
  * to the same rows, which is exactly the conflict behaviour the paper
  * analyses.
+ *
+ * `Ops` selects the 16-wide group-probe backend (util/simd.hh); the
+ * default is the build's best backend, and tests instantiate the
+ * scalar reference to prove behavioural equivalence.
  */
-template <typename V>
+template <typename V, typename Ops = util::simd::DefaultGroupOps>
 class SetAssocCache
 {
   public:
@@ -142,7 +152,12 @@ class SetAssocCache
                         "partitions (%zu) must divide sets (%zu)",
                         _config.partitions, sets);
         _setsPerPartition = sets / _config.partitions;
-        _tagValid.resize(sets * _config.ways, 0);
+        // Round each set's tag row up to whole 16-lane groups so the
+        // way scan never reads past its row; the padding lanes stay
+        // zero forever.
+        constexpr size_t group = util::simd::GroupWidth;
+        _wayStride = (_config.ways + group - 1) & ~(group - 1);
+        _tagBytes.resize(sets * _wayStride, 0);
         _tagKeys.resize(sets * _config.ways, 0);
         _values.resize(sets * _config.ways);
         _setFill.resize(sets, 0);
@@ -208,11 +223,12 @@ class SetAssocCache
 
         // Use an invalid way if one exists; the fill count lets a
         // full set (the steady state) skip the scan entirely.
+        uint8_t *row = _tagBytes.data() + set * _wayStride;
         if (_setFill[set] < _config.ways) {
             size_t way = 0;
-            while (_tagValid[base + way])
+            while (row[way])
                 ++way;
-            _tagValid[base + way] = 1;
+            row[way] = tagByteOf(key);
             _tagKeys[base + way] = key;
             _values[base + way] = std::move(value);
             ++_setFill[set];
@@ -234,6 +250,7 @@ class SetAssocCache
         Eviction evicted{_tagKeys[base + victim],
                          std::move(_values[base + victim])};
         ++_stats.evictions;
+        row[victim] = tagByteOf(key);
         _tagKeys[base + victim] = key;
         _values[base + victim] = std::move(value);
         _policy->insert(set, victim, key);
@@ -248,7 +265,7 @@ class SetAssocCache
         const size_t way = findWay(set, key);
         if (way == _config.ways)
             return false;
-        _tagValid[set * _config.ways + way] = 0;
+        _tagBytes[set * _wayStride + way] = 0;
         --_setFill[set];
         --_occupied;
         ++_stats.invalidations;
@@ -260,9 +277,11 @@ class SetAssocCache
     void
     flush()
     {
-        for (auto &valid : _tagValid) {
-            if (valid) {
-                valid = 0;
+        // Padding lanes are always zero, so iterating the padded
+        // plane visits exactly the valid ways.
+        for (auto &tag : _tagBytes) {
+            if (tag) {
+                tag = 0;
                 ++_stats.invalidations;
             }
         }
@@ -323,7 +342,7 @@ class SetAssocCache
         for (size_t s = 0; s < sets; ++s) {
             for (size_t w = 0; w < _config.ways; ++w) {
                 const size_t slot = s * _config.ways + w;
-                if (_tagValid[slot])
+                if (_tagBytes[s * _wayStride + w])
                     fn(_tagKeys[slot], _values[slot], s, w);
             }
         }
@@ -351,16 +370,40 @@ class SetAssocCache
 
   private:
     /**
-     * Scans the set's tag region for `key`.
+     * 1-byte way tag: the marker bit plus the top 7 bits of the
+     * key's Fibonacci mix (well mixed even for page-base keys, whose
+     * low bits are zero). 0 marks an invalid way — the marker bit
+     * keeps every live digest nonzero, so zero padding lanes can
+     * never produce a candidate.
+     */
+    static uint8_t
+    tagByteOf(uint64_t key)
+    {
+        return uint8_t((key * 0x9E3779B97F4A7C15ull) >> 57) | 0x80;
+    }
+
+    /**
+     * Scans the set's tag row for `key`, one 16-lane group compare
+     * per group of ways. Candidate ways (digest matches) are
+     * verified against the full key lowest-way-first, matching the
+     * scalar scan's order exactly.
      * @return the matching way, or `ways` when absent.
      */
     size_t
     findWay(size_t set, uint64_t key) const
     {
-        const size_t base = set * _config.ways;
-        for (size_t w = 0; w < _config.ways; ++w) {
-            if (_tagValid[base + w] && _tagKeys[base + w] == key)
-                return w;
+        const uint8_t *row = _tagBytes.data() + set * _wayStride;
+        const uint64_t *keys = _tagKeys.data() + set * _config.ways;
+        const uint8_t digest = tagByteOf(key);
+        for (size_t g = 0; g < _wayStride;
+             g += util::simd::GroupWidth) {
+            uint32_t cand = Ops::matchMask(row + g, digest);
+            while (cand) {
+                const size_t w = g + size_t(std::countr_zero(cand));
+                if (keys[w] == key)
+                    return w;
+                cand &= cand - 1;
+            }
         }
         return _config.ways;
     }
@@ -368,13 +411,16 @@ class SetAssocCache
     CacheConfig _config;
     std::unique_ptr<ReplacementPolicy> _policy;
 
-    // SoA storage: the tag arrays are all the way scan touches; the
-    // value array is indexed only on hit/insert/evict.
-    std::vector<uint8_t> _tagValid;
+    // SoA storage: the tag plane is all the way scan touches; the
+    // key array is read per digest match, the value array only on
+    // hit/insert/evict.
+    std::vector<uint8_t> _tagBytes;
     std::vector<uint64_t> _tagKeys;
     std::vector<V> _values;
     /** Valid ways per set; `ways` means the invalid-way scan is moot. */
     std::vector<uint32_t> _setFill;
+    /** Tag-plane bytes per set: ways rounded up to 16-lane groups. */
+    size_t _wayStride = util::simd::GroupWidth;
     /** Live valid-entry count across all sets. */
     size_t _occupied = 0;
 
@@ -392,9 +438,11 @@ class SetAssocCache
  * Reference mode: the original array-of-Line layout, kept verbatim
  * (O(entries) occupancy, per-insert invalid-way scan) so the
  * translation-path microbench can measure the SoA split end-to-end.
- * Behaviour is bit-identical to the SoA implementation above.
+ * Behaviour is bit-identical to the SoA implementation above. The
+ * group-probe backend parameter is accepted for API compatibility
+ * and ignored.
  */
-template <typename V>
+template <typename V, typename Ops = util::simd::DefaultGroupOps>
 class SetAssocCache
 {
   public:

@@ -84,9 +84,8 @@ Device::Device(const DeviceConfig &config, sim::EventQueue &queue,
     _context.exportStats(statGroup().child("context_cache"));
 }
 
-void
-Device::accept(const trace::PacketRecord &packet,
-               std::function<void()> done)
+unsigned
+Device::admit(const trace::PacketRecord &packet)
 {
     const int idx = _ptb.allocate(packet, now());
     HYPERSIO_ASSERT(idx >= 0, "accept() called with a full PTB");
@@ -101,9 +100,25 @@ Device::accept(const trace::PacketRecord &packet,
         _prefetchUnit->observePacket(packet.sid);
         HYPERSIO_SHADOW(deviceSidObserved(packet.sid));
     }
+    return static_cast<unsigned>(idx);
+}
 
-    _ptb.entry(static_cast<unsigned>(idx)).done = std::move(done);
-    issueNext(static_cast<unsigned>(idx));
+void
+Device::accept(const trace::PacketRecord &packet,
+               CompletionSink &sink)
+{
+    const unsigned idx = admit(packet);
+    _ptb.entry(idx).sink = &sink;
+    issueNext(idx);
+}
+
+void
+Device::accept(const trace::PacketRecord &packet,
+               std::function<void()> done)
+{
+    const unsigned idx = admit(packet);
+    _ptb.entry(idx).done = std::move(done);
+    issueNext(idx);
 }
 
 void
@@ -113,6 +128,17 @@ Device::issueNext(unsigned idx)
     if (entry.nextReq >= trace::NumReqClasses) {
         // All three translations done: packet fully processed.
         _packetLatency.sample(ticksToNs(now() - entry.accepted));
+        if (CompletionSink *sink = entry.sink) {
+            // The sink path frees the entry before notifying, like
+            // the callback path — the sink may accept a new packet
+            // reentrantly — so the record is copied out first.
+            const trace::PacketRecord packet = entry.packet;
+            entry.sink = nullptr;
+            _ptb.release(idx);
+            HYPERSIO_SHADOW(devicePacketCompleted(idx, _ptb.inUse()));
+            sink->packetDone(packet);
+            return;
+        }
         std::function<void()> done = std::move(entry.done);
         _ptb.release(idx);
         HYPERSIO_SHADOW(devicePacketCompleted(idx, _ptb.inUse()));

@@ -55,13 +55,25 @@ class Device : public sim::SimObject
            stats::StatGroup &parent, DevicePorts ports,
            cache::OracleFeed *oracle = nullptr);
 
+    /** Completion interface of the run loops (see ptb.hh). */
+    using CompletionSink = PacketCompletionSink;
+
     /** True when no PTB entry is available. */
     bool ptbFull() const { return _ptb.full(); }
 
     /**
      * Accepts a packet (the caller applied its page ops already) and
-     * starts its translation chain. `done` fires when all three
-     * translations complete; the packet is then fully processed.
+     * starts its translation chain. `sink.packetDone(packet)` fires
+     * when all three translations complete; the packet is then fully
+     * processed. The sink must outlive the packet — this is the
+     * allocation-free form the run loops use on every arrival.
+     */
+    void accept(const trace::PacketRecord &packet,
+                CompletionSink &sink);
+
+    /**
+     * Callback form of accept() for tests and ad-hoc drivers; `done`
+     * fires when all three translations complete.
      */
     void accept(const trace::PacketRecord &packet,
                 std::function<void()> done);
@@ -113,6 +125,8 @@ class Device : public sim::SimObject
     uint64_t prefetchesSent() const { return _prefetchesSent.count(); }
 
   private:
+    /** Shared accept() front half; returns the allocated PTB index. */
+    unsigned admit(const trace::PacketRecord &packet);
     /**
      * Issues the next translation request of PTB entry `idx`. All
      * in-flight state lives in the entry itself, so the continuation

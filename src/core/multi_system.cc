@@ -30,6 +30,8 @@ MultiSystem::MultiSystem(const SystemConfig &config,
     _devices.reserve(num_devices);
     _historyReaders.reserve(num_devices);
     _links.resize(num_devices);
+    for (LinkState &link : _links)
+        link.owner = this;
 
     for (unsigned d = 0; d < num_devices; ++d) {
         stats::StatGroup &dev_stats =
@@ -139,14 +141,7 @@ MultiSystem::run(const trace::HyperTrace &trace)
             } else {
                 applyOps(trace, pkt, d);
                 ++link.cursor;
-                const uint64_t bytes =
-                    pkt.wireBytes ? pkt.wireBytes
-                                  : _config.link.packetBytes;
-                _devices[d]->accept(pkt, [this, d, bytes]() {
-                    ++_links[d].processed;
-                    _links[d].bytes += bytes;
-                    _lastCompletion = _queue.now();
-                });
+                _devices[d]->accept(pkt, link);
             }
             if (link.cursor < link.packetIdx.size()) {
                 // Re-arm by reference: the closure itself is never

@@ -91,13 +91,24 @@ class MultiSystem
     std::vector<std::unique_ptr<XlatePort>> _xlatePorts;
     std::vector<std::unique_ptr<Device>> _devices;
 
-    struct LinkState
+    struct LinkState : Device::CompletionSink
     {
         std::vector<uint32_t> packetIdx; ///< trace indices for this dev
         size_t cursor = 0;
         uint64_t processed = 0;
         uint64_t dropped = 0;
         uint64_t bytes = 0;
+        MultiSystem *owner = nullptr; ///< completion bookkeeping
+
+        /** Device completion for this link (allocation-free). */
+        void
+        packetDone(const trace::PacketRecord &pkt) override
+        {
+            ++processed;
+            bytes += pkt.wireBytes ? pkt.wireBytes
+                                   : owner->_config.link.packetBytes;
+            owner->_lastCompletion = owner->_queue.now();
+        }
     };
     std::vector<LinkState> _links;
     Tick _lastCompletion = 0;

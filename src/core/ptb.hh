@@ -32,8 +32,22 @@ namespace hypersio::core
 {
 
 /**
+ * Receives packet completions from the device. The completed packet
+ * identifies itself (SID, wire bytes, iovas), so one long-lived sink
+ * serves every in-flight packet — unlike a per-packet closure, which
+ * costs a std::function copy (and, past the small-buffer limit, a
+ * heap allocation) on every accept.
+ */
+struct PacketCompletionSink
+{
+    virtual ~PacketCompletionSink() = default;
+    /** All three of `packet`'s translations completed. */
+    virtual void packetDone(const trace::PacketRecord &packet) = 0;
+};
+
+/**
  * One PTB entry: an accepted packet in translation. The entry IS the
- * packet's in-flight state — the completion callback and the
+ * packet's in-flight state — the completion target and the
  * parameters of the translation currently on the wire live here, so
  * per-hop events only need to carry the entry index.
  */
@@ -46,7 +60,10 @@ struct PtbEntry
     /** A prefetch was already triggered for this packet. */
     bool prefetchIssued = false;
     Tick accepted = 0;
-    /** Fires when all three translations complete. */
+    /** Completion target (the run loop); null when `done` is used. */
+    PacketCompletionSink *sink = nullptr;
+    /** Fires when all three translations complete (callback form;
+     *  tests and ad-hoc drivers). */
     std::function<void()> done;
     /** Domain of the request currently outstanding. */
     mem::DomainId did = 0;
@@ -95,6 +112,7 @@ class PendingTranslationBuffer
         entry.nextReq = 0;
         entry.prefetchIssued = false;
         entry.accepted = now;
+        entry.sink = nullptr;
         return static_cast<int>(idx);
     }
 

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The per-run results summary, split out of system.hh for the same
+ * reason BenchOptions left runner.hh: bench/json_report.hh stores a
+ * RunResults per sweep point, and keeping this struct in a leaf
+ * header lets report-only translation units avoid compiling the
+ * whole simulator.
+ */
+
+#ifndef HYPERSIO_CORE_RUN_RESULTS_HH
+#define HYPERSIO_CORE_RUN_RESULTS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/units.hh"
+
+namespace hypersio::json
+{
+class Writer;
+}
+
+namespace hypersio::core
+{
+
+/** Summary of one simulation run. */
+struct RunResults
+{
+    std::string configName;
+    uint64_t packetsProcessed = 0;
+    uint64_t packetsDropped = 0;
+    uint64_t translations = 0;
+    Tick elapsed = 0;
+    double achievedGbps = 0.0;
+    double utilization = 0.0; ///< achievedGbps / nominal link rate
+
+    double devtlbHitRate = 0.0;
+    double pbHitRate = 0.0;    ///< PB hits / translation requests
+    double iotlbHitRate = 0.0; ///< chipset IOTLB
+    uint64_t walks = 0;
+    uint64_t iommuRequests = 0;
+    double avgPacketLatencyNs = 0.0;
+
+    /** Exact (bit-identical doubles included) equality. */
+    bool operator==(const RunResults &) const = default;
+};
+
+/**
+ * Writes the results as one JSON object (snake_case keys, full
+ * double precision) — the "results" block of the `--json` reports.
+ */
+void writeRunResultsJson(json::Writer &w, const RunResults &r);
+
+} // namespace hypersio::core
+
+#endif // HYPERSIO_CORE_RUN_RESULTS_HH

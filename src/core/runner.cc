@@ -39,10 +39,16 @@ ExperimentRunner::ExperimentRunner(double scale, uint64_t seed,
 }
 
 unsigned
-ExperimentRunner::defaultJobs()
+defaultBenchJobs()
 {
     const unsigned hw = std::thread::hardware_concurrency();
     return hw ? hw : 1;
+}
+
+unsigned
+ExperimentRunner::defaultJobs()
+{
+    return defaultBenchJobs();
 }
 
 const trace::HyperTrace &

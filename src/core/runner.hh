@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "core/bench_options.hh"
 #include "core/system.hh"
 #include "trace/constructor.hh"
 #include "workload/benchmarks.hh"
@@ -171,21 +172,6 @@ void writeCsv(const std::string &path,
               const std::vector<
                   std::pair<std::string, std::vector<double>>>
                   &series);
-
-/** Standard "--quick/--full/--scale/--jobs" command line for benches. */
-struct BenchOptions
-{
-    double scale = 0.05;
-    unsigned maxTenants = 1024;
-    uint64_t seed = 42;
-    unsigned jobs = ExperimentRunner::defaultJobs();
-    bool verbose = false;
-    /** `--json <file>`: machine-readable report destination. */
-    std::string jsonPath;
-
-    /** Parses argv; fatal() on unknown flags. */
-    static BenchOptions parse(int argc, char **argv);
-};
 
 } // namespace hypersio::core
 

@@ -147,46 +147,55 @@ System::run(const trace::HyperTrace &trace, bool bypass_translation)
 
     const Tick interval = _config.link.packetInterval();
     const uint64_t total = trace.packets.size();
+    const unsigned batch = _config.admitBatch ? _config.admitBatch : 1;
 
-    // The link arrival process: one event per arrival slot. Packets
-    // with an explicit wire size occupy the link for their own
-    // serialization time (small packets arrive faster, leaving less
-    // time per translation).
+    // The link arrival process. At admitBatch == 1 (the default),
+    // one event per arrival slot — the classic process, event for
+    // event. Larger batches drain up to `batch` pending arrivals per
+    // dispatch and space events by the batch's summed serialization
+    // time; a PTB drop ends the batch (the dropped packet retries at
+    // the next arrival event). Packets with an explicit wire size
+    // occupy the link for their own serialization time (small
+    // packets arrive faster, leaving less time per translation).
     std::function<void()> arrival = [&]() {
-        const trace::PacketRecord &pkt = trace.packets[_cursor];
-        const uint64_t bytes = wireBytesOf(pkt);
+        for (unsigned b = 0; b < batch && _cursor < total; ++b) {
+            const trace::PacketRecord &pkt = trace.packets[_cursor];
 
-        if (bypass_translation) {
-            // Native mode: no address translation at all.
-            ++_cursor;
-            ++_processed;
-            _bytesProcessed += bytes;
-            _lastCompletion = _queue.now();
-        } else if (_device->ptbFull()) {
-            // Dropped; the same packet retries next slot.
-            ++_dropped;
-            HYPERSIO_SHADOW(devicePacketDropped());
-        } else {
+            if (bypass_translation) {
+                // Native mode: no address translation at all.
+                ++_cursor;
+                ++_processed;
+                _bytesProcessed += wireBytesOf(pkt);
+                _lastCompletion = _queue.now();
+                continue;
+            }
+            if (_device->ptbFull()) {
+                // Dropped; the same packet retries next slot.
+                ++_dropped;
+                HYPERSIO_SHADOW(devicePacketDropped());
+                break;
+            }
             applyOps(pkt, trace.ops.data() + pkt.opBegin);
             ++_cursor;
-            _device->accept(pkt, [this, bytes]() {
-                ++_processed;
-                _bytesProcessed += bytes;
-                _lastCompletion = _queue.now();
-            });
+            _device->accept(pkt, *this);
         }
 
         if (_cursor < total) {
             // The next arrival follows the serialization time of
-            // the packet now occupying the wire (the retried packet
-            // on a drop, the next one otherwise). Re-arm through a
-            // one-word reference so the arrival closure itself is
-            // never copied per slot.
-            const Tick gap = serializationTicks(
-                wireBytesOf(trace.packets[_cursor]),
-                _config.link.gbps);
-            _queue.scheduleAfter(gap == 0 ? interval : gap,
-                                 [&arrival] { arrival(); });
+            // the packets now occupying the wire (the retried packet
+            // first on a drop, the next ones otherwise). Re-arm
+            // through a one-word reference so the arrival closure
+            // itself is never copied per slot.
+            Tick gap = 0;
+            const uint64_t ahead =
+                std::min<uint64_t>(batch, total - _cursor);
+            for (uint64_t i = 0; i < ahead; ++i) {
+                const Tick ser = serializationTicks(
+                    wireBytesOf(trace.packets[_cursor + i]),
+                    _config.link.gbps);
+                gap += ser == 0 ? interval : ser;
+            }
+            _queue.scheduleAfter(gap, [&arrival] { arrival(); });
         }
     };
 
@@ -244,21 +253,26 @@ System::runStream(trace::PacketStream &stream,
     const uint64_t first_bytes = wireBytesOf(*first);
 
     // The arrival process mirrors run()'s slot for slot; the only
-    // difference is where the next packet comes from. A stream that
-    // runs dry while tenants await retirement (ChurnStream parked on
-    // a full SID space) parks the process; retirement completions
-    // re-arm it through maybeRestartStreamArrival().
+    // difference is where the next packet comes from (and that a
+    // batch can also end early because the stream ran dry — only the
+    // head packet is peekable). A stream that runs dry while tenants
+    // await retirement (ChurnStream parked on a full SID space)
+    // parks the process; retirement completions re-arm it through
+    // maybeRestartStreamArrival().
+    const unsigned batch = _config.admitBatch ? _config.admitBatch : 1;
     std::function<void()> arrival = [&]() {
-        const trace::PacketRecord *head = _stream->peek();
-        HYPERSIO_ASSERT(head,
+        HYPERSIO_ASSERT(_stream->peek(),
                         "stream arrival fired without a packet");
-        const uint64_t bytes = wireBytesOf(*head);
-
-        if (_device->ptbFull()) {
-            // Dropped; the same packet retries next slot.
-            ++_dropped;
-            HYPERSIO_SHADOW(devicePacketDropped());
-        } else {
+        for (unsigned b = 0; b < batch; ++b) {
+            const trace::PacketRecord *head = _stream->peek();
+            if (!head)
+                break;
+            if (_device->ptbFull()) {
+                // Dropped; the same packet retries next slot.
+                ++_dropped;
+                HYPERSIO_SHADOW(devicePacketDropped());
+                break;
+            }
             // Copy the record out: advance() invalidates peek().
             const trace::PacketRecord pkt = *head;
             applyOps(pkt, _stream->ops());
@@ -266,23 +280,20 @@ System::runStream(trace::PacketStream &stream,
             if (_evictStream)
                 ++_outstanding[pkt.sid];
             _stream->advance();
-            const trace::SourceId sid = pkt.sid;
-            _device->accept(pkt, [this, bytes, sid]() {
-                ++_processed;
-                _bytesProcessed += bytes;
-                _lastCompletion = _queue.now();
-                if (_evictStream)
-                    onStreamPacketDrained(sid);
-            });
+            _device->accept(pkt, *this);
         }
 
         if (_evictStream)
             serviceRetirements();
 
         if (const trace::PacketRecord *next = _stream->peek()) {
-            const Tick gap = serializationTicks(
+            // Only the head is visible, so the batch window is
+            // approximated as `batch` slots of the head's
+            // serialization time (exact at batch == 1).
+            const Tick ser = serializationTicks(
                 wireBytesOf(*next), _config.link.gbps);
-            _queue.scheduleAfter(gap == 0 ? _streamInterval : gap,
+            const Tick slot = ser == 0 ? _streamInterval : ser;
+            _queue.scheduleAfter(slot * batch,
                                  [&arrival] { arrival(); });
         } else if (!_stream->exhausted()) {
             _streamStalled = true;
@@ -322,6 +333,17 @@ System::runStream(trace::PacketStream &stream,
         _iommu->l3Occupancy(), _device->ptbInUse()));
 
     return collectResults(first_bytes);
+}
+
+void
+System::packetDone(const trace::PacketRecord &pkt)
+{
+    ++_processed;
+    _bytesProcessed += wireBytesOf(pkt);
+    _lastCompletion = _queue.now();
+    // Streaming-run bookkeeping; _evictStream is never set by run().
+    if (_evictStream)
+        onStreamPacketDrained(pkt.sid);
 }
 
 uint64_t
@@ -430,15 +452,21 @@ System::tryRetireSid(trace::SourceId sid)
     }
 
     // The SID's domains (one per PASID the tenant used). Directory
-    // iteration order is unspecified; sort for determinism.
-    std::vector<mem::DomainId> dids;
+    // iteration order is unspecified; sort for determinism. The
+    // list lives in the retirement arena: this function reruns on
+    // every completion while the tenant drains.
+    const util::Arena::Scope scratch(_retireArena);
+    auto *dids = _retireArena.allocArray<mem::DomainId>(
+        _tables.size());
+    size_t ndids = 0;
     _tables.forEachDomain([&](const mem::DomainId &did) {
         if (iommu::ContextCache::sidOf(did) == sid)
-            dids.push_back(did);
+            dids[ndids++] = did;
     });
-    std::sort(dids.begin(), dids.end());
+    std::sort(dids, dids + ndids);
 
-    for (const mem::DomainId did : dids) {
+    for (size_t i = 0; i < ndids; ++i) {
+        const mem::DomainId did = dids[i];
         // Gate 2: no history-reader prefetch burst in flight.
         if (_historyReader && _historyReader->prefetchInFlight(did))
             return false;
@@ -449,8 +477,8 @@ System::tryRetireSid(trace::SourceId sid)
         }
     }
 
-    for (const mem::DomainId did : dids)
-        retireDomain(did);
+    for (size_t i = 0; i < ndids; ++i)
+        retireDomain(dids[i]);
     _device->retireSid(sid);
     _streamRetirements.push_back(
         {_queue.now(), _queue.scheduledSeq(), sid});
@@ -468,13 +496,17 @@ System::retireDomain(mem::DomainId did)
     // unspecified; sort for determinism.
     mem::PageTable *table = _tables.findExisting(did);
     HYPERSIO_ASSERT(table, "retiring a domain without a table");
-    std::vector<std::pair<mem::Iova, mem::PageSize>> pages;
+    using PageRef = std::pair<mem::Iova, mem::PageSize>;
+    const util::Arena::Scope scratch(_retireArena);
+    auto *pages = _retireArena.allocArray<PageRef>(table->size());
+    size_t npages = 0;
     table->forEachMapping(
         [&](mem::Iova base, mem::PageSize size) {
-            pages.emplace_back(base, size);
+            pages[npages++] = {base, size};
         });
-    std::sort(pages.begin(), pages.end());
-    for (const auto &[base, size] : pages) {
+    std::sort(pages, pages + npages);
+    for (size_t i = 0; i < npages; ++i) {
+        const auto [base, size] = pages[i];
         table->unmap(base);
         _device->invalidatePage(did, base, size);
         _iommu->invalidate(did, base, size);

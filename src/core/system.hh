@@ -23,44 +23,18 @@
 #include "core/chipset.hh"
 #include "core/config.hh"
 #include "core/device.hh"
+#include "core/run_results.hh"
 #include "core/xlate_port.hh"
 #include "iommu/iommu.hh"
 #include "mem/memory_model.hh"
 #include "trace/record.hh"
 #include "trace/stream.hh"
+#include "util/arena.hh"
 #include "util/flat_map.hh"
 #include "util/json.hh"
 
 namespace hypersio::core
 {
-
-/** Summary of one simulation run. */
-struct RunResults
-{
-    std::string configName;
-    uint64_t packetsProcessed = 0;
-    uint64_t packetsDropped = 0;
-    uint64_t translations = 0;
-    Tick elapsed = 0;
-    double achievedGbps = 0.0;
-    double utilization = 0.0; ///< achievedGbps / nominal link rate
-
-    double devtlbHitRate = 0.0;
-    double pbHitRate = 0.0;    ///< PB hits / translation requests
-    double iotlbHitRate = 0.0; ///< chipset IOTLB
-    uint64_t walks = 0;
-    uint64_t iommuRequests = 0;
-    double avgPacketLatencyNs = 0.0;
-
-    /** Exact (bit-identical doubles included) equality. */
-    bool operator==(const RunResults &) const = default;
-};
-
-/**
- * Writes the results as one JSON object (snake_case keys, full
- * double precision) — the "results" block of the `--json` reports.
- */
-void writeRunResultsJson(json::Writer &w, const RunResults &r);
 
 /** Options of a streaming run (System::runStream). */
 struct StreamRunOptions
@@ -95,7 +69,7 @@ struct StreamRetirement
  * run() may be called once per System (state is not reset between
  * traces; build a fresh System per experiment point).
  */
-class System
+class System : private Device::CompletionSink
 {
   public:
     explicit System(const SystemConfig &config);
@@ -159,6 +133,13 @@ class System
     }
 
   private:
+    /**
+     * Device completion (one sink for both run loops): bytes and SID
+     * come from the completed packet itself, so accept() needs no
+     * per-packet closure.
+     */
+    void packetDone(const trace::PacketRecord &pkt) override;
+
     void applyOps(const trace::PacketRecord &pkt,
                   const trace::PageOp *ops);
     void buildOracleFeed(const trace::HyperTrace &trace);
@@ -215,6 +196,14 @@ class System
     /** Prefetch fills on the PCIe wire per DID (retirement gate). */
     util::FlatMap<mem::DomainId, uint32_t> _fillsInFlight;
     std::vector<StreamRetirement> _streamRetirements;
+    /**
+     * Scratch for retirement transients (a retiring SID's sorted
+     * domain list, a dying table's sorted page list). Retirement
+     * retries on every completion while a tenant drains, so these
+     * would otherwise be a heap round trip each attempt; the arena
+     * reuses the same chunk run after run.
+     */
+    util::Arena _retireArena;
 };
 
 } // namespace hypersio::core

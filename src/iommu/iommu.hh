@@ -40,13 +40,25 @@ class PageTableDirectory
      * reference is only stable until the next get() of a *new*
      * domain (the directory is an open-addressed table); callers
      * must not hold it across table creation.
+     *
+     * A one-entry inline cache short-circuits the table probe: the
+     * translation path performs several consecutive get()s of the
+     * same domain per packet (ops, walk levels, history), so the
+     * repeat rate is very high. The cached pointer is dropped on
+     * erase() — a backward-shift erase of *another* domain may move
+     * this one's slot — and refreshed on every probing get(), so it
+     * can never outlive the entry it names.
      */
     mem::PageTable &
     get(mem::DomainId domain)
     {
+        if (domain == _lastDomain && _lastTable)
+            return *_lastTable;
         auto [table, inserted] = _tables.tryEmplace(domain);
         if (inserted)
             *table = mem::PageTable(domain, _seed);
+        _lastDomain = domain;
+        _lastTable = table;
         return *table;
     }
 
@@ -67,7 +79,12 @@ class PageTableDirectory
      * Drops `domain`'s page table entirely (tenant detach).
      * @return true when a table existed.
      */
-    bool erase(mem::DomainId domain) { return _tables.erase(domain); }
+    bool
+    erase(mem::DomainId domain)
+    {
+        _lastTable = nullptr;
+        return _tables.erase(domain);
+    }
 
     size_t size() const { return _tables.size(); }
 
@@ -88,6 +105,11 @@ class PageTableDirectory
   private:
     uint64_t _seed;
     util::FlatMap<mem::DomainId, mem::PageTable> _tables;
+    /** One-entry inline cache for get(); see get() for invalidation
+     *  rules. The pointer gates validity, so domain 0 needs no
+     *  special-casing. */
+    mem::DomainId _lastDomain = 0;
+    mem::PageTable *_lastTable = nullptr;
 };
 
 /** IOMMU configuration (paging caches per Table II / Table IV). */

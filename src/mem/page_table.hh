@@ -123,25 +123,26 @@ class PageTable
     map(Iova iova, PageSize size)
     {
         const Addr base = pageBase(iova, size);
-        if (size == PageSize::Size2M)
+        if (size == PageSize::Size2M) {
             _has2m = true;
-        else
+            _lo2m = base < _lo2m ? base : _lo2m;
+            _hi2m = base > _hi2m ? base : _hi2m;
+        } else {
             _has4k = true;
+        }
         auto [entry_ptr, inserted] = _mappings.tryEmplace(base);
         if (!inserted) {
-            HYPERSIO_ASSERT(entry_ptr->pageSize == size,
+            HYPERSIO_ASSERT(entry_ptr->pageSize() == size,
                             "page size change on remap of %llx",
                             (unsigned long long)base);
             return;
         }
-        Entry &entry = *entry_ptr;
-        entry.pageSize = size;
         // Deterministic host frame: uniform over a 1 TB host space,
         // aligned to the page size.
         const uint64_t raw = hashCombine(_frameSeed, base);
         const uint64_t space = uint64_t(1) << 40;
-        entry.hostBase =
-            roundDown(raw % space, pageBytes(size));
+        entry_ptr->packed = roundDown(raw % space, pageBytes(size)) |
+                            uint64_t(size == PageSize::Size2M);
     }
 
     /** Removes the mapping covering `iova`; true if one existed. */
@@ -162,28 +163,31 @@ class PageTable
      * Translates `iova`; invalid when unmapped.
      *
      * A 2 MB mapping covers its whole range, so in general both the
-     * 2 MB and the 4 KB page base must be probed. The per-domain
-     * page-size flags (set by map(), never cleared) skip whichever
-     * probe cannot match: a domain that has only ever mapped one
-     * page size — the common case — costs a single probe.
+     * 2 MB and the 4 KB page base must be probed. Two sticky
+     * summaries (set by map(), never cleared) skip probes that
+     * cannot match: the [_lo2m, _hi2m] range bounds every 2 MB
+     * mapping base ever installed, so iovas outside it — ring and
+     * doorbell pages sit far from the hugepage pool in practice —
+     * skip the 2 MB probe even in domains that mix page sizes, and
+     * _has4k gates the 4 KB probe. Stale summaries after unmap only
+     * cost a wasted probe, never a wrong result.
      */
     Translation
     translate(Iova iova) const
     {
-        if (_has2m) {
-            if (const Entry *e =
-                    find(pageBase(iova, PageSize::Size2M));
-                e && e->pageSize == PageSize::Size2M) {
-                return {e->hostBase +
-                            (iova - pageBase(iova, PageSize::Size2M)),
+        if (const Addr b2 = pageBase(iova, PageSize::Size2M);
+            b2 >= _lo2m && b2 <= _hi2m) {
+            if (const Entry *e = find(b2);
+                e && e->pageSize() == PageSize::Size2M) {
+                return {e->hostBase() + (iova - b2),
                         PageSize::Size2M, true};
             }
         }
         if (_has4k) {
             if (const Entry *e =
                     find(pageBase(iova, PageSize::Size4K));
-                e && e->pageSize == PageSize::Size4K) {
-                return {e->hostBase +
+                e && e->pageSize() == PageSize::Size4K) {
+                return {e->hostBase() +
                             (iova - pageBase(iova, PageSize::Size4K)),
                         PageSize::Size4K, true};
             }
@@ -205,15 +209,16 @@ class PageTable
     forEachMapping(Fn &&fn) const
     {
         _mappings.forEach([&](const Addr &base, const Entry &entry) {
-            fn(base, entry.pageSize);
+            fn(base, entry.pageSize());
         });
     }
 
   private:
     struct Entry
     {
-        Addr hostBase = 0;
-        PageSize pageSize = PageSize::Size4K;
+        uint64_t packed = 0;
+        Addr hostBase() const { return packed & ~uint64_t(1); }
+        PageSize pageSize() const { return (packed & 1) ? PageSize::Size2M : PageSize::Size4K; }
     };
 
     const Entry *find(Addr base) const { return _mappings.find(base); }
@@ -222,12 +227,15 @@ class PageTable
     uint64_t _frameSeed = 0;
     util::FlatMap<Addr, Entry> _mappings;
     /**
-     * Which page sizes this domain has ever mapped (sticky: unmap
-     * does not clear them — stale flags only cost a wasted probe,
-     * never a wrong result).
+     * Sticky page-size summaries (unmap does not shrink them; see
+     * translate()). _lo2m/_hi2m bound every 2 MB mapping base ever
+     * installed; the empty range (_lo2m > _hi2m) doubles as the
+     * "never mapped 2 MB" flag.
      */
     bool _has4k = false;
     bool _has2m = false;
+    Addr _lo2m = ~Addr(0);
+    Addr _hi2m = 0;
 };
 
 } // namespace hypersio::mem

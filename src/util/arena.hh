@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Chunked bump (arena/epoch) allocator for short-lived transients.
+ *
+ * Several hot paths need a scratch array whose size is only known at
+ * the call (the sorted domain list of a retiring tenant, the page
+ * list of a table being torn down). A std::vector there costs a heap
+ * round trip per call — and tenant retirement retries on every
+ * packet completion, so the calls are frequent. An Arena hands out
+ * pointer-bump allocations from reusable chunks; callers bracket a
+ * transient with mark()/rewind() (or an Arena::Scope) and the memory
+ * is reclaimed wholesale, no per-allocation bookkeeping.
+ *
+ * Only trivially destructible element types are allowed: rewind()
+ * never runs destructors.
+ */
+
+#ifndef HYPERSIO_UTIL_ARENA_HH
+#define HYPERSIO_UTIL_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace hypersio::util
+{
+
+/** Bump allocator over a growable list of reusable chunks. */
+class Arena
+{
+  public:
+    static constexpr size_t DefaultChunkBytes = 64 * 1024;
+
+    explicit Arena(size_t chunk_bytes = DefaultChunkBytes)
+        : _chunkBytes(chunk_bytes ? chunk_bytes : DefaultChunkBytes)
+    {}
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /** A rewind point: everything allocated after it is reclaimed. */
+    struct Marker
+    {
+        size_t chunk = 0;
+        size_t used = 0;
+    };
+
+    /** RAII mark()/rewind() bracket around a transient's lifetime. */
+    class Scope
+    {
+      public:
+        explicit Scope(Arena &arena)
+            : _arena(arena), _marker(arena.mark())
+        {}
+        ~Scope() { _arena.rewind(_marker); }
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        Arena &_arena;
+        Marker _marker;
+    };
+
+    Marker mark() const { return {_chunk, _used}; }
+
+    /**
+     * Releases everything allocated since `marker`. Chunks are kept
+     * for reuse — a steady-state caller stops allocating entirely.
+     * Markers must be rewound in LIFO order (enforced only by use).
+     */
+    void
+    rewind(Marker marker)
+    {
+        HYPERSIO_ASSERT(marker.chunk < _chunks.size() ||
+                            (marker.chunk == 0 && _chunks.empty()),
+                        "arena marker outlived its chunks");
+        _chunk = marker.chunk;
+        _used = marker.used;
+    }
+
+    /** Rewinds to empty; chunk storage is retained for reuse. */
+    void reset() { rewind({0, 0}); }
+
+    /**
+     * `count` default-initialized (i.e. uninitialized for scalar) Ts,
+     * aligned for T, contiguous. Valid until the enclosing rewind.
+     * count == 0 returns a non-null one-past pointer like new T[0].
+     */
+    template <typename T>
+    T *
+    allocArray(size_t count)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena memory is reclaimed without running "
+                      "destructors");
+        T *out = static_cast<T *>(
+            allocate(count * sizeof(T), alignof(T)));
+        for (size_t i = 0; i < count; ++i)
+            ::new (static_cast<void *>(out + i)) T;
+        return out;
+    }
+
+    /**
+     * `bytes` of storage at alignment `align` (a power of two no
+     * larger than alignof(std::max_align_t)).
+     */
+    void *
+    allocate(size_t bytes, size_t align)
+    {
+        HYPERSIO_ASSERT(align != 0 && (align & (align - 1)) == 0 &&
+                            align <= alignof(std::max_align_t),
+                        "unsupported arena alignment %zu", align);
+        for (;;) {
+            if (_chunk < _chunks.size()) {
+                Chunk &chunk = _chunks[_chunk];
+                const size_t at = (_used + align - 1) & ~(align - 1);
+                if (at + bytes <= chunk.capacity) {
+                    _used = at + bytes;
+                    return chunk.data.get() + at;
+                }
+            }
+            advanceChunk(bytes);
+        }
+    }
+
+    /** Chunks ever allocated (monotone; for tests and budgets). */
+    size_t chunks() const { return _chunks.size(); }
+
+    /** Bytes the chunks hold in total (monotone; tests/budgets). */
+    size_t
+    capacityBytes() const
+    {
+        size_t total = 0;
+        for (const Chunk &chunk : _chunks)
+            total += chunk.capacity;
+        return total;
+    }
+
+  private:
+    struct Chunk
+    {
+        std::unique_ptr<std::byte[]> data;
+        size_t capacity = 0;
+    };
+
+    /**
+     * Moves to the next chunk that can hold `bytes`, allocating one
+     * when none exists yet. Oversized requests get their own chunk,
+     * so allocate() always succeeds on the next pass.
+     */
+    void
+    advanceChunk(size_t bytes)
+    {
+        if (_chunk < _chunks.size())
+            ++_chunk;
+        // Reuse a retained chunk when it is big enough; otherwise
+        // insert a fresh one at the cursor (keeping retained chunks
+        // after it usable for later allocations).
+        if (_chunk < _chunks.size() &&
+            _chunks[_chunk].capacity >= bytes) {
+            _used = 0;
+            return;
+        }
+        const size_t cap = bytes > _chunkBytes ? bytes : _chunkBytes;
+        Chunk fresh{std::make_unique<std::byte[]>(cap), cap};
+        _chunks.insert(_chunks.begin() +
+                           static_cast<ptrdiff_t>(_chunk),
+                       std::move(fresh));
+        _used = 0;
+    }
+
+    size_t _chunkBytes;
+    std::vector<Chunk> _chunks;
+    size_t _chunk = 0; ///< current chunk index (may == chunks())
+    size_t _used = 0;  ///< bytes used in the current chunk
+};
+
+} // namespace hypersio::util
+
+#endif // HYPERSIO_UTIL_ARENA_HH

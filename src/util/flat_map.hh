@@ -18,6 +18,15 @@
  *     single tag cache line, and a hit costs that line plus one
  *     key/value line — which matters when thousands of per-tenant
  *     maps are probed in interleaved (cold-cache) packet order;
+ *   - the probe loop compares a whole 16-slot group of tags at a
+ *     time through util/simd.hh (SSE2/NEON, scalar fallback): after
+ *     a one-slot fast path for the overwhelmingly common
+ *     hit-at-home / empty-at-home cases, collision chains and erase
+ *     scans resolve in one group compare instead of a byte loop.
+ *     The group backend only produces candidate masks — every
+ *     decision is made from the masks in slot order — so the table's
+ *     layout and every observable result are bit-identical across
+ *     backends (scripts/check_repo.sh gate 9 enforces this);
  *   - the tag array is the only zero-initialized storage: the
  *     key/value array is allocated default-initialized, so growing a
  *     table never memsets the (much larger) payload — the cost that
@@ -62,14 +71,22 @@
 #endif
 
 #include "util/logging.hh"
+#include "util/simd.hh"
 
 namespace hypersio::util
 {
 
 #ifndef HYPERSIO_LEGACY_STRUCTURES
 
-/** Open-addressing map from an integral key to V (see file header). */
-template <typename K, typename V>
+/**
+ * Open-addressing map from an integral key to V (see file header).
+ *
+ * `Ops` selects the 16-wide group-probe backend (util/simd.hh). The
+ * default is the build's best backend; tests instantiate the scalar
+ * reference explicitly to prove layout equivalence.
+ */
+template <typename K, typename V,
+          typename Ops = simd::DefaultGroupOps>
 class FlatMap
 {
     static_assert(std::is_integral_v<K> || std::is_enum_v<K>,
@@ -126,18 +143,14 @@ class FlatMap
         if (_size + 1 > _growAt)
             rehash(capacityFor(_size + 1));
         const uint64_t h = mix(key);
-        const uint8_t tag = tagOf(h);
-        size_t slot = h >> _shift;
-        while (_tags[slot]) {
-            if (_tags[slot] == tag && _kv[slot].key == key)
-                return {&_kv[slot].value, false};
-            slot = next(slot);
-        }
-        _tags[slot] = tag;
-        _kv[slot].key = key;
-        _kv[slot].value = V();
+        const Probe p = probeSlot(h, key);
+        if (p.found)
+            return {&_kv[p.slot].value, false};
+        _tags[p.slot] = tagOf(h);
+        _kv[p.slot].key = key;
+        _kv[p.slot].value = V();
         ++_size;
-        return {&_kv[slot].value, true};
+        return {&_kv[p.slot].value, true};
     }
 
     /** The value of `key`, default-constructed on first access. */
@@ -162,23 +175,24 @@ class FlatMap
         size_t hole = findSlot(key);
         if (hole == NoSlot)
             return false;
-        const size_t mask = _mask;
-        size_t probe = next(hole);
-        while (_tags[probe]) {
-            // An entry may back-fill the hole iff the hole lies on
-            // its probe path, i.e. within [home, probe) circularly.
-            const size_t home = mix(_kv[probe].key) >> _shift;
-            if (((hole - home) & mask) < ((probe - home) & mask)) {
-                _tags[hole] = _tags[probe];
-                _kv[hole].key = _kv[probe].key;
-                _kv[hole].value = std::move(_kv[probe].value);
-                hole = probe;
-            }
-            probe = next(probe);
-        }
-        _tags[hole] = 0;
-        releaseSlot(hole);
-        --_size;
+        eraseSlot(hole);
+        return true;
+    }
+
+    /**
+     * Removes `key`, moving its value into `out` instead of
+     * destroying it. One probe total — callers that recycle the
+     * evicted value's storage (tenant-table pooling) would otherwise
+     * pay find() + erase(). @return true when the key existed.
+     */
+    bool
+    extract(K key, V &out)
+    {
+        size_t hole = findSlot(key);
+        if (hole == NoSlot)
+            return false;
+        out = std::move(_kv[hole].value);
+        eraseSlot(hole);
         return true;
     }
 
@@ -229,13 +243,12 @@ class FlatMap
     };
 
     /**
-     * Smallest power-of-two capacity holding `n` at <= 1/4 load.
-     * The low ceiling keeps linear-probe chains short, which pays
-     * for itself twice: misses terminate after ~1 probe, and the
-     * backward-shift erase only walks a couple of slots. (At 1/2
-     * load and above, churn-heavy users like the IOMMU MSHR spent
-     * more time walking and shifting chain tails than the
-     * node-based map spent allocating.) The floor of 64 slots means
+     * Smallest power-of-two capacity holding `n` at <= 1/2 load.
+     * Group-wide tag probes changed the old 1/4 calculus: a probe
+     * rejects 16 slots per compare, so the shorter chains a 1/4
+     * ceiling buys no longer pay for the doubled memory footprint
+     * and the extra rehash step (measured ~4% on the translation
+     * microbench, walk-heavy patterns). The floor of 64 slots means
      * typical per-tenant tables — a handful of pages — never rehash:
      * one tag allocation plus one key/value allocation for the
      * table's whole lifetime.
@@ -244,7 +257,7 @@ class FlatMap
     capacityFor(size_t n)
     {
         size_t cap = MinCapacity;
-        while (n * 4 > cap)
+        while (n * 2 > cap)
             cap <<= 1;
         return cap;
     }
@@ -265,32 +278,117 @@ class FlatMap
     }
 
     /**
-     * Occupied-slot tag: the marker bit plus seven mixed-hash bits
-     * taken below the bucket bits (disjoint for every capacity this
-     * simulator uses). A probe only touches the key/value array
-     * when all eight bits match, so ~99% of colliding slots are
-     * rejected from the tag line alone.
+     * Occupied-slot tag: the marker bit plus seven hash bits taken
+     * from the *low* end of the mix, folded with bits 32–38. The
+     * bucket index reads the top log2(capacity) bits, so low bits
+     * stay disjoint from it at every reachable capacity — the old
+     * bits 40–46 collided with the bucket index from 2^17 slots up
+     * (hyperscale directory/MSHR territory), making the tag a pure
+     * function of the in-bucket position and gutting its rejection
+     * power. The fold matters too: page-base keys have zero low
+     * bits, so the low 7 product bits alone would be constant; XORing
+     * in well-mixed middle bits keeps 7 bits of entropy for every
+     * key shape. A probe only touches the key/value array when all
+     * eight bits match, so ~99% of colliding slots are rejected from
+     * the tag line alone.
      */
-    static uint8_t tagOf(uint64_t h) { return uint8_t(h >> 40) | 0x80; }
+    static uint8_t
+    tagOf(uint64_t h)
+    {
+        return uint8_t((h ^ (h >> 32)) & 0x7f) | 0x80;
+    }
 
     size_t next(size_t slot) const { return (slot + 1) & _mask; }
+
+    /** Outcome of walking a key's probe chain: the key's slot when
+     *  found, else the first empty slot (the insert position). */
+    struct Probe
+    {
+        size_t slot;
+        bool found;
+    };
+
+    /**
+     * Walks the probe chain of `h` in slot order. A one-slot fast
+     * path answers the dominant cases (key at its home slot, or home
+     * slot empty); otherwise tags are compared a 16-slot group at a
+     * time. Groups are position-aligned windows of the tag array
+     * (capacity is a power of two >= 64, so groups never straddle
+     * the wrap), the first group masks off lanes before the home
+     * slot, and candidates are checked strictly before the group's
+     * first empty lane — exactly the order and termination of a
+     * one-slot-at-a-time scan, for any backend.
+     */
+    Probe
+    probeSlot(uint64_t h, K key) const
+    {
+        const uint8_t tag = tagOf(h);
+        const uint8_t *tags = _tags.data();
+        const KV *kv = _kv.get();
+        const size_t home = h >> _shift;
+        if (tags[home] == tag && kv[home].key == key)
+            return {home, true};
+        if (tags[home] == 0)
+            return {home, false};
+        size_t group = home & ~(simd::GroupWidth - 1);
+        uint32_t lanes = (~uint32_t(0) << (home - group)) & 0xffffu;
+        for (;;) {
+            const uint32_t empty = Ops::zeroMask(tags + group) & lanes;
+            // Only lanes before the first empty slot are on the
+            // probe chain; the chain ends there.
+            const uint32_t chain =
+                empty ? (empty & (~empty + 1)) - 1 : 0xffffu;
+            uint32_t cand =
+                Ops::matchMask(tags + group, tag) & lanes & chain;
+            while (cand) {
+                const size_t s =
+                    group + size_t(std::countr_zero(cand));
+                if (kv[s].key == key)
+                    return {s, true};
+                cand &= cand - 1;
+            }
+            if (empty)
+                return {group + size_t(std::countr_zero(empty)),
+                        false};
+            group = (group + simd::GroupWidth) & _mask;
+            lanes = 0xffffu;
+        }
+    }
 
     size_t
     findSlot(K key) const
     {
         if (_size == 0)
             return NoSlot;
-        const uint64_t h = mix(key);
-        const uint8_t tag = tagOf(h);
-        const uint8_t *tags = _tags.data();
-        const KV *kv = _kv.get();
-        size_t slot = h >> _shift;
-        while (tags[slot]) {
-            if (tags[slot] == tag && kv[slot].key == key)
-                return slot;
-            slot = next(slot);
+        const Probe p = probeSlot(mix(key), key);
+        return p.found ? p.slot : NoSlot;
+    }
+
+    /**
+     * Backward-shift removal of the entry at `hole`: entries whose
+     * probe path crosses the hole are pulled back over it, leaving
+     * no tombstone.
+     */
+    void
+    eraseSlot(size_t hole)
+    {
+        const size_t mask = _mask;
+        size_t probe = next(hole);
+        while (_tags[probe]) {
+            // An entry may back-fill the hole iff the hole lies on
+            // its probe path, i.e. within [home, probe) circularly.
+            const size_t home = mix(_kv[probe].key) >> _shift;
+            if (((hole - home) & mask) < ((probe - home) & mask)) {
+                _tags[hole] = _tags[probe];
+                _kv[hole].key = _kv[probe].key;
+                _kv[hole].value = std::move(_kv[probe].value);
+                hole = probe;
+            }
+            probe = next(probe);
         }
-        return NoSlot;
+        _tags[hole] = 0;
+        releaseSlot(hole);
+        --_size;
     }
 
     /** Eagerly releases a vacated value's resources. A trivial V
@@ -319,7 +417,7 @@ class FlatMap
         _capacity = new_capacity;
         _mask = new_capacity - 1;
         _shift = std::countl_zero(new_capacity) + 1;
-        _growAt = new_capacity / 4;
+        _growAt = new_capacity / 2;
         // Reinsert in slot order: deterministic given the same
         // insert/erase history.
         for (size_t s = 0; s < old_capacity; ++s) {
@@ -350,9 +448,11 @@ class FlatMap
  * Reference mode: the pre-flat node-based layout, kept selectable so
  * bench/translation_path_microbench can measure the data-layout win
  * end-to-end (scripts/check_repo.sh gate 7). API-compatible with the
- * flat implementation above.
+ * flat implementation above. The group-probe backend parameter is
+ * accepted for API compatibility and ignored (node-based layout).
  */
-template <typename K, typename V>
+template <typename K, typename V,
+          typename Ops = simd::DefaultGroupOps>
 class FlatMap
 {
   public:
@@ -398,6 +498,17 @@ class FlatMap
     }
 
     bool erase(K key) { return _map.erase(key) != 0; }
+
+    bool
+    extract(K key, V &out)
+    {
+        auto it = _map.find(key);
+        if (it == _map.end())
+            return false;
+        out = std::move(it->second);
+        _map.erase(it);
+        return true;
+    }
 
     void clear() { _map.clear(); }
 

@@ -82,6 +82,38 @@ parseDouble(std::string_view text, double &out)
     return true;
 }
 
+bool
+parseVmHwmKib(std::string_view status_text, uint64_t &out)
+{
+    constexpr std::string_view key = "VmHWM:";
+    size_t pos = 0;
+    while (pos < status_text.size()) {
+        size_t eol = status_text.find('\n', pos);
+        if (eol == std::string_view::npos)
+            eol = status_text.size();
+        const std::string_view line =
+            status_text.substr(pos, eol - pos);
+        if (line.substr(0, key.size()) == key) {
+            // Field format: "VmHWM:   123456 kB". Reject anything
+            // that is not a plain decimal count in kB.
+            const std::string_view rest =
+                trim(line.substr(key.size()));
+            const size_t sep = rest.find_first_of(" \t");
+            if (sep == std::string_view::npos)
+                return false;
+            uint64_t kib = 0;
+            if (!parseU64(rest.substr(0, sep), kib))
+                return false;
+            if (trim(rest.substr(sep)) != "kB")
+                return false;
+            out = kib;
+            return true;
+        }
+        pos = eol + 1;
+    }
+    return false;
+}
+
 std::string
 strprintf(const char *fmt, ...)
 {

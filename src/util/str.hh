@@ -30,6 +30,14 @@ bool parseU64(std::string_view text, uint64_t &out);
 /** Parses a double. Returns false on malformed input. */
 bool parseDouble(std::string_view text, double &out);
 
+/**
+ * Extracts the peak-resident-set high-water mark (the "VmHWM:" field,
+ * in KiB) from a /proc/self/status blob. Returns false when the field
+ * is absent or malformed — callers gating on a memory budget must
+ * treat that as "no measurement", not as 0 KiB.
+ */
+bool parseVmHwmKib(std::string_view status_text, uint64_t &out);
+
 /** printf-style formatting into a std::string. */
 std::string strprintf(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));

@@ -1,0 +1,128 @@
+/** Unit tests for the bump (arena/epoch) allocator used by the
+ *  streaming-run retirement transients. */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "util/arena.hh"
+
+namespace hypersio::util
+{
+namespace
+{
+
+TEST(Arena, AllocArrayIsAlignedAndWritable)
+{
+    Arena arena;
+    uint64_t *a = arena.allocArray<uint64_t>(32);
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(a) % alignof(uint64_t),
+              0u);
+    for (size_t i = 0; i < 32; ++i)
+        a[i] = i * 3;
+    uint32_t *b = arena.allocArray<uint32_t>(7);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % alignof(uint32_t),
+              0u);
+    // The second allocation must not alias the first.
+    std::memset(b, 0xff, 7 * sizeof(uint32_t));
+    for (size_t i = 0; i < 32; ++i)
+        EXPECT_EQ(a[i], i * 3);
+}
+
+TEST(Arena, ZeroCountReturnsNonNull)
+{
+    Arena arena;
+    EXPECT_NE(arena.allocArray<int>(0), nullptr);
+}
+
+TEST(Arena, RewindReusesTheSameStorage)
+{
+    Arena arena(256);
+    const Arena::Marker marker = arena.mark();
+    void *first = arena.allocate(64, 8);
+    arena.rewind(marker);
+    void *second = arena.allocate(64, 8);
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(arena.chunks(), 1u);
+}
+
+TEST(Arena, ScopeRewindsOnExit)
+{
+    Arena arena(256);
+    void *outer = arena.allocate(16, 8);
+    void *inner_ptr = nullptr;
+    {
+        Arena::Scope scope(arena);
+        inner_ptr = arena.allocate(64, 8);
+        ASSERT_NE(inner_ptr, nullptr);
+    }
+    // The scope's allocations are reclaimed; the outer one survives
+    // and the next allocation lands exactly where the scope's did.
+    EXPECT_EQ(arena.allocate(64, 8), inner_ptr);
+    EXPECT_NE(outer, inner_ptr);
+}
+
+TEST(Arena, NestedScopesRewindLifo)
+{
+    Arena arena(256);
+    Arena::Scope outer(arena);
+    void *a = arena.allocate(32, 8);
+    void *b = nullptr;
+    {
+        Arena::Scope inner(arena);
+        b = arena.allocate(32, 8);
+    }
+    EXPECT_EQ(arena.allocate(32, 8), b);
+    ASSERT_NE(a, nullptr);
+}
+
+TEST(Arena, GrowsAcrossChunksWhenFull)
+{
+    Arena arena(128);
+    // Three allocations that cannot share one 128-byte chunk.
+    void *a = arena.allocate(100, 8);
+    void *b = arena.allocate(100, 8);
+    void *c = arena.allocate(100, 8);
+    EXPECT_NE(a, b);
+    EXPECT_NE(b, c);
+    EXPECT_EQ(arena.chunks(), 3u);
+    EXPECT_GE(arena.capacityBytes(), 3u * 100u);
+}
+
+TEST(Arena, OversizedRequestGetsItsOwnChunk)
+{
+    Arena arena(64);
+    void *big = arena.allocate(4096, 16);
+    ASSERT_NE(big, nullptr);
+    std::memset(big, 0xab, 4096); // the chunk really is that big
+    EXPECT_GE(arena.capacityBytes(), 4096u);
+}
+
+TEST(Arena, ResetRetainsChunksAndStopsAllocating)
+{
+    Arena arena(128);
+    for (int round = 0; round < 4; ++round) {
+        arena.reset();
+        (void)arena.allocate(100, 8);
+        (void)arena.allocate(100, 8);
+    }
+    // Steady state: the chunks from round 0 serve every later round.
+    EXPECT_EQ(arena.chunks(), 2u);
+}
+
+TEST(Arena, MixedAlignmentsStayAligned)
+{
+    Arena arena;
+    (void)arena.allocArray<char>(3); // misalign the bump cursor
+    double *d = arena.allocArray<double>(4);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(d) % alignof(double), 0u);
+    (void)arena.allocArray<char>(1);
+    long double *ld = arena.allocArray<long double>(2);
+    EXPECT_EQ(
+        reinterpret_cast<uintptr_t>(ld) % alignof(long double), 0u);
+}
+
+} // namespace
+} // namespace hypersio::util

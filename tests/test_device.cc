@@ -260,5 +260,67 @@ TEST(Device, TranslationCounterCountsAllRequests)
     EXPECT_EQ(device.translationsIssued(), 15u);
 }
 
+/** Records completed packets; the allocation-free accept() form. */
+struct RecordingSink : Device::CompletionSink
+{
+    std::vector<trace::PacketRecord> completed;
+    Device *device = nullptr; ///< when set, asserts entry released
+
+    void
+    packetDone(const trace::PacketRecord &pkt) override
+    {
+        if (device) {
+            // The PTB entry must be released before the sink runs,
+            // so a completion can immediately admit a new packet
+            // even on a single-entry PTB.
+            EXPECT_FALSE(device->ptbFull());
+        }
+        completed.push_back(pkt);
+    }
+};
+
+TEST(Device, CompletionSinkReceivesTheCompletedPacket)
+{
+    Fixture f;
+    Device device(deviceConfig(), f.queue, f.stats, f.ports(10));
+    RecordingSink sink;
+    trace::PacketRecord pkt = packet(3);
+    pkt.wireBytes = 777;
+    device.accept(pkt, sink);
+    f.queue.run();
+    ASSERT_EQ(sink.completed.size(), 1u);
+    EXPECT_EQ(sink.completed[0].sid, 3u);
+    EXPECT_EQ(sink.completed[0].wireBytes, 777u);
+    EXPECT_EQ(device.ptbInUse(), 0u);
+}
+
+TEST(Device, CompletionSinkRunsAfterEntryRelease)
+{
+    Fixture f;
+    DeviceConfig config = deviceConfig();
+    config.ptbEntries = 1;
+    Device device(config, f.queue, f.stats, f.ports(10));
+    RecordingSink sink;
+    sink.device = &device;
+    device.accept(packet(0), sink);
+    f.queue.run();
+    EXPECT_EQ(sink.completed.size(), 1u);
+}
+
+TEST(Device, SinkAndCallbackCompletionsCoexist)
+{
+    Fixture f;
+    Device device(deviceConfig(), f.queue, f.stats, f.ports(10));
+    RecordingSink sink;
+    int callback_done = 0;
+    device.accept(packet(0), sink);
+    device.accept(packet(1), [&] { ++callback_done; });
+    f.queue.run();
+    EXPECT_EQ(sink.completed.size(), 1u);
+    EXPECT_EQ(sink.completed[0].sid, 0u);
+    EXPECT_EQ(callback_done, 1);
+    EXPECT_EQ(device.ptbInUse(), 0u);
+}
+
 } // namespace
 } // namespace hypersio::core

@@ -251,6 +251,50 @@ TEST(FlatMap, NonTrivialValuesReleaseOnErase)
     EXPECT_TRUE(watch.expired());
 }
 
+TEST(FlatMap, ExtractMovesValueOutAndErases)
+{
+    FlatMap<uint32_t, std::shared_ptr<int>> map;
+    map[5] = std::make_shared<int>(123);
+    std::weak_ptr<int> watch = *map.find(5);
+
+    std::shared_ptr<int> out;
+    ASSERT_TRUE(map.extract(5, out));
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_FALSE(map.contains(5));
+    // The value survived the erase — moved, not destroyed.
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(*out, 123);
+    EXPECT_FALSE(watch.expired());
+    out.reset();
+    EXPECT_TRUE(watch.expired());
+
+    // Absent key: reports false and leaves `out` alone.
+    std::shared_ptr<int> untouched = std::make_shared<int>(7);
+    EXPECT_FALSE(map.extract(5, untouched));
+    ASSERT_NE(untouched, nullptr);
+    EXPECT_EQ(*untouched, 7);
+}
+
+TEST(FlatMap, ExtractPreservesProbeChains)
+{
+    // Extract must backward-shift exactly like erase: fill a map,
+    // extract half, and verify every survivor is still reachable.
+    FlatMap<uint64_t, uint64_t> map;
+    for (uint64_t key = 1; key <= 300; ++key)
+        map[key << 12] = key;
+    for (uint64_t key = 1; key <= 300; key += 2) {
+        uint64_t out = 0;
+        ASSERT_TRUE(map.extract(key << 12, out));
+        EXPECT_EQ(out, key);
+    }
+    EXPECT_EQ(map.size(), 150u);
+    for (uint64_t key = 2; key <= 300; key += 2) {
+        const uint64_t *value = map.find(key << 12);
+        ASSERT_NE(value, nullptr) << "lost key " << (key << 12);
+        EXPECT_EQ(*value, key);
+    }
+}
+
 /**
  * Randomized differential test: a long mixed insert/erase/lookup
  * workload replayed against std::unordered_map. Catches anything the

@@ -161,6 +161,42 @@ TEST(Str, ParseDouble)
     EXPECT_FALSE(parseDouble("", v));
 }
 
+TEST(Str, ParseVmHwmKibFindsField)
+{
+    // A trimmed-down but format-faithful /proc/self/status blob.
+    const char *status =
+        "Name:\thyperscale_bench\n"
+        "VmPeak:\t  123456 kB\n"
+        "VmHWM:\t   98304 kB\n"
+        "VmRSS:\t   65536 kB\n";
+    uint64_t kib = 0;
+    EXPECT_TRUE(parseVmHwmKib(status, kib));
+    EXPECT_EQ(kib, 98304u);
+}
+
+TEST(Str, ParseVmHwmKibRejectsMissingOrMalformed)
+{
+    uint64_t kib = 7;
+    // Absent field: must report failure, never default to 0 — an
+    // RSS-budget gate reading 0 would pass vacuously.
+    EXPECT_FALSE(parseVmHwmKib("Name:\tx\nVmRSS:\t1 kB\n", kib));
+    EXPECT_FALSE(parseVmHwmKib("", kib));
+    // Prefix match must not bite: VmHWMx is not VmHWM.
+    EXPECT_FALSE(parseVmHwmKib("VmHWMx:\t12 kB\n", kib));
+    // Malformed value or wrong unit.
+    EXPECT_FALSE(parseVmHwmKib("VmHWM:\tpotato kB\n", kib));
+    EXPECT_FALSE(parseVmHwmKib("VmHWM:\t12 MB\n", kib));
+    EXPECT_FALSE(parseVmHwmKib("VmHWM:\t12\n", kib));
+    EXPECT_EQ(kib, 7u); // untouched on failure
+}
+
+TEST(Str, ParseVmHwmKibLastLineWithoutNewline)
+{
+    uint64_t kib = 0;
+    EXPECT_TRUE(parseVmHwmKib("VmHWM:     42 kB", kib));
+    EXPECT_EQ(kib, 42u);
+}
+
 TEST(Str, Strprintf)
 {
     EXPECT_EQ(strprintf("%d-%s", 7, "x"), "7-x");
