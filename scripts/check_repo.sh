@@ -53,6 +53,12 @@
 #      (BENCH_translation_path_flat_baseline.json — never
 #      regenerate it) is compared counts-only: committed rates
 #      don't travel across machines, deterministic counts do.
+#  10. The soak harness (long-haul churn + adversarial episodes with
+#      interval telemetry) must run its smoke configuration under
+#      the checked build, stream valid hypersio-soak-1 snapshots,
+#      pass scripts/soak_report.py's drift/leak gate, stay inside a
+#      peak-RSS budget, and match the committed BENCH_soak.json's
+#      deterministic scalars exactly.
 #
 # scripts/coverage.sh (gcov line coverage) is a separate, slower
 # workflow and is not part of this gate.
@@ -64,7 +70,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 UNCHECKED_DIR="${BUILD_DIR}-unchecked"
 
-echo "== 1/9 repo hygiene: no tracked build artifacts"
+echo "== 1/10 repo hygiene: no tracked build artifacts"
 if git ls-files | grep -q '^build'; then
     echo "FAIL: build trees are tracked in git:" >&2
     git ls-files | grep '^build' | head >&2
@@ -74,7 +80,7 @@ if git ls-files | grep -q '^build'; then
 fi
 echo "   ok"
 
-echo "== 2/9 tier-1 build + ctest (shadow oracle compiled in)"
+echo "== 2/10 tier-1 build + ctest (shadow oracle compiled in)"
 # Every configure pins the build type: `cmake -B` on an existing
 # tree silently keeps whatever CMAKE_BUILD_TYPE is cached there, and
 # the rate gates (6, 7, 9) are calibrated against RelWithDebInfo
@@ -85,7 +91,7 @@ cmake -B "$BUILD_DIR" -S . "$BUILD_TYPE"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
 
-echo "== 3/9 extended adversarial fuzz campaign"
+echo "== 3/10 extended adversarial fuzz campaign"
 # The ctest invocation above already ran the bounded smoke; this is
 # the long campaign: more packets, multiple seeds. Reproduce any
 # failure with the HYPERSIO_FUZZ_SEED printed in its repro line.
@@ -99,7 +105,7 @@ if ! HYPERSIO_FUZZ_PACKETS=400 HYPERSIO_FUZZ_ROUNDS=3 \
 fi
 grep 'translation requests checked' "$FUZZ_LOG"
 
-echo "== 4/9 shadow checking is observation-only (checked vs not)"
+echo "== 4/10 shadow checking is observation-only (checked vs not)"
 cmake -B "$UNCHECKED_DIR" -S . "$BUILD_TYPE" \
     -DHYPERSIO_CHECKED=OFF > /dev/null
 cmake --build "$UNCHECKED_DIR" -j "$(nproc)" \
@@ -117,7 +123,7 @@ if ! cmp -s "$BUILD_DIR/fig10_checked.out" \
 fi
 echo "   ok: fig10 --quick output byte-identical"
 
-echo "== 5/9 bench JSON regression gate (fig10, quick scale)"
+echo "== 5/10 bench JSON regression gate (fig10, quick scale)"
 # Deterministic settings: quick scale, 8-tenant sweep, fixed seed.
 # --jobs only changes scheduling, never results, but pin it anyway
 # so the config block is stable too.
@@ -134,7 +140,7 @@ else
     cp "$FRESH" BENCH_fig10.json
 fi
 
-echo "== 6/9 event-kernel microbench speedup + report shape"
+echo "== 6/10 event-kernel microbench speedup + report shape"
 KERNEL_FRESH="$BUILD_DIR/BENCH_event_kernel.json"
 "$BUILD_DIR"/bench/event_kernel_microbench --check-speedup 1.3 \
     --json "$KERNEL_FRESH"
@@ -149,7 +155,7 @@ else
     cp "$KERNEL_FRESH" BENCH_event_kernel.json
 fi
 
-echo "== 7/9 translation-path microbench speedup + report shape"
+echo "== 7/10 translation-path microbench speedup + report shape"
 # Both sides run without the shadow oracle (its mirrors would
 # dominate the probes being measured). The flat side reuses the
 # gate-4 unchecked build; the reference side pins the pre-flat
@@ -186,7 +192,7 @@ else
     cp "$FLAT_JSON" BENCH_translation_path.json
 fi
 
-echo "== 8/9 hyper-scale streaming bench: bounded RSS + regression"
+echo "== 8/10 hyper-scale streaming bench: bounded RSS + regression"
 # Measured without the shadow oracle (its mirrors would scale with
 # the mirrored state being bounded, muddying the RSS reading); the
 # unchecked build from gate 4 serves. The in-process assertions
@@ -212,7 +218,7 @@ else
     cp "$HYPERSCALE_FRESH" BENCH_hyperscale.json
 fi
 
-echo "== 9/9 probe vectorization: identical counts + speedup"
+echo "== 9/10 probe vectorization: identical counts + speedup"
 # The SIMD/scalar choice is compile-time (util/simd.hh); the masks
 # the backends produce are defined to be identical, so every
 # deterministic count in the microbench report must match exactly
@@ -256,6 +262,31 @@ else
          "(the pinned pre-vectorization baseline must stay" \
          "committed)" >&2
     exit 1
+fi
+
+echo "== 10/10 soak harness: telemetry stream + drift/leak gate"
+# Runs from the *checked* build on purpose: the soak regime's value
+# is churn + adversarial episodes under the fail-fast shadow oracle,
+# so the RSS budget is sized for the mirrors' overhead. --jobs 1
+# pins the snapshot file's line order (any jobs count produces the
+# same per-shard lines, but interleaving across shards is scheduler
+# timing); the deterministic scalars in the JSON report are
+# jobs-independent either way.
+SOAK_STREAM="$BUILD_DIR/soak_check.jsonl"
+SOAK_FRESH="$BUILD_DIR/BENCH_soak.json"
+"$BUILD_DIR"/bench/soak_bench --smoke --jobs 1 \
+    --snapshots "$SOAK_STREAM" --rss-budget-mb 1024 \
+    --json "$SOAK_FRESH" > /dev/null
+python3 scripts/soak_report.py "$SOAK_STREAM" --verbose
+python3 scripts/bench_compare.py "$SOAK_FRESH" "$SOAK_FRESH"
+if [ -f BENCH_soak.json ]; then
+    echo "   comparing against committed BENCH_soak.json baseline" \
+         "(exact: all scalars deterministic)"
+    python3 scripts/bench_compare.py BENCH_soak.json "$SOAK_FRESH"
+else
+    echo "   no committed baseline; installing $SOAK_FRESH as" \
+         "BENCH_soak.json"
+    cp "$SOAK_FRESH" BENCH_soak.json
 fi
 
 echo "check_repo: all gates passed"

@@ -4,8 +4,11 @@
 # Builds an instrumented tree (-DHYPERSIO_COVERAGE=ON), runs the
 # full ctest suite, then walks every .gcda the run produced, invokes
 # gcov in JSON-intermediate mode, and aggregates per-file and total
-# line coverage for files under src/. Exit status is 1 when total
-# line coverage falls below HYPERSIO_COVERAGE_MIN (percent, default
+# line coverage. HYPERSIO_COVERAGE_PATHS selects which top-level
+# trees count (space-separated prefixes, default "src"; e.g.
+# "src bench tests" also scores the soak/bench harnesses and the
+# test sources themselves). Exit status is 1 when total line
+# coverage falls below HYPERSIO_COVERAGE_MIN (percent, default
 # 0 = report only).
 #
 # Usage: scripts/coverage.sh [build-dir]   (default: build-coverage)
@@ -14,6 +17,7 @@ set -eu
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-coverage}"
 MIN_PCT="${HYPERSIO_COVERAGE_MIN:-0}"
+COVER_PATHS="${HYPERSIO_COVERAGE_PATHS:-src}"
 
 echo "== coverage: instrumented build ($BUILD_DIR)"
 cmake -B "$BUILD_DIR" -S . -DHYPERSIO_COVERAGE=ON > /dev/null
@@ -36,7 +40,8 @@ find "$ABS_BUILD" -name '*.gcda' \
     | (cd "$GCOV_DIR" && xargs gcov --json-format --preserve-paths \
            > /dev/null 2>&1 || true)
 
-BUILD_DIR="$BUILD_DIR" MIN_PCT="$MIN_PCT" python3 - "$GCOV_DIR" <<'EOF'
+BUILD_DIR="$BUILD_DIR" MIN_PCT="$MIN_PCT" \
+    COVER_PATHS="$COVER_PATHS" python3 - "$GCOV_DIR" <<'EOF'
 import glob
 import gzip
 import json
@@ -46,6 +51,9 @@ import sys
 gcov_dir = sys.argv[1]
 repo = os.getcwd()
 min_pct = float(os.environ.get("MIN_PCT", "0"))
+prefixes = tuple(p + os.sep
+                 for p in os.environ.get("COVER_PATHS",
+                                         "src").split())
 
 # line -> hit, unioned across every translation unit that compiled
 # the file (headers appear in many TUs).
@@ -57,7 +65,7 @@ for path in glob.glob(os.path.join(gcov_dir, "*.gcov.json.gz")):
         name = os.path.realpath(
             os.path.join(repo, entry.get("file", "")))
         rel = os.path.relpath(name, repo)
-        if not rel.startswith("src" + os.sep):
+        if not rel.startswith(prefixes):
             continue
         lines = files.setdefault(rel, {})
         for line in entry.get("lines", []):
@@ -65,8 +73,10 @@ for path in glob.glob(os.path.join(gcov_dir, "*.gcov.json.gz")):
             lines[no] = lines.get(no, 0) + line.get("count", 0)
 
 if not files:
-    print("coverage: no gcov data for src/ — did the build use "
-          "-DHYPERSIO_COVERAGE=ON?", file=sys.stderr)
+    print("coverage: no gcov data for "
+          + " ".join(p.rstrip(os.sep) for p in prefixes)
+          + " — did the build use -DHYPERSIO_COVERAGE=ON?",
+          file=sys.stderr)
     sys.exit(1)
 
 total_lines = total_hit = 0
@@ -85,8 +95,9 @@ for rel, hit, n in rows:
     print(f"  {rel:<{width}}  {hit:>5}/{n:<5} "
           f"{100.0 * hit / n:6.1f}%")
 pct = 100.0 * total_hit / total_lines
-print(f"coverage: TOTAL src/ line coverage {total_hit}/{total_lines} "
-      f"= {pct:.1f}%")
+scope = " ".join(p.rstrip(os.sep) for p in prefixes)
+print(f"coverage: TOTAL {scope} line coverage "
+      f"{total_hit}/{total_lines} = {pct:.1f}%")
 if pct < min_pct:
     print(f"coverage: FAIL — below HYPERSIO_COVERAGE_MIN="
           f"{min_pct:.1f}%", file=sys.stderr)

@@ -1,0 +1,257 @@
+#!/usr/bin/env python3
+"""Analyze a soak_bench snapshot stream and gate on drift/leaks.
+
+Usage:
+    scripts/soak_report.py SNAPSHOTS.jsonl
+        [--min-intervals N] [--warmup N]
+        [--max-throughput-decay FRAC] [--max-hitrate-decay RATE]
+        [--rss-growth-kib KIB] [--verbose]
+
+The input is the JSON-lines file soak_bench writes via
+`--snapshots <file>` (one "hypersio-soak-1" object per line, one
+stream of contiguous intervals per shard). For every shard the
+report rebuilds the per-interval trajectory of
+
+  * throughput — delta(system.device.packets) / delta_sim_ticks,
+  * DevTLB and IOTLB hit rates — interval-delta hits / lookups, and
+  * resident-set size — wall.vm_rss_kib, when the stream carries it
+
+and fits a least-squares line to each. The gate fails (exit 1) when
+
+  * throughput decays by more than --max-throughput-decay (as a
+    fraction of the mean) across the post-warm-up window,
+  * either hit rate decays by more than --max-hitrate-decay rate
+    points across the window, or
+  * VmRSS grows monotonically through every post-warm-up interval
+    AND the total growth is at least --rss-growth-kib — the classic
+    leak signature. (VmRSS can legitimately fall; a trajectory that
+    only ever rises, by a nontrivial amount, cannot be allocator
+    noise.)
+
+Warm-up intervals (--warmup, default 1) are excluded from every
+trend: the first intervals fill cold caches and touch fresh pages,
+and their slopes say nothing about steady state.
+
+Exit status: 0 clean, 1 drift or leak, 2 usage errors or a
+truncated/corrupt stream (missing intervals, mixed seeds, fewer
+than --min-intervals intervals per shard).
+"""
+
+import argparse
+import json
+import sys
+
+PACKETS = "system.device.packets"
+RATES = (
+    ("devtlb", "system.device.devtlb.hits",
+     "system.device.devtlb.lookups"),
+    ("iotlb", "system.iommu.iotlb.hits",
+     "system.iommu.iotlb.lookups"),
+)
+
+
+def die(message):
+    print(f"soak_report: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_stream(path):
+    """Parses the JSONL stream into {shard: [snapshot, ...]}."""
+    shards = {}
+    seeds = set()
+    try:
+        with open(path) as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    snap = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    die(f"{path}:{lineno}: malformed JSON ({exc}) "
+                        f"— truncated stream?")
+                if snap.get("schema") != "hypersio-soak-1":
+                    die(f"{path}:{lineno}: unknown schema "
+                        f"{snap.get('schema')!r}")
+                shards.setdefault(snap.get("shard"),
+                                  []).append(snap)
+                seeds.add(snap.get("seed"))
+    except OSError as exc:
+        die(f"cannot read {path}: {exc}")
+    if not shards:
+        die(f"{path}: no snapshots")
+    if len(seeds) > 1:
+        die(f"{path}: mixed seeds {sorted(seeds)} — streams from "
+            f"different runs?")
+    for shard, snaps in shards.items():
+        snaps.sort(key=lambda s: s.get("interval", 0))
+        intervals = [s.get("interval") for s in snaps]
+        if intervals != list(range(len(snaps))):
+            die(f"{path}: shard {shard} intervals {intervals} are "
+                f"not contiguous from 0 — truncated stream?")
+    return shards
+
+
+def stat_map(snap):
+    return {e["path"]: e for e in snap.get("stats", [])}
+
+
+def series(snaps):
+    """Per-interval metric series for one shard's stream."""
+    throughput = []
+    rates = {name: [] for name, _, _ in RATES}
+    rss = []
+    for snap in snaps:
+        stats = stat_map(snap)
+        dticks = snap.get("delta_sim_ticks", 0)
+        if PACKETS not in stats:
+            die(f"shard {snap.get('shard')} interval "
+                f"{snap.get('interval')}: no {PACKETS} stat")
+        if dticks > 0:
+            throughput.append(
+                stats[PACKETS]["delta"] / dticks)
+        else:
+            # An interval in which simulated time did not advance
+            # has no defined rate; keep indices aligned with None.
+            throughput.append(None)
+        for name, hits, lookups in RATES:
+            dl = stats.get(lookups, {}).get("delta", 0)
+            dh = stats.get(hits, {}).get("delta", 0)
+            rates[name].append(dh / dl if dl > 0 else None)
+        wall = snap.get("wall", {})
+        rss.append(wall.get("vm_rss_kib"))
+    return throughput, rates, rss
+
+
+def fit_drift(values):
+    """(mean, total fitted change over the window) of a series.
+
+    Least-squares slope over the interval index, scaled by the
+    window length: the fitted line's total rise/fall, which is what
+    a decay threshold naturally bounds. None for degenerate input.
+    """
+    points = [(i, v) for i, v in enumerate(values) if v is not None]
+    if len(points) < 2:
+        return None, None
+    n = len(points)
+    mean_x = sum(i for i, _ in points) / n
+    mean_y = sum(v for _, v in points) / n
+    var_x = sum((i - mean_x) ** 2 for i, _ in points)
+    if var_x == 0:
+        return mean_y, None
+    slope = sum((i - mean_x) * (v - mean_y)
+                for i, v in points) / var_x
+    span = points[-1][0] - points[0][0]
+    return mean_y, slope * span
+
+
+def check_shard(shard, snaps, args, failures, verbose):
+    throughput, rates, rss = series(snaps)
+    post = slice(args.warmup, None)
+
+    mean, change = fit_drift(throughput[post])
+    if verbose or (mean and change is not None):
+        frac = (change / mean) if (mean and change is not None) \
+            else 0.0
+        print(f"  shard {shard}: throughput mean "
+              f"{mean if mean is not None else float('nan'):.3e} "
+              f"pkt/tick, fitted change {frac * 100.0:+.2f}% over "
+              f"{len(snaps) - args.warmup} intervals")
+    if mean and change is not None:
+        frac = change / mean
+        if frac < -args.max_throughput_decay:
+            failures.append(
+                f"shard {shard}: throughput decays "
+                f"{-frac * 100.0:.2f}% over the post-warm-up "
+                f"window (limit "
+                f"{args.max_throughput_decay * 100.0:.2f}%)")
+
+    for name, values in rates.items():
+        mean, change = fit_drift(values[post])
+        if verbose and mean is not None:
+            print(f"  shard {shard}: {name} hit rate mean "
+                  f"{mean:.4f}, fitted change "
+                  f"{(change or 0.0):+.4f}")
+        if change is not None and change < -args.max_hitrate_decay:
+            failures.append(
+                f"shard {shard}: {name} hit rate decays "
+                f"{-change:.4f} rate points (limit "
+                f"{args.max_hitrate_decay:.4f})")
+
+    tail = [v for v in rss[post] if v is not None]
+    if len(tail) >= 2:
+        growth = tail[-1] - tail[0]
+        monotonic = all(b >= a for a, b in zip(tail, tail[1:]))
+        rising = all(b > a for a, b in zip(tail, tail[1:]))
+        if verbose:
+            print(f"  shard {shard}: VmRSS {tail[0]} -> {tail[-1]} "
+                  f"KiB ({growth:+d} KiB, "
+                  f"{'monotonic' if monotonic else 'fluctuating'})")
+        if monotonic and rising and growth >= args.rss_growth_kib:
+            failures.append(
+                f"shard {shard}: VmRSS grew monotonically by "
+                f"{growth} KiB across the post-warm-up window "
+                f"(limit {args.rss_growth_kib} KiB) — leak "
+                f"signature")
+    elif verbose:
+        print(f"  shard {shard}: no RSS telemetry in the stream")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="gate on drift/leaks in a soak snapshot stream")
+    parser.add_argument("snapshots")
+    parser.add_argument("--min-intervals", type=int, default=3,
+                        help="minimum intervals per shard for a "
+                             "meaningful trend (default 3)")
+    parser.add_argument("--warmup", type=int, default=1,
+                        help="leading intervals excluded from "
+                             "every trend (default 1)")
+    parser.add_argument("--max-throughput-decay", type=float,
+                        default=0.02,
+                        help="largest tolerated fractional "
+                             "throughput decay (default 0.02)")
+    parser.add_argument("--max-hitrate-decay", type=float,
+                        default=0.01,
+                        help="largest tolerated hit-rate decay in "
+                             "rate points (default 0.01)")
+    parser.add_argument("--rss-growth-kib", type=int, default=4096,
+                        help="monotonic VmRSS growth below this is "
+                             "ignored (default 4096 KiB)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print every shard's trajectory "
+                             "summary")
+    args = parser.parse_args()
+    if args.warmup < 0 or args.min_intervals < 2:
+        die("--warmup must be >= 0 and --min-intervals >= 2")
+
+    shards = load_stream(args.snapshots)
+    for shard, snaps in sorted(shards.items()):
+        if len(snaps) < args.min_intervals:
+            die(f"shard {shard}: only {len(snaps)} interval(s), "
+                f"need {args.min_intervals} for a trend — run too "
+                f"short or stream truncated")
+        if len(snaps) - args.warmup < 2:
+            die(f"shard {shard}: fewer than 2 post-warm-up "
+                f"intervals (have {len(snaps)}, warmup "
+                f"{args.warmup})")
+
+    failures = []
+    for shard, snaps in sorted(shards.items()):
+        check_shard(shard, snaps, args, failures, args.verbose)
+
+    intervals = sum(len(s) for s in shards.values())
+    if failures:
+        print(f"soak_report: FAIL — {len(failures)} drift/leak "
+              f"signature(s) across {len(shards)} shard(s), "
+              f"{intervals} interval(s):")
+        for failure in failures:
+            print(f"  {failure}")
+        sys.exit(1)
+    print(f"soak_report: OK — {len(shards)} shard(s), {intervals} "
+          f"interval(s), no drift or leak signatures")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,215 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/soak_report.py.
+
+Runs the gate as a subprocess against synthetic "hypersio-soak-1"
+snapshot streams and asserts on its exit status and output: 0 for a
+clean trajectory, 1 on a drift or leak signature, 2 on usage errors
+or truncated/corrupt streams. Registered with ctest as
+`soak_report_unittest` (tests/CMakeLists.txt); also runnable
+directly:
+
+    python3 -m unittest discover -s scripts -p test_soak_report.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "soak_report.py")
+
+
+def make_snap(shard, interval, *, packets=4000, dticks=1_000_000,
+              devtlb=(900, 1000), iotlb=(950, 1000), rss=None,
+              seed=42):
+    """One synthetic snapshot line (deltas, not cumulatives)."""
+    stats = [
+        {"path": "system.device.packets", "kind": "counter",
+         "value": float(packets * (interval + 1)),
+         "delta": float(packets)},
+        {"path": "system.device.devtlb.hits", "kind": "callback",
+         "value": 0.0, "delta": float(devtlb[0])},
+        {"path": "system.device.devtlb.lookups", "kind": "callback",
+         "value": 0.0, "delta": float(devtlb[1])},
+        {"path": "system.iommu.iotlb.hits", "kind": "callback",
+         "value": 0.0, "delta": float(iotlb[0])},
+        {"path": "system.iommu.iotlb.lookups", "kind": "callback",
+         "value": 0.0, "delta": float(iotlb[1])},
+    ]
+    snap = {
+        "schema": "hypersio-soak-1",
+        "shard": shard,
+        "seed": seed,
+        "interval": interval,
+        "sim_ticks": dticks * (interval + 1),
+        "delta_sim_ticks": dticks,
+        "stats": stats,
+    }
+    if rss is not None:
+        snap["wall"] = {"seconds": 1.0 * (interval + 1),
+                        "delta_seconds": 1.0,
+                        "vm_rss_kib": rss, "vm_hwm_kib": rss}
+    return snap
+
+
+def steady_stream(intervals=6, shards=1, rss_base=50_000):
+    """A flat, healthy trajectory: no drift, stable RSS."""
+    lines = []
+    for shard in range(shards):
+        for i in range(intervals):
+            # RSS wobbles up and down around the base — the
+            # non-monotonic shape a healthy allocator produces.
+            rss = rss_base + (100 if i % 2 else 0)
+            lines.append(make_snap(shard, i, rss=rss))
+    return lines
+
+
+class SoakReportTest(unittest.TestCase):
+    def setUp(self):
+        self._dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self._dir.cleanup)
+
+    def write(self, lines):
+        path = os.path.join(self._dir.name, "soak.jsonl")
+        with open(path, "w") as f:
+            for line in lines:
+                if isinstance(line, str):
+                    f.write(line + "\n")
+                else:
+                    f.write(json.dumps(line) + "\n")
+        return path
+
+    def run_report(self, path, *extra):
+        return subprocess.run(
+            [sys.executable, SCRIPT, path, *extra],
+            capture_output=True, text=True)
+
+    def report(self, lines, *extra):
+        return self.run_report(self.write(lines), *extra)
+
+    # ---- exit 0: clean trajectories ------------------------------
+
+    def test_steady_stream_passes(self):
+        proc = self.report(steady_stream())
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+        self.assertIn("OK", proc.stdout)
+
+    def test_multi_shard_steady_stream_passes(self):
+        proc = self.report(steady_stream(shards=3), "--verbose")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+        self.assertIn("shard 2", proc.stdout)
+
+    def test_small_monotonic_rss_growth_passes(self):
+        # Monotonic but under the growth threshold: allocator
+        # settling, not a leak.
+        lines = [make_snap(0, i, rss=50_000 + i * 10)
+                 for i in range(6)]
+        self.assertEqual(self.report(lines).returncode, 0)
+
+    def test_improving_throughput_passes(self):
+        lines = [make_snap(0, i, packets=4000 + i * 200)
+                 for i in range(6)]
+        self.assertEqual(self.report(lines).returncode, 0)
+
+    def test_decay_confined_to_warmup_passes(self):
+        # A bad first interval (cold caches) must not fail the gate:
+        # warm-up intervals are excluded from every trend.
+        lines = [make_snap(0, 0, packets=1000, devtlb=(100, 1000))]
+        lines += [make_snap(0, i) for i in range(1, 6)]
+        self.assertEqual(self.report(lines).returncode, 0,
+                         self.report(lines).stdout)
+
+    # ---- exit 1: drift and leak signatures -----------------------
+
+    def test_throughput_decay_fails(self):
+        lines = [make_snap(0, i, packets=4000 - i * 100)
+                 for i in range(6)]
+        proc = self.report(lines)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("throughput decays", proc.stdout)
+
+    def test_hitrate_decay_fails(self):
+        lines = [make_snap(0, i, devtlb=(900 - i * 20, 1000))
+                 for i in range(6)]
+        proc = self.report(lines)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("devtlb hit rate decays", proc.stdout)
+
+    def test_monotonic_rss_growth_fails(self):
+        lines = [make_snap(0, i, rss=50_000 + i * 2048)
+                 for i in range(6)]
+        proc = self.report(lines)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("leak signature", proc.stdout)
+
+    def test_fluctuating_rss_with_same_total_growth_passes(self):
+        # The same endpoints, but with a dip on the way: not
+        # monotonic, so not the leak signature.
+        rss = [50_000, 52_000, 51_000, 55_000, 58_000, 60_240]
+        lines = [make_snap(0, i, rss=r) for i, r in enumerate(rss)]
+        self.assertEqual(self.report(lines).returncode, 0)
+
+    def test_one_bad_shard_fails_the_run(self):
+        lines = steady_stream(shards=2)
+        lines += [make_snap(2, i, packets=4000 - i * 100)
+                  for i in range(6)]
+        proc = self.report(lines)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("shard 2", proc.stdout)
+
+    def test_threshold_flags_widen_the_gate(self):
+        lines = [make_snap(0, i, packets=4000 - i * 100)
+                 for i in range(6)]
+        proc = self.report(lines, "--max-throughput-decay", "0.5")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    # ---- exit 2: usage errors and corrupt streams ----------------
+
+    def test_too_few_intervals_is_a_usage_error(self):
+        proc = self.report([make_snap(0, 0), make_snap(0, 1)])
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("need 3", proc.stderr)
+
+    def test_noncontiguous_intervals_mean_truncation(self):
+        lines = [make_snap(0, i) for i in (0, 1, 3, 4)]
+        proc = self.report(lines)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("not contiguous", proc.stderr)
+
+    def test_malformed_line_is_a_corrupt_stream(self):
+        lines = steady_stream()[:4] + ['{"schema": "hypersio-so']
+        proc = self.report(lines)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("malformed JSON", proc.stderr)
+
+    def test_mixed_seeds_are_rejected(self):
+        lines = [make_snap(0, i) for i in range(3)]
+        lines += [make_snap(1, i, seed=7) for i in range(3)]
+        proc = self.report(lines)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("mixed seeds", proc.stderr)
+
+    def test_unknown_schema_is_rejected(self):
+        snap = make_snap(0, 0)
+        snap["schema"] = "hypersio-soak-999"
+        proc = self.report([snap])
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("unknown schema", proc.stderr)
+
+    def test_missing_file_is_a_usage_error(self):
+        proc = self.run_report(
+            os.path.join(self._dir.name, "nope.jsonl"))
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("cannot read", proc.stderr)
+
+    def test_empty_file_is_a_usage_error(self):
+        proc = self.report([])
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("no snapshots", proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -212,21 +212,32 @@ ShardedRunResults
 ShardedMultiSystem::run(const StreamFactory &make_stream,
                         const StreamRunOptions &opts)
 {
+    return run(make_stream,
+               [&opts](unsigned) { return opts; });
+}
+
+ShardedRunResults
+ShardedMultiSystem::run(const StreamFactory &make_stream,
+                        const OptionsFactory &make_options)
+{
     HYPERSIO_ASSERT(!_ran,
                     "ShardedMultiSystem::run() may only run once");
     _ran = true;
 
     const auto n = static_cast<unsigned>(_systems.size());
 
-    // Streams are built on the calling thread in shard order, so a
-    // factory drawing from shared (seeded) state stays deterministic
-    // no matter the jobs count.
+    // Streams and per-shard options are built on the calling thread
+    // in shard order, so factories drawing from shared (seeded)
+    // state stay deterministic no matter the jobs count.
     _streams.reserve(n);
+    std::vector<StreamRunOptions> options;
+    options.reserve(n);
     for (unsigned s = 0; s < n; ++s) {
         _streams.push_back(make_stream(s));
         HYPERSIO_ASSERT(_streams.back() != nullptr,
                         "stream factory returned null for shard %u",
                         s);
+        options.push_back(make_options(s));
     }
 
     // Shards share nothing at run time (each System owns its event
@@ -240,7 +251,7 @@ ShardedMultiSystem::run(const StreamFactory &make_stream,
     if (workers <= 1) {
         for (unsigned s = 0; s < n; ++s)
             results.perShard[s] =
-                _systems[s]->runStream(*_streams[s], opts);
+                _systems[s]->runStream(*_streams[s], options[s]);
     } else {
         std::atomic<unsigned> next{0};
         auto work = [&]() {
@@ -250,7 +261,7 @@ ShardedMultiSystem::run(const StreamFactory &make_stream,
                 if (s >= n)
                     return;
                 results.perShard[s] =
-                    _systems[s]->runStream(*_streams[s], opts);
+                    _systems[s]->runStream(*_streams[s], options[s]);
             }
         };
         std::vector<std::thread> pool;

@@ -170,6 +170,15 @@ class ShardedMultiSystem
             unsigned shard)>;
 
     /**
+     * Builds shard `s`'s run options (called in shard order on the
+     * calling thread). Lets each shard carry its own telemetry
+     * hooks — a per-shard Snapshotter, a per-shard repro context —
+     * while the run itself stays jobs-count independent.
+     */
+    using OptionsFactory =
+        std::function<StreamRunOptions(unsigned shard)>;
+
+    /**
      * @param jobs worker threads for run(); clamped to the shard
      *        count, 0/1 runs serially on the calling thread
      */
@@ -184,6 +193,10 @@ class ShardedMultiSystem
     /** Runs every shard's stream to exhaustion. Call once. */
     ShardedRunResults run(const StreamFactory &make_stream,
                           const StreamRunOptions &opts = {});
+
+    /** Same, with per-shard run options. Call once. */
+    ShardedRunResults run(const StreamFactory &make_stream,
+                          const OptionsFactory &make_options);
 
     unsigned numShards() const
     {

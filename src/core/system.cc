@@ -220,6 +220,13 @@ System::runStream(trace::PacketStream &stream,
                     "System::runStream() may only be called once");
     _streamRan = true;
 
+    // Fires before anything can panic so run-start hooks that
+    // install PanicContext repro lines cover the whole run.
+    if (opts.onRunStart)
+        opts.onRunStart(*this);
+    _snapshotEvery = opts.snapshotEveryPackets;
+    _onSnapshot = opts.onSnapshot;
+
     if (!_device) {
         fatal("streaming runs do not support Oracle DevTLB "
               "replacement (the Belady feed needs the full trace "
@@ -344,6 +351,12 @@ System::packetDone(const trace::PacketRecord &pkt)
     // Streaming-run bookkeeping; _evictStream is never set by run().
     if (_evictStream)
         onStreamPacketDrained(pkt.sid);
+    // After retirement bookkeeping, so a capture at this boundary
+    // sees the stats with this completion fully applied.
+    if (_snapshotEvery != 0 && _processed % _snapshotEvery == 0 &&
+        _onSnapshot) {
+        _onSnapshot(*this, _processed);
+    }
 }
 
 uint64_t

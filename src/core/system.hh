@@ -36,6 +36,8 @@
 namespace hypersio::core
 {
 
+class System;
+
 /** Options of a streaming run (System::runStream). */
 struct StreamRunOptions
 {
@@ -47,6 +49,28 @@ struct StreamRunOptions
      * with every tenant ever seen) — the golden equivalence mode.
      */
     bool evictDetached = true;
+
+    /**
+     * Interval-telemetry hook: onSnapshot(system, processed) fires
+     * from the completion path each time another
+     * `snapshotEveryPackets` packets have finished. The trigger is
+     * simulated progress — never wall time — so capture points are
+     * identical across runs, machines, and jobs counts. The callback
+     * must treat the system as read-only (it runs between events of
+     * the simulation it is observing); the snapshotting-vs-off
+     * byte-identity test in tests/test_soak.cc holds runStream to
+     * producing bit-identical results either way. 0 disables.
+     */
+    uint64_t snapshotEveryPackets = 0;
+    std::function<void(const System &, uint64_t)> onSnapshot;
+
+    /**
+     * Invoked once at runStream() entry, on the thread that will run
+     * the simulation — the hook for per-shard thread-local setup
+     * (PanicContext repro lines, wall timers) when shards run on a
+     * worker pool.
+     */
+    std::function<void(const System &)> onRunStart;
 };
 
 /**
@@ -124,6 +148,8 @@ class System : private Device::CompletionSink
     Device &device() { return *_device; }
     iommu::Iommu &iommuUnit() { return *_iommu; }
     sim::EventQueue &eventQueue() { return _queue; }
+    /** Read-only queue access (snapshot callbacks read now()). */
+    const sim::EventQueue &eventQueue() const { return _queue; }
     /** The run's functional page tables (shadow checking, tests). */
     const iommu::PageTableDirectory &tables() const { return _tables; }
     /** The chipset history reader, if prefetching is on (tests). */
@@ -188,6 +214,9 @@ class System : private Device::CompletionSink
     bool _streamStalled = false;
     bool _streamRan = false;
     Tick _streamInterval = 0;
+    /** Snapshot cadence/hook of the active streaming run. */
+    uint64_t _snapshotEvery = 0;
+    std::function<void(const System &, uint64_t)> _onSnapshot;
     std::function<void()> *_streamArrival = nullptr;
     /** In-flight (accepted, not completed) packets per SID. */
     util::FlatMap<trace::SourceId, uint32_t> _outstanding;

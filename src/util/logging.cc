@@ -10,6 +10,30 @@ Logger::instance()
     return logger;
 }
 
+namespace
+{
+
+std::string &
+panicContextLine()
+{
+    static thread_local std::string line;
+    return line;
+}
+
+} // namespace
+
+void
+PanicContext::set(std::string line)
+{
+    panicContextLine() = std::move(line);
+}
+
+const std::string &
+PanicContext::get()
+{
+    return panicContextLine();
+}
+
 namespace detail
 {
 
@@ -81,6 +105,11 @@ panic(const char *fmt, ...)
         std::lock_guard<std::mutex> lock(
             Logger::instance().ioMutex());
         std::FILE *out = Logger::instance().stream();
+        const std::string &context = PanicContext::get();
+        if (!context.empty()) {
+            std::fputs(context.c_str(), out);
+            std::fputc('\n', out);
+        }
         std::fputs("panic: ", out);
         va_list args;
         va_start(args, fmt);

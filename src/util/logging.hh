@@ -83,6 +83,24 @@ class Logger
     std::mutex _ioMutex;
 };
 
+/**
+ * Thread-local one-line context printed immediately before any
+ * panic() message raised on the same thread. Long-running harnesses
+ * set it to a self-contained repro line (seed, shard, interval) so
+ * that an assertion or shadow-oracle abort deep inside the simulator
+ * still tells the user how to reproduce it — the soak harness's
+ * equivalent of the fuzz harness's HYPERSIO_FUZZ_SEED line.
+ */
+class PanicContext
+{
+  public:
+    /** Replaces this thread's context line; empty clears it. */
+    static void set(std::string line);
+
+    /** This thread's current context line (empty when unset). */
+    static const std::string &get();
+};
+
 namespace detail
 {
 /** Formats and prints one log line with the given prefix. */

@@ -82,10 +82,14 @@ parseDouble(std::string_view text, double &out)
     return true;
 }
 
-bool
-parseVmHwmKib(std::string_view status_text, uint64_t &out)
+namespace
 {
-    constexpr std::string_view key = "VmHWM:";
+
+/** Strict parse of one "<key>   <n> kB" line in a status blob. */
+bool
+parseStatusKib(std::string_view status_text, std::string_view key,
+               uint64_t &out)
+{
     size_t pos = 0;
     while (pos < status_text.size()) {
         size_t eol = status_text.find('\n', pos);
@@ -112,6 +116,20 @@ parseVmHwmKib(std::string_view status_text, uint64_t &out)
         pos = eol + 1;
     }
     return false;
+}
+
+} // namespace
+
+bool
+parseVmHwmKib(std::string_view status_text, uint64_t &out)
+{
+    return parseStatusKib(status_text, "VmHWM:", out);
+}
+
+bool
+parseVmRssKib(std::string_view status_text, uint64_t &out)
+{
+    return parseStatusKib(status_text, "VmRSS:", out);
 }
 
 std::string

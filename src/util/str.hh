@@ -38,6 +38,15 @@ bool parseDouble(std::string_view text, double &out);
  */
 bool parseVmHwmKib(std::string_view status_text, uint64_t &out);
 
+/**
+ * Extracts the current resident set (the "VmRSS:" field, in KiB) from
+ * a /proc/self/status blob, under the same strict-parse contract as
+ * parseVmHwmKib. The soak harness samples this per interval — unlike
+ * the high-water mark, it can fall, which is what makes a monotonic
+ * trajectory a leak signal.
+ */
+bool parseVmRssKib(std::string_view status_text, uint64_t &out);
+
 /** printf-style formatting into a std::string. */
 std::string strprintf(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));

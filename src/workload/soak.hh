@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Long-haul mixed-scenario workload for the soak harness.
+ *
+ * A SoakStream interleaves the two stress regimes the repo already
+ * models, on one System, through one PacketStream:
+ *
+ *  - the base load is ChurnStream's arrival/departure storm — an
+ *    unbounded tenant population over bounded SID slots — and
+ *  - every `stormPeriod` churn packets, an *adversarial episode* is
+ *    spliced in: a materialized workload::adversarial trace
+ *    (alternating InvalidateStorm and RemapChurn patterns, a fresh
+ *    derived seed per episode) replayed on a dedicated SID range
+ *    directly above the churn slots.
+ *
+ * The storm SID range is disjoint from the churn slots, so episode
+ * page ops can never desynchronize a churn tenant's mapped-page
+ * bookkeeping; after an episode's last packet is consumed, its SIDs
+ * are detached through the regular retirement protocol, so the next
+ * episode starts from clean tables — and every episode exercises
+ * tenant teardown under invalidate/remap pressure, which is exactly
+ * the long-haul drift/leak surface the soak bench watches.
+ *
+ * Everything is deterministic in the config: episode boundaries are
+ * counted in produced packets, episode seeds derive from the config
+ * seed and the episode index, and the underlying generators are
+ * deterministic already.
+ */
+
+#ifndef HYPERSIO_WORKLOAD_SOAK_HH
+#define HYPERSIO_WORKLOAD_SOAK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/record.hh"
+#include "trace/stream.hh"
+#include "workload/adversarial.hh"
+#include "workload/streaming.hh"
+
+namespace hypersio::workload
+{
+
+/** Knobs of the long-haul soak workload. */
+struct SoakConfig
+{
+    /** The base tenant-churn load. */
+    ChurnConfig churn;
+    /** Churn packets between adversarial episodes; 0 disables. */
+    uint64_t stormPeriod = 4096;
+    /** Packets per adversarial episode. */
+    uint64_t stormPackets = 256;
+    /** Tenants per episode (SIDs [slots, slots + stormTenants)). */
+    unsigned stormTenants = 4;
+};
+
+/** Churn punctuated by adversarial invalidate/remap episodes. */
+class SoakStream : public trace::PacketStream
+{
+  public:
+    explicit SoakStream(const SoakConfig &config);
+
+    const trace::PacketRecord *peek() override;
+    const trace::PageOp *ops() const override;
+    void advance() override;
+    bool exhausted() override;
+    /** Population presented so far (grows with each episode). */
+    uint32_t numTenants() const override;
+    void drainDetached(std::vector<trace::SourceId> &out) override;
+    void sidRetired(trace::SourceId sid) override;
+
+    /** Adversarial episodes started so far. */
+    uint64_t episodes() const { return _episodes; }
+    /** Tenants attached so far (churn binds + storm tenants). */
+    uint64_t attaches() const;
+    /** Packets produced so far (churn + storm). */
+    uint64_t produced() const { return _produced; }
+    const ChurnStream &churn() const { return _churn; }
+
+  private:
+    enum class Mode
+    {
+        Churn, ///< delegating to the churn stream
+        Storm, ///< replaying the current adversarial episode
+    };
+
+    /** Starts the next episode when one is due and none pending. */
+    void maybeStartEpisode();
+    const trace::PacketRecord *stormPeek();
+    void stormAdvance();
+
+    SoakConfig _cfg;
+    ChurnStream _churn;
+    trace::SourceId _stormBase = 0;
+
+    Mode _mode = Mode::Churn;
+    trace::HyperTrace _storm; ///< current episode (small, bounded)
+    size_t _stormCursor = 0;
+    trace::PacketRecord _stormPkt;
+    std::vector<trace::PageOp> _stormOps;
+    bool _stormBuffered = false;
+
+    uint64_t _churnSinceStorm = 0;
+    uint64_t _episodes = 0;
+    /** Storm SIDs detached but not yet confirmed retired. */
+    unsigned _stormRetirePending = 0;
+    std::vector<trace::SourceId> _detached;
+    uint64_t _produced = 0;
+};
+
+} // namespace hypersio::workload
+
+#endif // HYPERSIO_WORKLOAD_SOAK_HH

@@ -195,6 +195,12 @@ class ChurnStream : public trace::PacketStream
     void drainDetached(std::vector<trace::SourceId> &out) override;
     void sidRetired(trace::SourceId sid) override;
 
+    /** Effective SID-slot count (config slots clamped to pop.). */
+    unsigned
+    slots() const
+    {
+        return static_cast<unsigned>(_slots.size());
+    }
     /** Tenants bound to a slot so far (attaches). */
     uint64_t attaches() const { return _attaches; }
     /** Detach notices queued so far. */

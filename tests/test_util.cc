@@ -197,6 +197,33 @@ TEST(Str, ParseVmHwmKibLastLineWithoutNewline)
     EXPECT_EQ(kib, 42u);
 }
 
+TEST(Str, ParseVmRssKibFindsFieldIndependentlyOfVmHwm)
+{
+    const char *status =
+        "Name:\tsoak_bench\n"
+        "VmPeak:\t  123456 kB\n"
+        "VmHWM:\t   98304 kB\n"
+        "VmRSS:\t   65536 kB\n";
+    uint64_t kib = 0;
+    EXPECT_TRUE(parseVmRssKib(status, kib));
+    EXPECT_EQ(kib, 65536u);
+    // The two parsers must not shadow each other: same blob, each
+    // finds its own field.
+    EXPECT_TRUE(parseVmHwmKib(status, kib));
+    EXPECT_EQ(kib, 98304u);
+}
+
+TEST(Str, ParseVmRssKibRejectsMissingOrMalformed)
+{
+    uint64_t kib = 7;
+    EXPECT_FALSE(parseVmRssKib("Name:\tx\nVmHWM:\t1 kB\n", kib));
+    EXPECT_FALSE(parseVmRssKib("", kib));
+    EXPECT_FALSE(parseVmRssKib("VmRSSx:\t12 kB\n", kib));
+    EXPECT_FALSE(parseVmRssKib("VmRSS:\tpotato kB\n", kib));
+    EXPECT_FALSE(parseVmRssKib("VmRSS:\t12 MB\n", kib));
+    EXPECT_EQ(kib, 7u); // untouched on failure
+}
+
 TEST(Str, Strprintf)
 {
     EXPECT_EQ(strprintf("%d-%s", 7, "x"), "7-x");
