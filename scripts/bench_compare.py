@@ -4,6 +4,7 @@
 Usage:
     scripts/bench_compare.py BASELINE.json CURRENT.json
         [--tol-throughput FRAC] [--tol-rate ABS] [--verbose]
+        [--only-label LABEL]
 
 Both files come from a bench binary's `--json <file>` flag
 (schema "hypersio-bench-1") or from `hypersio_sim --json`
@@ -20,6 +21,13 @@ plus every entry of the report's "scalars" block (relative drift,
 throughput tolerance). Missing or extra points, and config
 mismatches in scale/seed/max_tenants, fail the comparison outright —
 the two runs measured different experiments.
+
+--only-label LABEL restricts the comparison to one config key of a
+multi-config report: only points whose label matches (and scalars
+whose name embeds the label, e.g. "area_kbits_LABEL") are checked.
+Use it to localize a mechanism-tournament drift to one competitor
+without the other configs' deviations drowning the diff. A label
+that matches nothing in either report is a usage error (exit 2).
 
 Exit status: 0 when everything is within tolerance, 1 on drift or a
 shape mismatch, 2 on usage/file errors. The simulator is
@@ -81,6 +89,28 @@ def normalize(doc):
     return doc.get("config", {}), points, doc.get("scalars", {})
 
 
+def scalar_matches_label(name, label):
+    """True when a scalar is named for one config label.
+
+    Bench scalars embed the label with '_' separators (e.g.
+    "area_kbits_part"); requiring the separator keeps a label that
+    is a prefix of another ("part" vs "part+sub") from matching its
+    longer sibling's scalars.
+    """
+    return (name == label or name.startswith(label + "_")
+            or name.endswith("_" + label)
+            or ("_" + label + "_") in name)
+
+
+def filter_label(points, scalars, label):
+    """Restricts a normalized report to one config label."""
+    points = {key: results for key, results in points.items()
+              if key[0] == label}
+    scalars = {name: value for name, value in scalars.items()
+               if scalar_matches_label(name, label)}
+    return points, scalars
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="gate on drift between two bench JSON reports")
@@ -95,11 +125,26 @@ def main():
     parser.add_argument("--verbose", action="store_true",
                         help="print every comparison, not just "
                              "failures")
+    parser.add_argument("--only-label", metavar="LABEL",
+                        help="compare only points with this config "
+                             "label (and scalars named for it)")
     args = parser.parse_args()
 
     base_cfg, base_points, base_scalars = normalize(
         load(args.baseline))
     cur_cfg, cur_points, cur_scalars = normalize(load(args.current))
+
+    if args.only_label is not None:
+        base_points, base_scalars = filter_label(
+            base_points, base_scalars, args.only_label)
+        cur_points, cur_scalars = filter_label(
+            cur_points, cur_scalars, args.only_label)
+        if not (base_points or cur_points or base_scalars
+                or cur_scalars):
+            print(f"bench_compare: --only-label "
+                  f"{args.only_label!r} matches nothing in either "
+                  f"report", file=sys.stderr)
+            sys.exit(2)
 
     failures = []
     checked = 0

@@ -50,15 +50,24 @@
 #      build's walk-storm rate must hold >= 1.15x over the scalar
 #      build's in a back-to-back same-machine A/B (locally measured
 #      ~1.25x). The pinned pre-vectorization record
-#      (BENCH_translation_path_flat_baseline.json — never
-#      regenerate it) is compared counts-only: committed rates
-#      don't travel across machines, deterministic counts do.
+#      (BENCH_translation_path_flat_baseline.json — regenerate it
+#      only as part of a deliberate re-baselining of the
+#      pre-vectorization record) is compared counts-only: committed
+#      rates don't travel across machines, deterministic counts do.
 #  10. The soak harness (long-haul churn + adversarial episodes with
 #      interval telemetry) must run its smoke configuration under
 #      the checked build, stream valid hypersio-soak-1 snapshots,
 #      pass scripts/soak_report.py's drift/leak gate, stay inside a
 #      peak-RSS budget, and match the committed BENCH_soak.json's
 #      deterministic scalars exactly.
+#  11. The mechanism tournament (partitioning vs sub-entry sharing
+#      vs MMU-aware prefetch, and their combinations) must complete
+#      its smoke sweep under the checked build's fail-fast shadow
+#      oracle and match the committed BENCH_tournament.json exactly
+#      — every scalar in that report (hit rates, throughputs, area
+#      proxies) is deterministic, so any drift means a mechanism's
+#      behavior changed and the bake-off needs re-reading before
+#      the baseline is regenerated on purpose.
 #
 # scripts/coverage.sh (gcov line coverage) is a separate, slower
 # workflow and is not part of this gate.
@@ -70,7 +79,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 UNCHECKED_DIR="${BUILD_DIR}-unchecked"
 
-echo "== 1/10 repo hygiene: no tracked build artifacts"
+echo "== 1/11 repo hygiene: no tracked build artifacts"
 if git ls-files | grep -q '^build'; then
     echo "FAIL: build trees are tracked in git:" >&2
     git ls-files | grep '^build' | head >&2
@@ -80,7 +89,7 @@ if git ls-files | grep -q '^build'; then
 fi
 echo "   ok"
 
-echo "== 2/10 tier-1 build + ctest (shadow oracle compiled in)"
+echo "== 2/11 tier-1 build + ctest (shadow oracle compiled in)"
 # Every configure pins the build type: `cmake -B` on an existing
 # tree silently keeps whatever CMAKE_BUILD_TYPE is cached there, and
 # the rate gates (6, 7, 9) are calibrated against RelWithDebInfo
@@ -91,7 +100,7 @@ cmake -B "$BUILD_DIR" -S . "$BUILD_TYPE"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
 
-echo "== 3/10 extended adversarial fuzz campaign"
+echo "== 3/11 extended adversarial fuzz campaign"
 # The ctest invocation above already ran the bounded smoke; this is
 # the long campaign: more packets, multiple seeds. Reproduce any
 # failure with the HYPERSIO_FUZZ_SEED printed in its repro line.
@@ -105,7 +114,7 @@ if ! HYPERSIO_FUZZ_PACKETS=400 HYPERSIO_FUZZ_ROUNDS=3 \
 fi
 grep 'translation requests checked' "$FUZZ_LOG"
 
-echo "== 4/10 shadow checking is observation-only (checked vs not)"
+echo "== 4/11 shadow checking is observation-only (checked vs not)"
 cmake -B "$UNCHECKED_DIR" -S . "$BUILD_TYPE" \
     -DHYPERSIO_CHECKED=OFF > /dev/null
 cmake --build "$UNCHECKED_DIR" -j "$(nproc)" \
@@ -123,7 +132,7 @@ if ! cmp -s "$BUILD_DIR/fig10_checked.out" \
 fi
 echo "   ok: fig10 --quick output byte-identical"
 
-echo "== 5/10 bench JSON regression gate (fig10, quick scale)"
+echo "== 5/11 bench JSON regression gate (fig10, quick scale)"
 # Deterministic settings: quick scale, 8-tenant sweep, fixed seed.
 # --jobs only changes scheduling, never results, but pin it anyway
 # so the config block is stable too.
@@ -140,7 +149,7 @@ else
     cp "$FRESH" BENCH_fig10.json
 fi
 
-echo "== 6/10 event-kernel microbench speedup + report shape"
+echo "== 6/11 event-kernel microbench speedup + report shape"
 KERNEL_FRESH="$BUILD_DIR/BENCH_event_kernel.json"
 "$BUILD_DIR"/bench/event_kernel_microbench --check-speedup 1.3 \
     --json "$KERNEL_FRESH"
@@ -155,7 +164,7 @@ else
     cp "$KERNEL_FRESH" BENCH_event_kernel.json
 fi
 
-echo "== 7/10 translation-path microbench speedup + report shape"
+echo "== 7/11 translation-path microbench speedup + report shape"
 # Both sides run without the shadow oracle (its mirrors would
 # dominate the probes being measured). The flat side reuses the
 # gate-4 unchecked build; the reference side pins the pre-flat
@@ -192,7 +201,7 @@ else
     cp "$FLAT_JSON" BENCH_translation_path.json
 fi
 
-echo "== 8/10 hyper-scale streaming bench: bounded RSS + regression"
+echo "== 8/11 hyper-scale streaming bench: bounded RSS + regression"
 # Measured without the shadow oracle (its mirrors would scale with
 # the mirrored state being bounded, muddying the RSS reading); the
 # unchecked build from gate 4 serves. The in-process assertions
@@ -218,7 +227,7 @@ else
     cp "$HYPERSCALE_FRESH" BENCH_hyperscale.json
 fi
 
-echo "== 9/10 probe vectorization: identical counts + speedup"
+echo "== 9/11 probe vectorization: identical counts + speedup"
 # The SIMD/scalar choice is compile-time (util/simd.hh); the masks
 # the backends produce are defined to be identical, so every
 # deterministic count in the microbench report must match exactly
@@ -230,10 +239,11 @@ echo "== 9/10 probe vectorization: identical counts + speedup"
 # scalar one and the better of the two flat runs is scored — rate
 # noise is one-sided (background load only ever slows a run). The
 # 1.15x floor sits under a locally measured ~1.25x. The pinned
-# BENCH_translation_path_flat_baseline.json (never regenerate it)
-# is held to the machine-independent claim a committed file can
-# actually support: today's builds must do simulated work identical
-# to the pre-vectorization record, count for count.
+# BENCH_translation_path_flat_baseline.json (regenerate it only as
+# part of a deliberate re-baselining of the pre-vectorization
+# record) is held to the machine-independent claim a committed file
+# can actually support: today's builds must do simulated work
+# identical to the pre-vectorization record, count for count.
 SCALAR_DIR="${BUILD_DIR}-scalar-probes"
 cmake -B "$SCALAR_DIR" -S . "$BUILD_TYPE" -DHYPERSIO_CHECKED=OFF \
     -DHYPERSIO_SIMD_PROBES=OFF > /dev/null
@@ -264,7 +274,7 @@ else
     exit 1
 fi
 
-echo "== 10/10 soak harness: telemetry stream + drift/leak gate"
+echo "== 10/11 soak harness: telemetry stream + drift/leak gate"
 # Runs from the *checked* build on purpose: the soak regime's value
 # is churn + adversarial episodes under the fail-fast shadow oracle,
 # so the RSS budget is sized for the mirrors' overhead. --jobs 1
@@ -287,6 +297,32 @@ else
     echo "   no committed baseline; installing $SOAK_FRESH as" \
          "BENCH_soak.json"
     cp "$SOAK_FRESH" BENCH_soak.json
+fi
+
+echo "== 11/11 mechanism tournament: bake-off regression gate"
+# Runs from the *checked* build: every competitor (sub-entry
+# sharing, MMU-aware prefetch, the paper's partitioning, and their
+# combinations) then executes under the fail-fast shadow oracle, so
+# a passing sweep doubles as an oracle-agreement check for each
+# mechanism. Every value in the report — per-config hit rates,
+# throughputs, and the geometry-derived area proxies — is
+# deterministic and jobs-independent, so the baseline comparison is
+# exact. To inspect one competitor's drift in isolation, diff with
+#   python3 scripts/bench_compare.py BENCH_tournament.json <fresh> \
+#       --only-label <label>
+TOURN_FRESH="$BUILD_DIR/BENCH_tournament.json"
+"$BUILD_DIR"/bench/mechanism_tournament --smoke --jobs 1 \
+    --json "$TOURN_FRESH" > /dev/null
+python3 scripts/bench_compare.py "$TOURN_FRESH" "$TOURN_FRESH"
+if [ -f BENCH_tournament.json ]; then
+    echo "   comparing against committed BENCH_tournament.json" \
+         "baseline (exact: all scalars deterministic)"
+    python3 scripts/bench_compare.py BENCH_tournament.json \
+        "$TOURN_FRESH"
+else
+    echo "   no committed baseline; installing $TOURN_FRESH as" \
+         "BENCH_tournament.json"
+    cp "$TOURN_FRESH" BENCH_tournament.json
 fi
 
 echo "check_repo: all gates passed"

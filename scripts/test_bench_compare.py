@@ -176,6 +176,51 @@ class BenchCompareTest(unittest.TestCase):
         cur["points"][0]["results"]["achieved_gbps"] = 0.1
         self.assertEqual(self.compare(base, cur).returncode, 1)
 
+    # ---- --only-label: per-config-key comparison -----------------
+
+    def test_only_label_ignores_other_configs_drift(self):
+        # "hypertrio" drifted badly, but a comparison scoped to
+        # "base" must not see it. The shared scalar ("speedup") is
+        # not named for the label, so it is excluded too.
+        cur = make_report()
+        cur["points"][1]["results"]["achieved_gbps"] = 10.0
+        cur["scalars"]["speedup"] = 9.99
+        proc = self.compare(make_report(), cur,
+                            "--only-label", "base")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_only_label_still_catches_that_configs_drift(self):
+        cur = make_report()
+        cur["points"][0]["results"]["achieved_gbps"] = 10.0
+        proc = self.compare(make_report(), cur,
+                            "--only-label", "base")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("achieved_gbps", proc.stdout)
+
+    def test_only_label_scopes_labeled_scalars(self):
+        # "area_kbits_<label>" scalars follow their label; a label
+        # that is a prefix of another ("part" vs "part+sub") must
+        # not pick up the longer sibling's scalar.
+        base = make_report(scalars={"area_kbits_part": 129.8,
+                                    "area_kbits_part+sub": 467.3})
+        drifted = make_report(scalars={"area_kbits_part": 129.8,
+                                       "area_kbits_part+sub": 1.0})
+        base["points"][0]["label"] = "part"
+        drifted["points"][0]["label"] = "part"
+        del base["points"][1], drifted["points"][1]
+        proc = self.compare(base, drifted, "--only-label", "part")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+        proc = self.compare(base, drifted,
+                            "--only-label", "part+sub")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("area_kbits_part+sub", proc.stdout)
+
+    def test_only_label_matching_nothing_is_a_usage_error(self):
+        proc = self.compare(make_report(), make_report(),
+                            "--only-label", "no-such-config")
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("matches nothing", proc.stderr)
+
     # ---- exit 2: usage/file errors -------------------------------
 
     def test_unknown_schema_is_a_usage_error(self):

@@ -76,9 +76,39 @@ struct CacheConfig
     bool hashIndex = false;
     /** LFU counter width in bits (paper: 4). */
     unsigned lfuBits = 4;
+    /**
+     * Sub-entries per tag (1 disables; appended last so positional
+     * brace initialization of the older fields keeps working). With
+     * S > 1 each tag matches on the domain-independent low
+     * SubEntrySharedKeyBits of the key — tenants whose gIOVA layouts
+     * coincide, the common case the paper highlights, share one
+     * tag — and the way carries up to S per-tenant (full key, value)
+     * sub-slots behind it. Ways and sets still count tags, so reach
+     * grows toward entries * S translations for the area cost of S
+     * payloads (not S full tags) per way. Sub-slot replacement is
+     * round-robin inside the tag; evicting a tag evicts every tenant
+     * behind it. Flat (SoA) structures only.
+     */
+    size_t subEntries = 1;
 
     size_t sets() const { return entries / ways; }
 };
+
+/**
+ * Bits of a translation/paging key below the domain field (see
+ * iommu/keys.hh): the tenant-independent page identity that
+ * sub-entry-shared tags match on. Domains sit at bit 40 and up in
+ * both key families, so masking them off leaves exactly the
+ * (size/level, page-frame/prefix) part tenants can share.
+ */
+constexpr unsigned SubEntrySharedKeyBits = 40;
+
+/** The shared (domain-stripped) part of a key. */
+constexpr uint64_t
+subEntrySharedKey(uint64_t key)
+{
+    return key & ((uint64_t(1) << SubEntrySharedKeyBits) - 1);
+}
 
 /** Aggregate hit/miss statistics of one cache instance. */
 struct CacheStats
@@ -152,6 +182,11 @@ class SetAssocCache
                         "partitions (%zu) must divide sets (%zu)",
                         _config.partitions, sets);
         _setsPerPartition = sets / _config.partitions;
+        HYPERSIO_ASSERT(_config.subEntries >= 1 &&
+                            _config.subEntries <= 16,
+                        "subEntries (%zu) out of range [1, 16]",
+                        _config.subEntries);
+        _sub = _config.subEntries;
         // Round each set's tag row up to whole 16-lane groups so the
         // way scan never reads past its row; the padding lanes stay
         // zero forever.
@@ -159,8 +194,14 @@ class SetAssocCache
         _wayStride = (_config.ways + group - 1) & ~(group - 1);
         _tagBytes.resize(sets * _wayStride, 0);
         _tagKeys.resize(sets * _config.ways, 0);
-        _values.resize(sets * _config.ways);
+        _values.resize(sets * _config.ways * _sub);
         _setFill.resize(sets, 0);
+        if (_sub > 1) {
+            _subKeys.resize(sets * _config.ways * _sub, 0);
+            _subValid.resize(sets * _config.ways * _sub, 0);
+            _subFill.resize(sets * _config.ways, 0);
+            _subVictim.resize(sets * _config.ways, 0);
+        }
         _victimKeys.resize(_config.ways);
         _policy->init(sets, _config.ways);
     }
@@ -179,6 +220,8 @@ class SetAssocCache
     V *
     lookup(uint64_t key, uint64_t index, uint32_t partition = 0)
     {
+        if (_sub > 1)
+            return lookupSub(key, index, partition);
         ++_stats.lookups;
         const size_t set = setFor(key, index, partition);
         const size_t way = findWay(set, key);
@@ -194,6 +237,14 @@ class SetAssocCache
     peek(uint64_t key, uint64_t index, uint32_t partition = 0) const
     {
         const size_t set = setFor(key, index, partition);
+        if (_sub > 1) {
+            const size_t way = findWay(set, subEntrySharedKey(key));
+            if (way == _config.ways)
+                return nullptr;
+            const size_t sub = findSub(set, way, key);
+            return sub == _sub ? nullptr
+                               : &_values[subBase(set, way) + sub];
+        }
         const size_t way = findWay(set, key);
         return way == _config.ways
                    ? nullptr
@@ -208,6 +259,8 @@ class SetAssocCache
     insert(uint64_t key, uint64_t index, V value,
            uint32_t partition = 0)
     {
+        if (_sub > 1)
+            return insertSub(key, index, std::move(value), partition);
         const size_t set = setFor(key, index, partition);
         const size_t base = set * _config.ways;
 
@@ -261,6 +314,8 @@ class SetAssocCache
     bool
     invalidate(uint64_t key, uint64_t index, uint32_t partition = 0)
     {
+        if (_sub > 1)
+            return invalidateSub(key, index, partition);
         const size_t set = setFor(key, index, partition);
         const size_t way = findWay(set, key);
         if (way == _config.ways)
@@ -277,6 +332,20 @@ class SetAssocCache
     void
     flush()
     {
+        if (_sub > 1) {
+            _stats.invalidations += _occupied;
+            std::fill(_tagBytes.begin(), _tagBytes.end(),
+                      uint8_t(0));
+            std::fill(_subValid.begin(), _subValid.end(),
+                      uint8_t(0));
+            std::fill(_subFill.begin(), _subFill.end(), uint8_t(0));
+            std::fill(_subVictim.begin(), _subVictim.end(),
+                      uint8_t(0));
+            std::fill(_setFill.begin(), _setFill.end(), 0u);
+            _occupied = 0;
+            _policy->reset();
+            return;
+        }
         // Padding lanes are always zero, so iterating the padded
         // plane visits exactly the valid ways.
         for (auto &tag : _tagBytes) {
@@ -339,6 +408,21 @@ class SetAssocCache
     forEach(Fn &&fn) const
     {
         const size_t sets = _config.sets();
+        if (_sub > 1) {
+            for (size_t s = 0; s < sets; ++s) {
+                for (size_t w = 0; w < _config.ways; ++w) {
+                    if (!_tagBytes[s * _wayStride + w])
+                        continue;
+                    const size_t sbase = subBase(s, w);
+                    for (size_t e = 0; e < _sub; ++e) {
+                        if (_subValid[sbase + e])
+                            fn(_subKeys[sbase + e],
+                               _values[sbase + e], s, w);
+                    }
+                }
+            }
+            return;
+        }
         for (size_t s = 0; s < sets; ++s) {
             for (size_t w = 0; w < _config.ways; ++w) {
                 const size_t slot = s * _config.ways + w;
@@ -348,11 +432,19 @@ class SetAssocCache
         }
     }
 
-    /** Computes the global set index for (key, index, partition). */
+    /**
+     * Computes the global set index for (key, index, partition). In
+     * sub-entry mode a hashed index mixes the *shared* key, so
+     * same-layout tenants co-index (the precondition for sharing a
+     * tag); with subEntries == 1 the behaviour is unchanged.
+     */
     size_t
     setFor(uint64_t key, uint64_t index, uint32_t partition) const
     {
-        return setIndex(_config.hashIndex ? splitmix64(key) : index,
+        const uint64_t hashed =
+            _sub > 1 ? subEntrySharedKey(key) : key;
+        return setIndex(_config.hashIndex ? splitmix64(hashed)
+                                          : index,
                         partition);
     }
 
@@ -408,6 +500,175 @@ class SetAssocCache
         return _config.ways;
     }
 
+    // ---- Sub-entry mode (subEntries > 1) ---------------------------
+    // The tag plane and _tagKeys hold *shared* keys; each way owns a
+    // plane of `_sub` (full key, value) sub-slots behind its tag.
+
+    /** First sub-slot of (set, way) in the sub planes. */
+    size_t
+    subBase(size_t set, size_t way) const
+    {
+        return (set * _config.ways + way) * _sub;
+    }
+
+    /** Sub-slot holding `key` in (set, way), or `_sub` when absent. */
+    size_t
+    findSub(size_t set, size_t way, uint64_t key) const
+    {
+        const size_t sbase = subBase(set, way);
+        for (size_t e = 0; e < _sub; ++e)
+            if (_subValid[sbase + e] && _subKeys[sbase + e] == key)
+                return e;
+        return _sub;
+    }
+
+    V *
+    lookupSub(uint64_t key, uint64_t index, uint32_t partition)
+    {
+        ++_stats.lookups;
+        const size_t set = setFor(key, index, partition);
+        const size_t way = findWay(set, subEntrySharedKey(key));
+        if (way == _config.ways)
+            return nullptr;
+        // Tag present but no sub-entry for this tenant: still a miss
+        // (another tenant with the same layout owns the tag).
+        const size_t sub = findSub(set, way, key);
+        if (sub == _sub)
+            return nullptr;
+        ++_stats.hits;
+        _policy->touch(set, way, subEntrySharedKey(key));
+        return &_values[subBase(set, way) + sub];
+    }
+
+    /** Resets (set, way) to hold only `key` under its shared tag. */
+    void
+    installTag(size_t set, size_t way, uint64_t key, V value)
+    {
+        const uint64_t shared = subEntrySharedKey(key);
+        const size_t sbase = subBase(set, way);
+        _tagBytes[set * _wayStride + way] = tagByteOf(shared);
+        _tagKeys[set * _config.ways + way] = shared;
+        std::fill_n(_subValid.begin() +
+                        static_cast<ptrdiff_t>(sbase),
+                    _sub, uint8_t(0));
+        _subValid[sbase] = 1;
+        _subKeys[sbase] = key;
+        _values[sbase] = std::move(value);
+        _subFill[set * _config.ways + way] = 1;
+        _subVictim[set * _config.ways + way] = 0;
+        ++_occupied;
+    }
+
+    std::optional<Eviction>
+    insertSub(uint64_t key, uint64_t index, V value,
+              uint32_t partition)
+    {
+        const uint64_t shared = subEntrySharedKey(key);
+        const size_t set = setFor(key, index, partition);
+        const size_t base = set * _config.ways;
+
+        if (const size_t way = findWay(set, shared);
+            way != _config.ways) {
+            const size_t sbase = subBase(set, way);
+            // Update in place on re-insertion of the same tenant.
+            if (const size_t sub = findSub(set, way, key);
+                sub != _sub) {
+                _values[sbase + sub] = std::move(value);
+                _policy->touch(set, way, shared);
+                return std::nullopt;
+            }
+            ++_stats.insertions;
+            // A free sub-slot under the shared tag: the sharing win —
+            // no way is consumed and nothing is evicted.
+            if (_subFill[base + way] < _sub) {
+                size_t sub = 0;
+                while (_subValid[sbase + sub])
+                    ++sub;
+                _subValid[sbase + sub] = 1;
+                _subKeys[sbase + sub] = key;
+                _values[sbase + sub] = std::move(value);
+                ++_subFill[base + way];
+                ++_occupied;
+                _policy->touch(set, way, shared);
+                return std::nullopt;
+            }
+            // Tag full: round-robin victim among the tag's tenants.
+            const size_t victim = _subVictim[base + way];
+            _subVictim[base + way] =
+                static_cast<uint8_t>((victim + 1) % _sub);
+            Eviction evicted{_subKeys[sbase + victim],
+                             std::move(_values[sbase + victim])};
+            ++_stats.evictions;
+            _subKeys[sbase + victim] = key;
+            _values[sbase + victim] = std::move(value);
+            _policy->touch(set, way, shared);
+            return evicted;
+        }
+
+        ++_stats.insertions;
+
+        // New tag: use an invalid way if one exists.
+        uint8_t *row = _tagBytes.data() + set * _wayStride;
+        if (_setFill[set] < _config.ways) {
+            size_t way = 0;
+            while (row[way])
+                ++way;
+            installTag(set, way, key, std::move(value));
+            ++_setFill[set];
+            _policy->insert(set, way, shared);
+            return std::nullopt;
+        }
+
+        // All tags valid: the policy picks a victim way, and every
+        // tenant sub-entry behind its tag dies with it. The lowest
+        // valid sub-slot is reported as the representative eviction;
+        // mirrors derive the rest from its shared tag (an eviction
+        // whose tag differs from the fill's tag is always whole-tag).
+        _victimWays.clear();
+        for (size_t w = 0; w < _config.ways; ++w) {
+            _victimWays.push_back(w);
+            _victimKeys[w] = _tagKeys[base + w];
+        }
+        const size_t victim =
+            _policy->victim(set, _victimWays, _victimKeys.data());
+        HYPERSIO_ASSERT(victim < _config.ways, "policy victim range");
+
+        const size_t vbase = subBase(set, victim);
+        size_t rep = 0;
+        while (!_subValid[vbase + rep])
+            ++rep;
+        Eviction evicted{_subKeys[vbase + rep],
+                         std::move(_values[vbase + rep])};
+        ++_stats.evictions;
+        _occupied -= _subFill[base + victim];
+        installTag(set, victim, key, std::move(value));
+        _policy->insert(set, victim, shared);
+        return evicted;
+    }
+
+    bool
+    invalidateSub(uint64_t key, uint64_t index, uint32_t partition)
+    {
+        const size_t set = setFor(key, index, partition);
+        const size_t way = findWay(set, subEntrySharedKey(key));
+        if (way == _config.ways)
+            return false;
+        const size_t sub = findSub(set, way, key);
+        if (sub == _sub)
+            return false;
+        const size_t base = set * _config.ways;
+        _subValid[subBase(set, way) + sub] = 0;
+        --_occupied;
+        ++_stats.invalidations;
+        // The last tenant leaving frees the tag (and the way).
+        if (--_subFill[base + way] == 0) {
+            _tagBytes[set * _wayStride + way] = 0;
+            --_setFill[set];
+            _policy->invalidate(set, way);
+        }
+        return true;
+    }
+
     CacheConfig _config;
     std::unique_ptr<ReplacementPolicy> _policy;
 
@@ -417,6 +678,14 @@ class SetAssocCache
     std::vector<uint8_t> _tagBytes;
     std::vector<uint64_t> _tagKeys;
     std::vector<V> _values;
+    /** Sub-entry planes (subEntries > 1 only; see CacheConfig). */
+    size_t _sub = 1;
+    std::vector<uint64_t> _subKeys;
+    std::vector<uint8_t> _subValid;
+    /** Valid sub-entries per (set, way). */
+    std::vector<uint8_t> _subFill;
+    /** Round-robin sub-victim cursor per (set, way). */
+    std::vector<uint8_t> _subVictim;
     /** Valid ways per set; `ways` means the invalid-way scan is moot. */
     std::vector<uint32_t> _setFill;
     /** Tag-plane bytes per set: ways rounded up to 16-lane groups. */
@@ -467,6 +736,11 @@ class SetAssocCache
         HYPERSIO_ASSERT(_config.entries % _config.ways == 0,
                         "entries (%zu) not a multiple of ways (%zu)",
                         _config.entries, _config.ways);
+        if (_config.subEntries > 1)
+            fatal("sub-entry sharing (subEntries=%zu) requires the "
+                  "flat structures; rebuild without "
+                  "HYPERSIO_LEGACY_STRUCTURES",
+                  _config.subEntries);
         const size_t sets = _config.sets();
         HYPERSIO_ASSERT(_config.partitions >= 1 &&
                             sets % _config.partitions == 0,

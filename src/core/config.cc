@@ -41,6 +41,20 @@ SystemConfig::hypertrio()
     return config;
 }
 
+namespace
+{
+
+/** ", N sub-entries/tag" when sharing is on; empty otherwise. */
+std::string
+subEntrySuffix(const cache::CacheConfig &config)
+{
+    if (config.subEntries <= 1)
+        return "";
+    return strprintf(", %zu sub-entries/tag", config.subEntries);
+}
+
+} // namespace
+
 std::string
 SystemConfig::describe() const
 {
@@ -57,35 +71,43 @@ SystemConfig::describe() const
     os << strprintf("  PTB               %u entries\n",
                     device.ptbEntries);
     os << strprintf("  DevTLB            %zu entries, %zu-way, "
-                    "%zu partition(s), %s, hit %.0f ns\n",
+                    "%zu partition(s), %s, hit %.0f ns%s\n",
                     device.devtlb.entries, device.devtlb.ways,
                     device.devtlb.partitions,
                     cache::replPolicyName(device.devtlb.policy),
-                    ticksToNs(device.devtlbHitLatency));
+                    ticksToNs(device.devtlbHitLatency),
+                    subEntrySuffix(device.devtlb).c_str());
     os << strprintf("  IOTLB             %zu entries, %zu-way, %s, "
                     "hit %.0f ns\n",
                     iommu.iotlb.entries, iommu.iotlb.ways,
                     cache::replPolicyName(iommu.iotlb.policy),
                     ticksToNs(iommu.iotlbHitLatency));
     os << strprintf("  L2TLB             %zu entries, %zu-way, "
-                    "%zu partition(s), %s\n",
+                    "%zu partition(s), %s%s\n",
                     iommu.l2tlb.entries, iommu.l2tlb.ways,
                     iommu.l2tlb.partitions,
-                    cache::replPolicyName(iommu.l2tlb.policy));
+                    cache::replPolicyName(iommu.l2tlb.policy),
+                    subEntrySuffix(iommu.l2tlb).c_str());
     os << strprintf("  L3TLB             %zu entries, %zu-way, "
-                    "%zu partition(s), %s\n",
+                    "%zu partition(s), %s%s\n",
                     iommu.l3tlb.entries, iommu.l3tlb.ways,
                     iommu.l3tlb.partitions,
-                    cache::replPolicyName(iommu.l3tlb.policy));
+                    cache::replPolicyName(iommu.l3tlb.policy),
+                    subEntrySuffix(iommu.l3tlb).c_str());
     os << strprintf("  walkers           %u\n", iommu.walkers);
-    if (device.prefetch.enabled) {
+    if (!device.prefetch.enabled) {
+        os << "  prefetch          off\n";
+    } else if (device.prefetch.kind == PrefetchKind::MmuDma) {
+        os << strprintf("  prefetch          MMU-aware DMA stride, "
+                        "%u-entry buffer, %u page(s)/stream\n",
+                        device.prefetch.bufferEntries,
+                        device.prefetch.pagesPerPrefetch);
+    } else {
         os << strprintf("  prefetch          %u-entry buffer, "
                         "%u-access stride, %u page(s)/tenant\n",
                         device.prefetch.bufferEntries,
                         device.prefetch.historyLength,
                         device.prefetch.pagesPerPrefetch);
-    } else {
-        os << "  prefetch          off\n";
     }
     return os.str();
 }
@@ -114,6 +136,12 @@ toShadowConfig(const SystemConfig &config)
     sc.ptbEntries = config.device.ptbEntries;
     sc.walkers = config.iommu.walkers;
     sc.pagingLevels = config.iommu.pagingLevels;
+    sc.devtlbSubEntries = config.device.devtlb.subEntries;
+    sc.l2SubEntries = config.iommu.l2tlb.subEntries;
+    sc.l3SubEntries = config.iommu.l3tlb.subEntries;
+    sc.mmuPrefetch =
+        config.device.prefetch.enabled &&
+        config.device.prefetch.kind == PrefetchKind::MmuDma;
     return sc;
 }
 

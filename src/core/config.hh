@@ -39,6 +39,23 @@ struct LinkConfig
     }
 };
 
+/** Which prefetch mechanism drives the Prefetch Buffer. */
+enum class PrefetchKind
+{
+    /**
+     * The paper's scheme: SID predictor + History Reader fetching
+     * each predicted tenant's recent gIOVAs from main memory.
+     */
+    SidPredictor,
+    /**
+     * MMU-aware DMA prefetch: a per-(tenant, request-class) stride
+     * detector follows the descriptor-ring access pattern and pulls
+     * the next ring pages through the IOMMU ahead of the demand
+     * stream. No history reads from memory are needed.
+     */
+    MmuDma,
+};
+
 /** Translation-prefetching scheme parameters (Section III). */
 struct PrefetchConfig
 {
@@ -56,6 +73,8 @@ struct PrefetchConfig
     unsigned historyDepth = 4;
     /** Memory reads to fetch a tenant's history on a prefetch. */
     unsigned historyReadAccesses = 2;
+    /** Mechanism selector (appended last; brace-inits keep working). */
+    PrefetchKind kind = PrefetchKind::SidPredictor;
 };
 
 /** The I/O-device-side configuration. */

@@ -72,12 +72,21 @@ Device::Device(const DeviceConfig &config, sim::EventQueue &queue,
           "prefetches_sent", "prefetch requests sent to chipset")),
       _prefetchFills(statGroup().makeCounter(
           "prefetch_fills", "prefetched translations installed")),
+      _demandFillsSquashed(statGroup().makeCounter(
+          "demand_fills_squashed",
+          "demand fills dropped after a mid-flight invalidate")),
+      _prefetchFillsSquashed(statGroup().makeCounter(
+          "prefetch_fills_squashed",
+          "prefetch fills dropped after a mid-flight invalidate")),
       _packetLatency(statGroup().makeHistogram(
           "packet_latency_ns", "accept-to-complete latency", 0,
           20000, 40))
 {
     HYPERSIO_ASSERT(_ports.translate != nullptr,
                     "device needs a translate port");
+    if (_prefetchUnit &&
+        _config.prefetch.kind == PrefetchKind::MmuDma)
+        _mmuPages.resize(_config.prefetch.pagesPerPrefetch);
 
     // Per-structure hit/miss breakdowns, read live at dump time.
     _devtlb.exportStats(statGroup().child("devtlb"));
@@ -96,7 +105,8 @@ Device::admit(const trace::PacketRecord &packet)
     HYPERSIO_SHADOW(devicePacketAccepted(
         packet.sid, static_cast<unsigned>(idx), _ptb.inUse()));
 
-    if (_prefetchUnit) {
+    if (_prefetchUnit &&
+        _config.prefetch.kind == PrefetchKind::SidPredictor) {
         _prefetchUnit->observePacket(packet.sid);
         HYPERSIO_SHADOW(deviceSidObserved(packet.sid));
     }
@@ -174,6 +184,16 @@ Device::resolve(unsigned idx, trace::ReqClass cls)
         did = fresh.domain;
     }
 
+    // The MMU-aware prefetcher observes every request of the DMA
+    // stream (hit or miss — the stride detector needs the full
+    // descriptor-ring access pattern).
+    if (_prefetchUnit &&
+        _config.prefetch.kind == PrefetchKind::MmuDma) {
+        _prefetchUnit->observeAccess(did, cls, iova, size);
+        HYPERSIO_SHADOW(deviceMmuObserved(
+            did, static_cast<unsigned>(cls), iova, size));
+    }
+
     // Belady feed advances once per DevTLB lookup, in accept order.
     if (_oracle)
         _oracle->advance();
@@ -223,9 +243,13 @@ Device::resolve(unsigned idx, trace::ReqClass cls)
     entry.curCls = cls;
     if (!entry.prefetchIssued) {
         entry.prefetchIssued = true;
-        maybePrefetch(pkt.sid);
+        if (_config.prefetch.kind == PrefetchKind::MmuDma)
+            maybeMmuPrefetch(did, cls);
+        else
+            maybePrefetch(pkt.sid);
     }
 
+    markFillInFlight(addr.key);
     _ports.translate(did, iova, size,
                      [this, idx](const iommu::IommuResponse &resp) {
                          onTranslateResponse(idx, resp);
@@ -233,17 +257,47 @@ Device::resolve(unsigned idx, trace::ReqClass cls)
 }
 
 void
+Device::markFillInFlight(uint64_t key)
+{
+    auto [entry, inserted] = _fillsInFlight.tryEmplace(key);
+    if (inserted)
+        *entry = InFlightFill{};
+    ++entry->count;
+}
+
+bool
+Device::consumeFill(uint64_t key)
+{
+    InFlightFill *entry = _fillsInFlight.find(key);
+    HYPERSIO_ASSERT(entry && entry->count > 0,
+                    "fill arrival without a dispatch record");
+    const bool squashed = entry->squash > 0;
+    if (squashed)
+        --entry->squash;
+    if (--entry->count == 0)
+        _fillsInFlight.erase(key);
+    return squashed;
+}
+
+void
 Device::onTranslateResponse(unsigned idx,
                             const iommu::IommuResponse &resp)
 {
     PtbEntry &entry = _ptb.entry(idx);
-    if (resp.valid) {
-        const trace::PacketRecord &pkt = entry.packet;
-        const mem::Iova iova = pkt.iova(entry.curCls);
-        const mem::PageSize size = pkt.pageSize(entry.curCls);
-        const DevtlbAddr fill = devtlbAddr(
-            entry.did, pkt.sid, iova, size,
-            _config.devtlb.partitions);
+    const trace::PacketRecord &pkt = entry.packet;
+    const mem::Iova iova = pkt.iova(entry.curCls);
+    const mem::PageSize size = pkt.pageSize(entry.curCls);
+    const DevtlbAddr fill = devtlbAddr(entry.did, pkt.sid, iova,
+                                       size,
+                                       _config.devtlb.partitions);
+    // A response whose page was invalidated while it crossed the
+    // wire carries a pre-unmap translation: the packet still
+    // completes with it (as hardware would until the invalidation
+    // handshake finishes), but caching it would be stale.
+    const bool squashed = consumeFill(fill.key);
+    if (squashed)
+        ++_demandFillsSquashed;
+    if (resp.valid && !squashed) {
         [[maybe_unused]] auto evicted =
             _devtlb.insert(fill.key, fill.index, resp.hostAddr,
                            fill.partition);
@@ -275,11 +329,48 @@ Device::maybePrefetch(trace::SourceId sid)
 }
 
 void
+Device::maybeMmuPrefetch(mem::DomainId did, trace::ReqClass cls)
+{
+    if (!_prefetchUnit || !_ports.prefetchPage)
+        return;
+    mem::PageSize size = mem::PageSize::Size4K;
+    const size_t pages = _prefetchUnit->predictStrided(
+        did, cls, _mmuPages.data(), size);
+    for (size_t k = 0; k < pages; ++k) {
+        ++_prefetchesSent;
+        HYPERSIO_DPRINTF(PrefetchFlag, now(),
+                         "mmu prefetch did=%u %s page=%#llx", did,
+                         trace::reqClassName(cls),
+                         (unsigned long long)_mmuPages[k]);
+        HYPERSIO_SHADOW(deviceMmuPrefetchIssued(
+            did, static_cast<unsigned>(cls),
+            static_cast<unsigned>(k), _mmuPages[k], size));
+        _ports.prefetchPage(did, _mmuPages[k], size);
+    }
+}
+
+void
+Device::prefetchFillDispatched(mem::DomainId did, mem::Iova iova,
+                               mem::PageSize size)
+{
+    if (!_prefetchUnit)
+        return;
+    markFillInFlight(iommu::translationKey(did, iova, size));
+}
+
+void
 Device::prefetchFill(mem::DomainId did, mem::Iova iova,
                      mem::PageSize size, mem::Addr host_addr)
 {
     if (!_prefetchUnit)
         return;
+    if (consumeFill(iommu::translationKey(did, iova, size))) {
+        ++_prefetchFillsSquashed;
+        HYPERSIO_DPRINTF(PrefetchFlag, now(),
+                         "squash fill did=%u iova=%#llx", did,
+                         (unsigned long long)iova);
+        return;
+    }
     ++_prefetchFills;
     [[maybe_unused]] auto evicted =
         _prefetchUnit->fill(did, iova, size, host_addr);
@@ -292,19 +383,32 @@ Device::invalidatePage(mem::DomainId did, mem::Iova iova,
                        mem::PageSize size)
 {
     // Partition tags are per SID; recover it from the DID encoding.
+    // Both size keys are dropped, not just the unmap's declared
+    // size: a remap that flips page size re-keys the translation,
+    // and the erased mapping need not match the declared size
+    // either (PageTable::unmap probes both alignments).
     const trace::SourceId sid = iommu::ContextCache::sidOf(did);
-    const DevtlbAddr addr = devtlbAddr(did, sid, iova, size,
-                                       _config.devtlb.partitions);
-    [[maybe_unused]] const bool removed =
-        _devtlb.invalidate(addr.key, addr.index, addr.partition);
-    HYPERSIO_SHADOW(
-        deviceDevtlbInvalidated(sid, did, iova, size, removed));
-    if (_prefetchUnit) {
-        [[maybe_unused]] const bool pb_removed =
-            _prefetchUnit->invalidate(did, iova, size);
+    for (const mem::PageSize sz :
+         {mem::PageSize::Size4K, mem::PageSize::Size2M}) {
+        const DevtlbAddr addr = devtlbAddr(
+            did, sid, iova, sz, _config.devtlb.partitions);
+        [[maybe_unused]] const bool removed =
+            _devtlb.invalidate(addr.key, addr.index,
+                               addr.partition);
         HYPERSIO_SHADOW(
-            devicePbInvalidated(did, iova, size, pb_removed));
+            deviceDevtlbInvalidated(sid, did, iova, sz, removed));
+        if (_prefetchUnit) {
+            [[maybe_unused]] const bool pb_removed =
+                _prefetchUnit->invalidate(did, iova, sz);
+            HYPERSIO_SHADOW(
+                devicePbInvalidated(did, iova, sz, pb_removed));
+        }
+        // Fills already on the wire for this page sampled the
+        // pre-unmap tables; mark them all to be dropped on arrival.
+        if (InFlightFill *in_flight = _fillsInFlight.find(addr.key))
+            in_flight->squash = in_flight->count;
     }
+    (void)size;
 }
 
 void
@@ -314,6 +418,16 @@ Device::retireSid(trace::SourceId sid)
         return;
     _prefetchUnit->predictor().retire(sid);
     HYPERSIO_SHADOW(deviceSidRetired(sid));
+}
+
+void
+Device::retireDomain(mem::DomainId did)
+{
+    if (!_prefetchUnit ||
+        _config.prefetch.kind != PrefetchKind::MmuDma)
+        return;
+    _prefetchUnit->retireDomain(did);
+    HYPERSIO_SHADOW(deviceMmuRetired(did));
 }
 
 } // namespace hypersio::core

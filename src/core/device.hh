@@ -23,6 +23,7 @@
 #include "iommu/context_cache.hh"
 #include "iommu/iommu.hh"
 #include "sim/sim_object.hh"
+#include "util/flat_map.hh"
 
 namespace hypersio::core
 {
@@ -41,6 +42,13 @@ struct DevicePorts
                        ResponseFn)>
         translate;
     std::function<void(mem::DomainId)> prefetch;
+    /**
+     * MMU-aware prefetch of one predicted page (fire-and-forget;
+     * results come back via prefetchFill()). Wired only when
+     * PrefetchKind::MmuDma is selected.
+     */
+    std::function<void(mem::DomainId, mem::Iova, mem::PageSize)>
+        prefetchPage;
 };
 
 /** The I/O device performance model. */
@@ -78,6 +86,16 @@ class Device : public sim::SimObject
     void accept(const trace::PacketRecord &packet,
                 std::function<void()> done);
 
+    /**
+     * A prefetched translation left the chipset for this device
+     * (System calls this when it schedules the PCIe hop of a fill).
+     * Pairs with exactly one later prefetchFill() of the same page;
+     * an invalidatePage() in between squashes that fill instead of
+     * letting it install a stale translation.
+     */
+    void prefetchFillDispatched(mem::DomainId did, mem::Iova iova,
+                                mem::PageSize size);
+
     /** Installs a prefetched translation into the Prefetch Buffer. */
     void prefetchFill(mem::DomainId did, mem::Iova iova,
                       mem::PageSize size, mem::Addr host_addr);
@@ -92,6 +110,12 @@ class Device : public sim::SimObject
      * must already be gone (the System unmaps every page first).
      */
     void retireSid(trace::SourceId sid);
+
+    /**
+     * Tenant detach, MMU-prefetcher half: drops the tenant's stream
+     * detectors so a later tenant recycling the DID starts untrained.
+     */
+    void retireDomain(mem::DomainId did);
 
     const cache::CacheStats &devtlbStats() const
     {
@@ -119,10 +143,25 @@ class Device : public sim::SimObject
     {
         return _prefetchUnit ? _prefetchUnit->bufferOccupancy() : 0;
     }
+    /** Live MMU-prefetch stream detectors (0 without a unit). */
+    size_t
+    mmuStreams() const
+    {
+        return _prefetchUnit ? _prefetchUnit->mmuStreams() : 0;
+    }
     /** Live PTB slots. */
     unsigned ptbInUse() const { return _ptb.inUse(); }
     uint64_t pbHits() const { return _pbHits.count(); }
     uint64_t prefetchesSent() const { return _prefetchesSent.count(); }
+    /** Fills dropped because their page was invalidated mid-flight. */
+    uint64_t demandFillsSquashed() const
+    {
+        return _demandFillsSquashed.count();
+    }
+    uint64_t prefetchFillsSquashed() const
+    {
+        return _prefetchFillsSquashed.count();
+    }
 
   private:
     /** Shared accept() front half; returns the allocated PTB index. */
@@ -140,6 +179,28 @@ class Device : public sim::SimObject
                              const iommu::IommuResponse &resp);
     /** Triggers a SID prediction + prefetch on a PB miss. */
     void maybePrefetch(trace::SourceId sid);
+    /** Issues the (did, cls) stream's predicted pages (MmuDma). */
+    void maybeMmuPrefetch(mem::DomainId did, trace::ReqClass cls);
+
+    /**
+     * In-flight fill tracking (ATS-style invalidation semantics):
+     * every translation whose result may later install into the
+     * DevTLB or the Prefetch Buffer is marked when it leaves the
+     * device side and consumed when its fill arrives. An unmap's
+     * invalidatePage() marks every fill then in flight for the page
+     * as squashed; same-key fills complete in dispatch order (MSHR
+     * coalescing plus the fixed PCIe return leg), so the first
+     * `squash` completions are exactly the pre-invalidate ones.
+     */
+    struct InFlightFill
+    {
+        uint32_t count = 0;  ///< fills on the wire for this key
+        uint32_t squash = 0; ///< leading fills to drop on arrival
+    };
+
+    void markFillInFlight(uint64_t key);
+    /** @return true when this arrival was invalidated mid-flight. */
+    bool consumeFill(uint64_t key);
 
     DeviceConfig _config;
     DevicePorts _ports;
@@ -148,6 +209,10 @@ class Device : public sim::SimObject
     iommu::ContextCache _context;
     std::unique_ptr<PrefetchUnit> _prefetchUnit;
     cache::OracleFeed *_oracle;
+    /** In-flight fills by translation key (see markFillInFlight). */
+    util::FlatMap<uint64_t, InFlightFill> _fillsInFlight;
+    /** Scratch page list for maybeMmuPrefetch (no per-call alloc). */
+    std::vector<mem::Iova> _mmuPages;
 
     stats::Counter &_packets;
     stats::Counter &_translations;
@@ -155,6 +220,8 @@ class Device : public sim::SimObject
     stats::Counter &_pbHits;
     stats::Counter &_prefetchesSent;
     stats::Counter &_prefetchFills;
+    stats::Counter &_demandFillsSquashed;
+    stats::Counter &_prefetchFillsSquashed;
     stats::Histogram &_packetLatency;
 };
 

@@ -38,12 +38,15 @@ MultiSystem::MultiSystem(const SystemConfig &config,
             _stats.child("dev" + std::to_string(d));
 
         HistoryReader *reader = nullptr;
-        if (_config.device.prefetch.enabled) {
+        if (_config.device.prefetch.enabled &&
+            _config.device.prefetch.kind ==
+                PrefetchKind::SidPredictor) {
             // Fills route back to this device (set post-construction
             // via the captured index into _devices).
             auto fill = [this, d](mem::DomainId did, mem::Iova iova,
                                   mem::PageSize size,
                                   mem::Addr host) {
+                _devices[d]->prefetchFillDispatched(did, iova, size);
                 _queue.scheduleAfter(
                     _config.pcieOneWay,
                     [this, d, did, iova, size, host]() {
@@ -74,6 +77,41 @@ MultiSystem::MultiSystem(const SystemConfig &config,
                               pcie](mem::DomainId did) {
                 _queue.scheduleAfter(
                     pcie, [reader, did]() { reader->prefetch(did); });
+            };
+        }
+        if (_config.device.prefetch.enabled &&
+            _config.device.prefetch.kind == PrefetchKind::MmuDma) {
+            // A predicted page crosses PCIe, translates through the
+            // prefetch-tagged IOMMU path, and a valid result returns
+            // to the issuing device as a prefetch fill (MultiSystem
+            // has no tenant retirement, so no pending counter).
+            ports.prefetchPage = [this, d, pcie](mem::DomainId did,
+                                                 mem::Iova iova,
+                                                 mem::PageSize size) {
+                _queue.scheduleAfter(pcie, [this, d, did, iova,
+                                            size]() {
+                    iommu::IommuRequest req;
+                    req.domain = did;
+                    req.iova = iova;
+                    req.size = size;
+                    req.prefetch = true;
+                    _iommu->translate(
+                        req,
+                        [this, d, did, iova,
+                         size](const iommu::IommuResponse &resp) {
+                            if (!resp.valid)
+                                return;
+                            _devices[d]->prefetchFillDispatched(
+                                did, iova, size);
+                            _queue.scheduleAfter(
+                                _config.pcieOneWay,
+                                [this, d, did, iova, size,
+                                 host = resp.hostAddr]() {
+                                    _devices[d]->prefetchFill(
+                                        did, iova, size, host);
+                                });
+                        });
+                });
             };
         }
 

@@ -155,6 +155,22 @@ struct PrefetchEntry
     mem::Addr hostAddr = 0;
 };
 
+/** Confidence cap of the MMU-aware stride detector. */
+constexpr unsigned MaxMmuConfidence = 3;
+
+/**
+ * Stride state of one (tenant, request-class) DMA stream — the
+ * MMU-aware prefetcher's per-stream detector (PrefetchKind::MmuDma).
+ */
+struct MmuStreamState
+{
+    mem::Iova lastPage = 0;
+    int64_t stride = 0;
+    unsigned confidence = 0;
+    bool primed = false;
+    mem::PageSize size = mem::PageSize::Size4K;
+};
+
 /**
  * The Prefetch Unit: owns the Prefetch Buffer and the SID-predictor.
  * The device consults it in parallel with the DevTLB and notifies it
@@ -238,10 +254,98 @@ class PrefetchUnit
     /** Valid buffer entries (O(entries); shadow checks and tests). */
     size_t bufferOccupancy() const { return _buffer.occupancy(); }
 
+    // ---- MMU-aware DMA prefetch (PrefetchKind::MmuDma) -----------------
+    // The device observes every translation request's (tenant,
+    // request-class, page); each stream's detector locks onto the
+    // descriptor-ring stride and predicts the pages the DMA engine
+    // will touch next. No SID predictor and no history reads from
+    // main memory are involved.
+
+    /**
+     * Trains the (did, cls) stream with an observed access. Repeats
+     * of the stream's current page (ring polls, notify mailboxes)
+     * carry no stride information and are ignored; a page-size flip
+     * restarts confidence like a stride break.
+     */
+    void
+    observeAccess(mem::DomainId did, trace::ReqClass cls,
+                  mem::Iova iova, mem::PageSize size)
+    {
+        const mem::Iova page = mem::pageBase(iova, size);
+        auto [stream, inserted] =
+            _streams.tryEmplace(streamKey(did, cls));
+        if (inserted)
+            *stream = MmuStreamState{};
+        if (!stream->primed) {
+            stream->primed = true;
+            stream->lastPage = page;
+            stream->size = size;
+            return;
+        }
+        const int64_t delta =
+            int64_t(page) - int64_t(stream->lastPage);
+        if (delta == 0 && size == stream->size)
+            return;
+        if (delta == stream->stride && size == stream->size) {
+            if (stream->confidence < MaxMmuConfidence)
+                ++stream->confidence;
+        } else {
+            stream->stride = delta;
+            stream->confidence = 0;
+            stream->size = size;
+        }
+        stream->lastPage = page;
+    }
+
+    /**
+     * Predicted next pages of the (did, cls) stream: lastPage +
+     * stride * k for k = 1..pagesPerPrefetch, written to `pages`
+     * (capacity must be >= pagesPerPrefetch); `size` is set to the
+     * stream's page size.
+     * @return pages written (0 while the stride is not confident)
+     */
+    size_t
+    predictStrided(mem::DomainId did, trace::ReqClass cls,
+                   mem::Iova *pages, mem::PageSize &size) const
+    {
+        const MmuStreamState *stream =
+            _streams.find(streamKey(did, cls));
+        if (!stream || stream->confidence == 0 ||
+            stream->stride == 0)
+            return 0;
+        size = stream->size;
+        for (unsigned k = 1; k <= _config.pagesPerPrefetch; ++k) {
+            pages[k - 1] = mem::Iova(int64_t(stream->lastPage) +
+                                     stream->stride * int64_t(k));
+        }
+        return _config.pagesPerPrefetch;
+    }
+
+    /** Tenant detach: drops the tenant's stream detectors. */
+    void
+    retireDomain(mem::DomainId did)
+    {
+        for (unsigned cls = 0; cls < trace::NumReqClasses; ++cls)
+            _streams.erase(
+                streamKey(did, static_cast<trace::ReqClass>(cls)));
+    }
+
+    /** Live stream detectors (tests and teardown checks). */
+    size_t mmuStreams() const { return _streams.size(); }
+
   private:
+    /** Key of a (tenant, request class) stream. */
+    static uint64_t
+    streamKey(mem::DomainId did, trace::ReqClass cls)
+    {
+        return (uint64_t(did) << 2) | uint64_t(cls);
+    }
+
     PrefetchConfig _config;
     cache::SetAssocCache<PrefetchEntry> _buffer;
     SidPredictor _predictor;
+    /** MMU-aware stride detectors by (did, cls); MmuDma only. */
+    util::FlatMap<uint64_t, MmuStreamState> _streams;
 };
 
 } // namespace hypersio::core

@@ -40,7 +40,66 @@ System::makeDevicePorts()
                 });
         };
     }
+    if (_config.device.prefetch.enabled &&
+        _config.device.prefetch.kind == PrefetchKind::MmuDma) {
+        // MMU-aware prefetch: one predicted page crosses PCIe to the
+        // chipset, translates through the regular (prefetch-tagged)
+        // IOMMU path, and a valid result is dispatched back as a
+        // prefetch fill. The pending counter gates streaming-run
+        // retirement for the issue-to-completion window; the return
+        // hop is then covered by the fill wire counter.
+        ports.prefetchPage = [this](mem::DomainId did,
+                                    mem::Iova iova,
+                                    mem::PageSize size) {
+            ++_mmuPrefetchesInFlight[did];
+            _queue.scheduleAfter(
+                _config.pcieOneWay, [this, did, iova, size]() {
+                    iommu::IommuRequest req;
+                    req.domain = did;
+                    req.iova = iova;
+                    req.size = size;
+                    req.prefetch = true;
+                    _iommu->translate(
+                        req,
+                        [this, did, iova,
+                         size](const iommu::IommuResponse &resp) {
+                            uint32_t *pending =
+                                _mmuPrefetchesInFlight.find(did);
+                            HYPERSIO_ASSERT(
+                                pending && *pending > 0,
+                                "MMU prefetch completion without "
+                                "a pending counter");
+                            if (--*pending == 0)
+                                _mmuPrefetchesInFlight.erase(did);
+                            if (resp.valid) {
+                                dispatchPrefetchFill(
+                                    did, iova, size,
+                                    resp.hostAddr);
+                            }
+                        });
+                });
+        };
+    }
     return ports;
+}
+
+void
+System::dispatchPrefetchFill(mem::DomainId did, mem::Iova iova,
+                             mem::PageSize size, mem::Addr host_addr)
+{
+    ++_fillsInFlight[did];
+    // The device records the fill as in flight now: an invalidate of
+    // this page during the PCIe hop squashes the fill instead of
+    // installing a stale translation.
+    _device->prefetchFillDispatched(did, iova, size);
+    _queue.scheduleAfter(
+        _config.pcieOneWay, [this, did, iova, size, host_addr]() {
+            uint32_t *wire = _fillsInFlight.find(did);
+            HYPERSIO_ASSERT(wire && *wire > 0,
+                            "prefetch fill without a wire counter");
+            --*wire;
+            _device->prefetchFill(did, iova, size, host_addr);
+        });
 }
 
 System::System(const SystemConfig &config)
@@ -51,24 +110,15 @@ System::System(const SystemConfig &config)
     _iommu = std::make_unique<iommu::Iommu>(
         _config.iommu, _queue, _stats, *_memory, _tables);
 
-    if (_config.device.prefetch.enabled) {
-        // Prefetch completions return to the device over PCIe. The
-        // per-DID wire counter gates streaming-run retirement: a
-        // tenant cannot be torn down while one of its prefetched
-        // translations is still in flight toward the device.
+    if (_config.device.prefetch.enabled &&
+        _config.device.prefetch.kind == PrefetchKind::SidPredictor) {
+        // The History Reader drives the paper's scheme; prefetch
+        // completions return to the device via dispatchPrefetchFill
+        // (the MmuDma mechanism has no reader — its completions come
+        // straight from the IOMMU in makeDevicePorts()).
         auto fill = [this](mem::DomainId did, mem::Iova iova,
                            mem::PageSize size, mem::Addr host_addr) {
-            ++_fillsInFlight[did];
-            _queue.scheduleAfter(
-                _config.pcieOneWay,
-                [this, did, iova, size, host_addr]() {
-                    uint32_t *wire = _fillsInFlight.find(did);
-                    HYPERSIO_ASSERT(wire && *wire > 0,
-                                    "prefetch fill without a wire "
-                                    "counter");
-                    --*wire;
-                    _device->prefetchFill(did, iova, size, host_addr);
-                });
+            dispatchPrefetchFill(did, iova, size, host_addr);
         };
         _historyReader = std::make_unique<HistoryReader>(
             _config.device.prefetch, _queue, _stats, *_iommu,
@@ -488,6 +538,12 @@ System::tryRetireSid(trace::SourceId sid)
             wire && *wire > 0) {
             return false;
         }
+        // Gate 4: no MMU prefetch between issue and its IOMMU
+        // completion (after which the fill rides Gate 3's wire).
+        if (const uint32_t *pending = _mmuPrefetchesInFlight.find(did);
+            pending && *pending > 0) {
+            return false;
+        }
     }
 
     for (size_t i = 0; i < ndids; ++i)
@@ -528,6 +584,7 @@ System::retireDomain(mem::DomainId did)
     _tables.erase(did);
     if (_historyReader)
         _historyReader->retire(did);
+    _device->retireDomain(did);
 }
 
 void

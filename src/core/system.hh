@@ -171,6 +171,15 @@ class System : private Device::CompletionSink
     void buildOracleFeed(const trace::HyperTrace &trace);
     /** Wires the device-to-chipset ports through _xlatePort. */
     DevicePorts makeDevicePorts();
+    /**
+     * Sends a completed prefetch translation back to the device over
+     * PCIe, with the per-DID wire counter and the device's squash
+     * record maintained — shared by the History-Reader fill path and
+     * the MMU-prefetch completion path.
+     */
+    void dispatchPrefetchFill(mem::DomainId did, mem::Iova iova,
+                              mem::PageSize size,
+                              mem::Addr host_addr);
     uint64_t wireBytesOf(const trace::PacketRecord &pkt) const;
     /** Results from the run counters (shared by run/runStream). */
     RunResults collectResults(uint64_t first_wire_bytes);
@@ -224,6 +233,12 @@ class System : private Device::CompletionSink
     std::vector<trace::SourceId> _pendingRetire;
     /** Prefetch fills on the PCIe wire per DID (retirement gate). */
     util::FlatMap<mem::DomainId, uint32_t> _fillsInFlight;
+    /**
+     * MMU prefetches between issue and IOMMU completion per DID
+     * (retirement gate; entries erase at zero). The fill's return
+     * hop is then covered by _fillsInFlight.
+     */
+    util::FlatMap<mem::DomainId, uint32_t> _mmuPrefetchesInFlight;
     std::vector<StreamRetirement> _streamRetirements;
     /**
      * Scratch for retirement transients (a retiring SID's sorted

@@ -29,6 +29,9 @@ Iommu::Iommu(const IommuConfig &config, sim::EventQueue &queue,
           "coalesced", "requests coalesced onto in-flight walks")),
       _faults(statGroup().makeCounter("faults",
                                       "translation faults")),
+      _prefetchPromotions(statGroup().makeCounter(
+          "prefetch_promotions",
+          "queued prefetch walks promoted by the aging bound")),
       _walkAccessHist(statGroup().makeHistogram(
           "walk_accesses", "memory accesses per walk", 0, 40, 40))
 {
@@ -227,12 +230,28 @@ Iommu::dispatchQueued()
     while ((_config.walkers == 0 || _activeWalks < _config.walkers) &&
            (!_demandQueue.empty() || !_prefetchQueue.empty())) {
         uint64_t key;
-        if (!_demandQueue.empty()) {
-            key = _demandQueue.front();
-            _demandQueue.pop_front();
-        } else {
+        // Demand first, but bounded: sustained demand traffic must
+        // not starve a queued prefetch forever while its MSHR entry
+        // pins walker bookkeeping. Once `prefetchAgingThreshold`
+        // consecutive demand walks have dispatched past a waiting
+        // prefetch, the oldest prefetch takes the next slot.
+        const bool promote =
+            !_prefetchQueue.empty() &&
+            (_demandQueue.empty() ||
+             (_config.prefetchAgingThreshold != 0 &&
+              _demandStreak >= _config.prefetchAgingThreshold));
+        if (promote) {
             key = _prefetchQueue.front();
             _prefetchQueue.pop_front();
+            if (!_demandQueue.empty())
+                ++_prefetchPromotions;
+            _demandStreak = 0;
+        } else {
+            key = _demandQueue.front();
+            _demandQueue.pop_front();
+            _demandStreak = _prefetchQueue.empty()
+                                ? 0
+                                : _demandStreak + 1;
         }
         // The entry must still exist: queued walks hold their MSHR
         // slot until they run.
@@ -246,12 +265,22 @@ void
 Iommu::invalidate(mem::DomainId domain, mem::Iova iova,
                   mem::PageSize size)
 {
-    const uint64_t key = translationKey(domain, iova, size);
-    const uint64_t index = translationIndex(iova, size);
-    [[maybe_unused]] const bool removed =
-        _iotlb.invalidate(key, index, domain);
-    HYPERSIO_SHADOW(
-        iommuIotlbInvalidated(domain, iova, size, removed));
+    // The unmap op's declared size does not bound what may be
+    // cached: a remap that flips page size (2M→4K or back) re-keys
+    // the translation, so an erase under only the invalidated size
+    // would leave the other size's entry alive and stale. Both size
+    // keys are disjoint, so the extra probe of an absent key is
+    // harmless.
+    for (const mem::PageSize sz :
+         {mem::PageSize::Size4K, mem::PageSize::Size2M}) {
+        const uint64_t key = translationKey(domain, iova, sz);
+        const uint64_t index = translationIndex(iova, sz);
+        [[maybe_unused]] const bool removed =
+            _iotlb.invalidate(key, index, domain);
+        HYPERSIO_SHADOW(
+            iommuIotlbInvalidated(domain, iova, sz, removed));
+    }
+    (void)size;
 }
 
 void

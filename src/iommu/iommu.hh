@@ -132,6 +132,15 @@ struct IommuConfig
      * latency-only model).
      */
     unsigned walkers = 0;
+    /**
+     * Anti-starvation bound for queued prefetch walks: after this
+     * many consecutive demand dispatches while a prefetch waits, the
+     * oldest queued prefetch takes the next walker slot. Demand
+     * traffic otherwise starves the prefetch queue forever while its
+     * MSHR entries pin walker bookkeeping. 0 disables aging
+     * (strict demand-first, the pre-fix behaviour).
+     */
+    unsigned prefetchAgingThreshold = 8;
     /** IOTLB hit latency (Table II: 2 ns). */
     Tick iotlbHitLatency = 2 * TicksPerNs;
     /**
@@ -199,6 +208,11 @@ class Iommu : public sim::SimObject
 
     /** Walks currently occupying a walker slot. */
     unsigned activeWalks() const { return _activeWalks; }
+    /** Queued prefetch walks promoted by the aging bound. */
+    uint64_t prefetchPromotions() const
+    {
+        return _prefetchPromotions.count();
+    }
     /** Walks waiting for a walker slot. */
     size_t queuedWalks() const
     {
@@ -232,6 +246,9 @@ class Iommu : public sim::SimObject
     unsigned _activeWalks = 0;
     std::deque<uint64_t> _demandQueue;
     std::deque<uint64_t> _prefetchQueue;
+    /** Demand dispatches since the last prefetch dispatch while a
+     *  prefetch waited (aging bound input). */
+    unsigned _demandStreak = 0;
 
     stats::Counter &_requests;
     stats::Counter &_prefetchRequests;
@@ -239,6 +256,7 @@ class Iommu : public sim::SimObject
     stats::Counter &_walks;
     stats::Counter &_coalesced;
     stats::Counter &_faults;
+    stats::Counter &_prefetchPromotions;
     stats::Histogram &_walkAccessHist;
 };
 

@@ -149,14 +149,22 @@ class PageTable
     bool
     unmap(Iova iova)
     {
-        // Try 2 MB alignment first, then 4 KB. Unlike translate(),
-        // the 2 MB probe cannot be gated on _has2m: a 4 KB mapping
-        // whose base happens to be 2 MB-aligned is erased by the
-        // first probe too, and that behaviour must not depend on
-        // which page sizes the domain used.
-        if (_mappings.erase(pageBase(iova, PageSize::Size2M)))
-            return true;
-        return _mappings.erase(pageBase(iova, PageSize::Size4K));
+        // Erase the mapping that actually covers `iova`: the entry
+        // at the covering 2 MB base when it is a genuine 2 MB
+        // mapping (or when the two bases coincide), else the 4 KB
+        // entry. The 2 MB probe must check the entry's own size: a
+        // 4 KB mapping whose base merely happens to be 2 MB-aligned
+        // is a *different page* when `iova` lies beyond it, and
+        // erasing it would silently unmap an address the caller
+        // never named — leaving that page's cached translations
+        // permanently stale, because invalidation is keyed by the
+        // declared page.
+        const Addr b2 = pageBase(iova, PageSize::Size2M);
+        const Addr b4 = pageBase(iova, PageSize::Size4K);
+        if (const Entry *e = find(b2);
+            e && (e->pageSize() == PageSize::Size2M || b2 == b4))
+            return _mappings.erase(b2);
+        return _mappings.erase(b4);
     }
 
     /**

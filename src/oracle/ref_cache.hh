@@ -28,12 +28,26 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "mem/addr.hh"
 #include "util/str.hh"
 
 namespace hypersio::oracle
 {
+
+/**
+ * Domain-independent low key bits shared by co-located tenants in
+ * sub-entry mode. Mirrors cache::SubEntrySharedKeyBits — duplicated
+ * because the oracle layer links against mem+util only.
+ */
+constexpr unsigned RefSubEntrySharedKeyBits = 40;
+
+constexpr uint64_t
+refSubEntrySharedKey(uint64_t key)
+{
+    return key & ((uint64_t(1) << RefSubEntrySharedKeyBits) - 1);
+}
 
 /** Event-driven mirror of one timed cache instance. */
 class CacheMirror
@@ -45,10 +59,14 @@ class CacheMirror
      * @param check_values compare cached values on hits (final
      *        translation caches); presence-only caches (the paging
      *        structure caches) pass false
+     * @param sub_entries sub-entries per shared tag (1 disables; the
+     *        mirror then counts ways in *tags* and allows
+     *        `sub_entries` tenants behind each)
      */
     void
     configure(std::string name, size_t entries, size_t ways,
-              size_t partitions, bool check_values = true)
+              size_t partitions, bool check_values = true,
+              size_t sub_entries = 1)
     {
         _name = std::move(name);
         _entries = entries;
@@ -57,8 +75,10 @@ class CacheMirror
         _sets = ways ? entries / ways : 0;
         _setsPerPartition = _sets / _partitions;
         _checkValues = check_values;
+        _subEntries = sub_entries ? sub_entries : 1;
         _map.clear();
         _setCount.clear();
+        _tagRefs.clear();
     }
 
     /**
@@ -136,16 +156,54 @@ class CacheMirror
                     _name.c_str(), (unsigned long long)key,
                     (unsigned long long)*evicted);
             }
-            erase(ev);
+            if (_subEntries > 1 && refSubEntrySharedKey(*evicted) !=
+                                       refSubEntrySharedKey(key)) {
+                // A reported eviction whose shared tag differs from
+                // the fill's can only be a whole-tag eviction (a
+                // matching tag would have taken the tag-hit path):
+                // every tenant behind the victim tag dies with it,
+                // and the timed cache names one representative.
+                const size_t vset = ev->second.set;
+                const uint64_t vshared =
+                    refSubEntrySharedKey(*evicted);
+                std::vector<uint64_t> dead;
+                for (const auto &[k, entry] : _map) {
+                    if (entry.set == vset &&
+                        refSubEntrySharedKey(k) == vshared)
+                        dead.push_back(k);
+                }
+                for (uint64_t k : dead)
+                    erase(_map.find(k));
+            } else {
+                erase(ev);
+            }
         }
         auto [it, inserted] = _map.try_emplace(key);
-        if (inserted)
-            ++_setCount[set];
-        else if (it->second.set != set)
+        if (inserted) {
+            if (_subEntries > 1) {
+                // _setCount tracks distinct shared tags per set.
+                unsigned &refs = _tagRefs[tagKeyOf(set, key)];
+                if (++refs == 1)
+                    ++_setCount[set];
+                if (refs > _subEntries) {
+                    return strprintf(
+                        "%s: tag %#llx in set %zu carries %u "
+                        "tenants but has only %zu sub-entries "
+                        "(missed sub-eviction)",
+                        _name.c_str(),
+                        (unsigned long long)refSubEntrySharedKey(
+                            key),
+                        set, refs, _subEntries);
+                }
+            } else {
+                ++_setCount[set];
+            }
+        } else if (it->second.set != set) {
             return strprintf("%s: key %#llx moved from set %zu to "
                              "set %zu",
                              _name.c_str(), (unsigned long long)key,
                              it->second.set, set);
+        }
         it->second = {value, set};
         if (_setCount[set] > _ways) {
             return strprintf(
@@ -153,10 +211,11 @@ class CacheMirror
                 "(missed eviction)",
                 _name.c_str(), set, _setCount[set], _ways);
         }
-        if (_map.size() > _entries) {
+        if (_map.size() > _entries * _subEntries) {
             return strprintf("%s: %zu resident keys exceed the %zu "
                              "entries",
-                             _name.c_str(), _map.size(), _entries);
+                             _name.c_str(), _map.size(),
+                             _entries * _subEntries);
         }
         return std::nullopt;
     }
@@ -194,6 +253,7 @@ class CacheMirror
     {
         _map.clear();
         _setCount.clear();
+        _tagRefs.clear();
     }
 
     bool contains(uint64_t key) const { return _map.count(key) > 0; }
@@ -207,12 +267,36 @@ class CacheMirror
         size_t set = 0;
     };
 
+    /**
+     * Key of `_tagRefs` for (set, key): sets are small and the
+     * shared key is 40 bits, so the pair packs uniquely.
+     */
+    uint64_t
+    tagKeyOf(size_t set, uint64_t key) const
+    {
+        return (uint64_t(set) << RefSubEntrySharedKeyBits) |
+               refSubEntrySharedKey(key);
+    }
+
     void
     erase(std::unordered_map<uint64_t, Entry>::iterator it)
     {
-        auto count = _setCount.find(it->second.set);
-        if (count != _setCount.end() && count->second > 0)
-            --count->second;
+        // In sub-entry mode a way frees only when the last tenant
+        // behind its shared tag leaves.
+        bool tag_freed = true;
+        if (_subEntries > 1) {
+            auto ref =
+                _tagRefs.find(tagKeyOf(it->second.set, it->first));
+            tag_freed =
+                ref != _tagRefs.end() && --ref->second == 0;
+            if (tag_freed)
+                _tagRefs.erase(ref);
+        }
+        if (tag_freed) {
+            auto count = _setCount.find(it->second.set);
+            if (count != _setCount.end() && count->second > 0)
+                --count->second;
+        }
         _map.erase(it);
     }
 
@@ -223,8 +307,12 @@ class CacheMirror
     size_t _sets = 0;
     size_t _setsPerPartition = 1;
     bool _checkValues = true;
+    size_t _subEntries = 1;
     std::unordered_map<uint64_t, Entry> _map;
+    /** sub==1: keys per set. sub>1: distinct shared tags per set. */
     std::unordered_map<size_t, unsigned> _setCount;
+    /** Tenants behind each (set, shared tag); sub>1 only. */
+    std::unordered_map<uint64_t, unsigned> _tagRefs;
 };
 
 } // namespace hypersio::oracle

@@ -60,15 +60,19 @@ ShadowChecker::ShadowChecker(const ShadowConfig &config,
     : _config(config), _tables(tables), _failFast(fail_fast)
 {
     _devtlb.configure("DevTLB", config.devtlbEntries,
-                      config.devtlbWays, config.devtlbPartitions);
+                      config.devtlbWays, config.devtlbPartitions,
+                      /*check_values=*/true,
+                      config.devtlbSubEntries);
     const size_t pb = config.pbEntries ? config.pbEntries : 1;
     _pb.configure("PB", pb, pb, 1); // fully associative
     _iotlb.configure("IOTLB", config.iotlbEntries, config.iotlbWays,
                      config.iotlbPartitions);
     _l2.configure("L2TLB", config.l2Entries, config.l2Ways,
-                  config.l2Partitions, /*check_values=*/false);
+                  config.l2Partitions, /*check_values=*/false,
+                  config.l2SubEntries);
     _l3.configure("L3TLB", config.l3Entries, config.l3Ways,
-                  config.l3Partitions, /*check_values=*/false);
+                  config.l3Partitions, /*check_values=*/false,
+                  config.l3SubEntries);
     _ptb.configure(config.ptbEntries);
     _predictor.configure(config.historyLength);
     _history.configure(config.historyDepth);
@@ -84,6 +88,43 @@ ShadowChecker::record(std::optional<std::string> violation)
         panic("shadow oracle: %s", violation->c_str());
     if (_violations.size() < MaxStoredViolations)
         _violations.push_back(std::move(*violation));
+}
+
+void
+ShadowChecker::checkFillFresh(const char *what, mem::DomainId did,
+                              mem::Iova iova, mem::Addr value)
+{
+    // Freshness: a fill that installs into a device-side translation
+    // cache must agree with the functional tables *at install time*.
+    // An unmap between the walk and the fill's arrival must squash
+    // the fill (never install), so a surviving fill implies the page
+    // is still mapped and its frame unchanged. The comparison is
+    // frame-granular: a cached IOTLB response carries the offset of
+    // the iova that originally filled it, so only the page frame of
+    // the value is authoritative.
+    if (!_tables)
+        return;
+    const mem::PageTable *table = _tables->find(did);
+    mem::Translation ref;
+    if (table)
+        ref = table->translate(iova);
+    SHADOW_CHECK(ref.valid,
+                 "%s fill of did=%u iova=%#llx, but the functional "
+                 "tables say the page is unmapped (stale fill not "
+                 "squashed)",
+                 what, did, (unsigned long long)iova);
+    if (ref.valid) {
+        SHADOW_CHECK(mem::pageBase(value, ref.pageSize) ==
+                         mem::pageBase(ref.hostAddr, ref.pageSize),
+                     "%s fill of did=%u iova=%#llx installs hPA "
+                     "frame %#llx, functional tables say %#llx "
+                     "(stale fill not squashed)",
+                     what, did, (unsigned long long)iova,
+                     (unsigned long long)mem::pageBase(value,
+                                                       ref.pageSize),
+                     (unsigned long long)mem::pageBase(ref.hostAddr,
+                                                       ref.pageSize));
+    }
 }
 
 // ---- Device events -----------------------------------------------------
@@ -115,6 +156,10 @@ void
 ShadowChecker::deviceSidObserved(uint32_t sid)
 {
     ++_events;
+    SHADOW_CHECK(!_config.mmuPrefetch,
+                 "SID-predictor trained with sid %u while the MMU "
+                 "prefetcher is the configured mechanism",
+                 sid);
     _predictor.observe(sid);
 }
 
@@ -150,6 +195,7 @@ ShadowChecker::devicePbFill(mem::DomainId did, mem::Iova iova,
                             std::optional<uint64_t> evicted)
 {
     ++_events;
+    checkFillFresh("Prefetch Buffer", did, iova, value);
     record(_pb.fill(iommu::translationKey(did, iova, size), 0, 0,
                     value, evicted));
 }
@@ -182,6 +228,7 @@ ShadowChecker::deviceDevtlbFill(uint32_t sid, mem::DomainId did,
                                 std::optional<uint64_t> evicted)
 {
     ++_events;
+    checkFillFresh("DevTLB", did, iova, value);
     record(_devtlb.fill(iommu::translationKey(did, iova, size), set,
                         sid, value, evicted));
 }
@@ -197,6 +244,46 @@ ShadowChecker::deviceDevtlbInvalidated(uint32_t sid,
     ++_events;
     record(_devtlb.invalidated(
         iommu::translationKey(did, iova, size), removed));
+}
+
+void
+ShadowChecker::deviceMmuObserved(mem::DomainId did, unsigned cls,
+                                 mem::Iova iova, mem::PageSize size)
+{
+    ++_events;
+    SHADOW_CHECK(_config.mmuPrefetch,
+                 "MMU stride detector trained (did=%u cls=%u) but "
+                 "the MMU prefetcher is not the configured mechanism",
+                 did, cls);
+    _mmu.observe(did, cls, iova, size);
+}
+
+void
+ShadowChecker::deviceMmuPrefetchIssued(mem::DomainId did,
+                                       unsigned cls, unsigned slot,
+                                       mem::Iova page,
+                                       mem::PageSize size)
+{
+    ++_events;
+    SHADOW_CHECK(slot < _config.pagesPerPrefetch,
+                 "MMU prefetcher issued slot %u, burst limit is %u "
+                 "pages",
+                 slot, _config.pagesPerPrefetch);
+    const auto expected = _mmu.predicted(did, cls, slot);
+    SHADOW_CHECK(expected && expected->first == page &&
+                     expected->second == size,
+                 "MMU prefetcher issued did=%u cls=%u slot %u page "
+                 "%#llx, reference predicts %#llx",
+                 did, cls, slot, (unsigned long long)page,
+                 expected ? (unsigned long long)expected->first
+                          : 0ULL);
+}
+
+void
+ShadowChecker::deviceMmuRetired(mem::DomainId did)
+{
+    ++_events;
+    _mmu.retire(did);
 }
 
 // ---- IOMMU events ------------------------------------------------------
@@ -405,20 +492,31 @@ ShadowChecker::systemUnmapped(mem::DomainId did, mem::Iova page_base,
                               mem::PageSize size)
 {
     ++_events;
-    const uint64_t key =
-        iommu::translationKey(did, page_base, size);
-    SHADOW_CHECK(!_devtlb.contains(key),
-                 "unmap of did=%u page %#llx left the translation "
-                 "in the DevTLB",
-                 did, (unsigned long long)page_base);
-    SHADOW_CHECK(!_pb.contains(key),
-                 "unmap of did=%u page %#llx left the translation "
-                 "in the Prefetch Buffer",
-                 did, (unsigned long long)page_base);
-    SHADOW_CHECK(!_iotlb.contains(key),
-                 "unmap of did=%u page %#llx left the translation "
-                 "in the IOTLB",
-                 did, (unsigned long long)page_base);
+    // Both size keys must be gone: a size-flip remap (2M→4K or back)
+    // re-keys the translation, and functional unmap probes the
+    // covering 2M base before the declared size, so either flavor may
+    // have been cached regardless of what size the op declared.
+    (void)size;
+    for (const mem::PageSize sz :
+         {mem::PageSize::Size4K, mem::PageSize::Size2M}) {
+        const uint64_t key =
+            iommu::translationKey(did, page_base, sz);
+        SHADOW_CHECK(!_devtlb.contains(key),
+                     "unmap of did=%u page %#llx left the %s "
+                     "translation in the DevTLB",
+                     did, (unsigned long long)page_base,
+                     sz == mem::PageSize::Size2M ? "2M" : "4K");
+        SHADOW_CHECK(!_pb.contains(key),
+                     "unmap of did=%u page %#llx left the %s "
+                     "translation in the Prefetch Buffer",
+                     did, (unsigned long long)page_base,
+                     sz == mem::PageSize::Size2M ? "2M" : "4K");
+        SHADOW_CHECK(!_iotlb.contains(key),
+                     "unmap of did=%u page %#llx left the %s "
+                     "translation in the IOTLB",
+                     did, (unsigned long long)page_base,
+                     sz == mem::PageSize::Size2M ? "2M" : "4K");
+    }
 }
 
 void

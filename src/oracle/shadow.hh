@@ -50,6 +50,7 @@
 #include "mem/addr.hh"
 #include "mem/page_table.hh"
 #include "oracle/ref_cache.hh"
+#include "oracle/ref_mmu_prefetch.hh"
 #include "oracle/ref_predictor.hh"
 #include "oracle/ref_ptb.hh"
 
@@ -88,6 +89,11 @@ struct ShadowConfig
     unsigned ptbEntries = 0;
     unsigned walkers = 0;
     unsigned pagingLevels = 4;
+    size_t devtlbSubEntries = 1;
+    size_t l2SubEntries = 1;
+    size_t l3SubEntries = 1;
+    /** True when the device runs the MMU-aware DMA prefetcher. */
+    bool mmuPrefetch = false;
 };
 
 /** The differential oracle for one System run. */
@@ -131,6 +137,12 @@ class ShadowChecker
     void deviceDevtlbInvalidated(uint32_t sid, mem::DomainId did,
                                  mem::Iova iova, mem::PageSize size,
                                  bool removed);
+    void deviceMmuObserved(mem::DomainId did, unsigned cls,
+                           mem::Iova iova, mem::PageSize size);
+    void deviceMmuPrefetchIssued(mem::DomainId did, unsigned cls,
+                                 unsigned slot, mem::Iova page,
+                                 mem::PageSize size);
+    void deviceMmuRetired(mem::DomainId did);
 
     // ---- IOMMU events --------------------------------------------------
     void iommuIotlbLookup(mem::DomainId domain, mem::Iova iova,
@@ -195,6 +207,9 @@ class ShadowChecker
 
   private:
     void record(std::optional<std::string> violation);
+    /** Fill-freshness rule: see the definition in shadow.cc. */
+    void checkFillFresh(const char *what, mem::DomainId did,
+                        mem::Iova iova, mem::Addr value);
 
     ShadowConfig _config;
     const iommu::PageTableDirectory *_tables;
@@ -208,6 +223,7 @@ class ShadowChecker
     RefPtb _ptb;
     RefSidPredictor _predictor;
     RefHistory _history;
+    RefMmuPrefetcher _mmu;
     std::unordered_set<uint64_t> _mshr;
 
     uint64_t _events = 0;

@@ -1,6 +1,7 @@
 #include "workload/adversarial.hh"
 
 #include <algorithm>
+#include <array>
 #include <unordered_set>
 #include <vector>
 
@@ -112,6 +113,8 @@ adversarialPatternName(AdversarialPattern pattern)
         return "huge_mix";
       case AdversarialPattern::RemapChurn:
         return "remap_churn";
+      case AdversarialPattern::SizeFlipRemap:
+        return "size_flip_remap";
       case AdversarialPattern::UniformRandom:
         return "uniform_random";
     }
@@ -133,6 +136,13 @@ makeAdversarialTrace(AdversarialPattern pattern,
     // SidBursts state.
     unsigned burst_tenant = 0;
     unsigned burst_left = 0;
+
+    // SizeFlipRemap state: the current size flavor of each tenant's
+    // flip pages (all 2M-aligned; a page alternates between one 2M
+    // mapping and one 4K mapping at the same base).
+    constexpr unsigned FlipPages = 4;
+    std::vector<std::array<bool, FlipPages>> flip_huge(
+        tenants, {true, true, true, true});
 
     uint32_t max_sid = 0;
     for (uint64_t n = 0; n < config.packets; ++n) {
@@ -192,13 +202,41 @@ makeAdversarialTrace(AdversarialPattern pattern,
             huge = rng.chance(0.5);
             page = static_cast<unsigned>(rng.below(16));
             break;
+          case AdversarialPattern::SizeFlipRemap: {
+            page = static_cast<unsigned>(rng.below(FlipPages));
+            const mem::Iova base =
+                HugeDataBase + mem::Iova(page) * 0x200000;
+            if (builder.mapped(did, base) && rng.chance(0.35)) {
+                // Flip the page's size on remap. Declaring the
+                // *wrong* size in the unmap op (25% of flips) is
+                // legal — functional unmap probes the covering 2M
+                // base first — and is exactly the case where an
+                // invalidation keyed only by the declared size
+                // leaves the other flavor's cached entry stale.
+                const bool cur = flip_huge[tenant][page];
+                const bool declared =
+                    rng.chance(0.25) ? !cur : cur;
+                builder.unmap(did, base,
+                              declared ? mem::PageSize::Size2M
+                                       : mem::PageSize::Size4K);
+                flip_huge[tenant][page] = !cur;
+            }
+            huge = flip_huge[tenant][page];
+            break;
+          }
           default:
             // Dwell on each page of an 8-page ring for 4 packets.
             page = static_cast<unsigned>(stream[tenant] / 4 % 8);
             break;
         }
         ++stream[tenant];
-        const mem::Iova data_base = dataPageBase(page, huge);
+        // SizeFlipRemap keeps the same 2M-aligned base across both
+        // size flavors — that collision is the whole point — so its
+        // 4K flavor must not use the 4K-stride layout.
+        const mem::Iova data_base =
+            pattern == AdversarialPattern::SizeFlipRemap
+                ? HugeDataBase + mem::Iova(page) * 0x200000
+                : dataPageBase(page, huge);
         const mem::PageSize data_size =
             huge ? mem::PageSize::Size2M : mem::PageSize::Size4K;
 
@@ -254,7 +292,13 @@ makeAdversarialTrace(AdversarialPattern pattern,
         pkt.sid = sid;
         pkt.dataHuge = huge;
         pkt.ringIova = RingPage + rng.below(64) * 16;
-        pkt.dataIova = data_base + rng.below(512) * 64;
+        // SizeFlipRemap offsets stay below 4 KB so every request
+        // lands inside the page under either size flavor.
+        pkt.dataIova =
+            data_base +
+            (pattern == AdversarialPattern::SizeFlipRemap
+                 ? rng.below(64) * 64
+                 : rng.below(512) * 64);
         pkt.notifyIova = NotifyPage + rng.below(16) * 4;
         if (pattern == AdversarialPattern::UniformRandom &&
             rng.chance(0.3)) {

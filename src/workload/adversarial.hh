@@ -46,6 +46,14 @@ enum class AdversarialPattern
     RemapChurn,
     /** Uniformly random SIDs, pages, sizes, and unmaps. */
     UniformRandom,
+    /**
+     * Remaps that flip a page's size (2M↔4K) at the same 2M-aligned
+     * base, sometimes declaring the wrong size in the unmap op: the
+     * re-keyed translation must not survive under the old size's key.
+     * (Deliberately last: the enum value seeds each pattern's RNG,
+     * so appending keeps every existing trace bit-identical.)
+     */
+    SizeFlipRemap,
 };
 
 constexpr AdversarialPattern AllAdversarialPatterns[] = {
@@ -57,6 +65,7 @@ constexpr AdversarialPattern AllAdversarialPatterns[] = {
     AdversarialPattern::HugeMix,
     AdversarialPattern::RemapChurn,
     AdversarialPattern::UniformRandom,
+    AdversarialPattern::SizeFlipRemap,
 };
 
 /** Pattern name, for repro lines and test labels. */

@@ -76,11 +76,45 @@ makeFiveLevel()
     return config;
 }
 
+SystemConfig
+makeSubEntry()
+{
+    // Sub-entry sharing on every structure that supports it, sized
+    // small so tags and sub-slots both overflow under fuzzing.
+    SystemConfig config = SystemConfig::base();
+    config.name = "subentry";
+    config.device.devtlb = {16, 4, 1, cache::ReplPolicyKind::LRU, 7};
+    config.device.devtlb.subEntries = 4;
+    config.iommu.l2tlb = {32, 4, 1, cache::ReplPolicyKind::LRU, 2};
+    config.iommu.l2tlb.subEntries = 4;
+    config.iommu.l3tlb = {64, 4, 1, cache::ReplPolicyKind::LRU, 3};
+    config.iommu.l3tlb.subEntries = 4;
+    return config;
+}
+
+SystemConfig
+makeMmuPrefetch()
+{
+    // The MMU-aware DMA prefetcher with a small buffer: every issued
+    // page is checked against the reference stride detector, and the
+    // invalidate-vs-in-flight squash machinery runs constantly.
+    SystemConfig config = SystemConfig::base();
+    config.name = "mmudma";
+    config.device.ptbEntries = 8;
+    config.device.prefetch.enabled = true;
+    config.device.prefetch.kind = PrefetchKind::MmuDma;
+    config.device.prefetch.bufferEntries = 8;
+    config.device.prefetch.pagesPerPrefetch = 2;
+    return config;
+}
+
 constexpr SystemVariant Variants[] = {
     {"base", &SystemConfig::base},
     {"hypertrio", &SystemConfig::hypertrio},
     {"stressed", &makeStressed},
     {"base5", &makeFiveLevel},
+    {"subentry", &makeSubEntry},
+    {"mmudma", &makeMmuPrefetch},
 };
 
 #ifdef HYPERSIO_CHECKED

@@ -296,5 +296,187 @@ TEST(SetAssocCache, ExportStatsTracksLiveCounters)
     EXPECT_EQ(group.find("lookups")->value(), 0.0);
 }
 
+// ---- Sub-entry sharing ------------------------------------------------
+
+/** 16 entries, 2-way, 8 sets, LRU, `sub` sub-entries per tag. */
+CacheConfig
+subConfig(size_t sub)
+{
+    CacheConfig config{16, 2, 1, ReplPolicyKind::LRU, 1};
+    config.subEntries = sub;
+    return config;
+}
+
+/** Key with the domain at bit 40, like both iommu key families. */
+uint64_t
+tenantKey(uint32_t domain, uint64_t low)
+{
+    return (uint64_t(domain) << 40) | low;
+}
+
+TEST(SetAssocCacheSubEntry, SameLayoutTenantsShareOneWay)
+{
+    SetAssocCache<int> cache(subConfig(4));
+    // Four tenants, identical page identity: one tag, one way.
+    for (uint32_t t = 1; t <= 4; ++t)
+        EXPECT_FALSE(
+            cache.insert(tenantKey(t, 0x1000), 0, int(t)));
+    EXPECT_EQ(cache.occupancy(), 4u);
+    for (uint32_t t = 1; t <= 4; ++t) {
+        int *v = cache.lookup(tenantKey(t, 0x1000), 0);
+        ASSERT_NE(v, nullptr);
+        EXPECT_EQ(*v, int(t));
+    }
+    // A second layout still fits the same 2-way set: the four
+    // tenants above consumed only one way.
+    EXPECT_FALSE(cache.insert(tenantKey(1, 0x2000), 0, 99));
+    EXPECT_NE(cache.lookup(tenantKey(1, 0x1000), 0), nullptr);
+}
+
+TEST(SetAssocCacheSubEntry, TagHitWrongTenantIsAMiss)
+{
+    SetAssocCache<int> cache(subConfig(4));
+    cache.insert(tenantKey(1, 0x1000), 0, 1);
+    // Same shared tag, different tenant: must miss.
+    EXPECT_EQ(cache.lookup(tenantKey(2, 0x1000), 0), nullptr);
+    EXPECT_EQ(cache.peek(tenantKey(2, 0x1000), 0), nullptr);
+    EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(SetAssocCacheSubEntry, SubCapacityEvictsRoundRobin)
+{
+    SetAssocCache<int> cache(subConfig(2));
+    cache.insert(tenantKey(1, 0x1000), 0, 1);
+    cache.insert(tenantKey(2, 0x1000), 0, 2);
+    // Tag full: tenant 3 evicts sub-slot 0 (tenant 1).
+    auto ev = cache.insert(tenantKey(3, 0x1000), 0, 3);
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->key, tenantKey(1, 0x1000));
+    EXPECT_EQ(ev->value, 1);
+    // The cursor advanced: tenant 4 evicts sub-slot 1 (tenant 2).
+    ev = cache.insert(tenantKey(4, 0x1000), 0, 4);
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->key, tenantKey(2, 0x1000));
+    EXPECT_NE(cache.lookup(tenantKey(3, 0x1000), 0), nullptr);
+    EXPECT_NE(cache.lookup(tenantKey(4, 0x1000), 0), nullptr);
+    EXPECT_EQ(cache.occupancy(), 2u);
+}
+
+TEST(SetAssocCacheSubEntry, WholeTagEvictionTakesEveryTenant)
+{
+    SetAssocCache<int> cache(subConfig(4)); // 2-way sets
+    // Tag A carries two tenants, tag B one; the set is now full.
+    cache.insert(tenantKey(1, 0x1000), 0, 11);
+    cache.insert(tenantKey(2, 0x1000), 0, 12);
+    cache.insert(tenantKey(3, 0x2000), 0, 23);
+    // A third layout needs a way: LRU picks tag A, and the eviction
+    // names a representative tenant behind it.
+    auto ev = cache.insert(tenantKey(4, 0x3000), 0, 34);
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(subEntrySharedKey(ev->key), 0x1000u);
+    EXPECT_EQ(cache.lookup(tenantKey(1, 0x1000), 0), nullptr);
+    EXPECT_EQ(cache.lookup(tenantKey(2, 0x1000), 0), nullptr);
+    EXPECT_NE(cache.lookup(tenantKey(3, 0x2000), 0), nullptr);
+    EXPECT_NE(cache.lookup(tenantKey(4, 0x3000), 0), nullptr);
+    EXPECT_EQ(cache.occupancy(), 2u);
+}
+
+TEST(SetAssocCacheSubEntry, LastInvalidateFreesTheWay)
+{
+    SetAssocCache<int> cache(subConfig(4)); // 2-way sets
+    cache.insert(tenantKey(1, 0x1000), 0, 1);
+    cache.insert(tenantKey(2, 0x1000), 0, 2);
+    EXPECT_TRUE(cache.invalidate(tenantKey(1, 0x1000), 0));
+    // The tag survives while a tenant remains.
+    EXPECT_NE(cache.lookup(tenantKey(2, 0x1000), 0), nullptr);
+    EXPECT_TRUE(cache.invalidate(tenantKey(2, 0x1000), 0));
+    EXPECT_EQ(cache.occupancy(), 0u);
+    EXPECT_EQ(cache.stats().invalidations, 2u);
+    // Both ways are free again: two new tags fit with no eviction.
+    EXPECT_FALSE(cache.insert(tenantKey(5, 0x4000), 0, 5));
+    EXPECT_FALSE(cache.insert(tenantKey(6, 0x5000), 0, 6));
+    EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(SetAssocCacheSubEntry, UpdateInPlaceAndFlush)
+{
+    SetAssocCache<int> cache(subConfig(2));
+    cache.insert(tenantKey(1, 0x1000), 0, 1);
+    cache.insert(tenantKey(2, 0x1000), 0, 2);
+    EXPECT_FALSE(cache.insert(tenantKey(1, 0x1000), 0, 10));
+    EXPECT_EQ(*cache.lookup(tenantKey(1, 0x1000), 0), 10);
+    EXPECT_EQ(cache.stats().insertions, 2u);
+
+    size_t visited = 0;
+    cache.forEach([&](uint64_t, const int &, size_t, size_t) {
+        ++visited;
+    });
+    EXPECT_EQ(visited, 2u);
+
+    cache.flush();
+    EXPECT_EQ(cache.occupancy(), 0u);
+    EXPECT_EQ(cache.stats().invalidations, 2u);
+    EXPECT_EQ(cache.lookup(tenantKey(1, 0x1000), 0), nullptr);
+}
+
+TEST(SetAssocCacheSubEntry, SingleSubEntryMatchesClassicExactly)
+{
+    // subEntries == 1 must take the classic paths bit-for-bit.
+    SetAssocCache<int> classic(smallConfig());
+    SetAssocCache<int> sub1(subConfig(1));
+    Rng rng(7);
+    for (int i = 0; i < 2000; ++i) {
+        const uint64_t key =
+            tenantKey(uint32_t(rng.next() % 4), rng.next() % 32);
+        const uint64_t index = key % 32;
+        switch (rng.next() % 3) {
+          case 0: {
+            auto a = classic.insert(key, index, int(i));
+            auto b = sub1.insert(key, index, int(i));
+            ASSERT_EQ(a.has_value(), b.has_value());
+            if (a)
+                ASSERT_EQ(a->key, b->key);
+            break;
+          }
+          case 1: {
+            int *a = classic.lookup(key, index);
+            int *b = sub1.lookup(key, index);
+            ASSERT_EQ(a == nullptr, b == nullptr);
+            if (a)
+                ASSERT_EQ(*a, *b);
+            break;
+          }
+          default:
+            ASSERT_EQ(classic.invalidate(key, index),
+                      sub1.invalidate(key, index));
+        }
+    }
+    EXPECT_EQ(classic.stats().lookups, sub1.stats().lookups);
+    EXPECT_EQ(classic.stats().hits, sub1.stats().hits);
+    EXPECT_EQ(classic.stats().evictions, sub1.stats().evictions);
+    EXPECT_EQ(classic.occupancy(), sub1.occupancy());
+}
+
+TEST(SetAssocCacheSubEntry, HashedIndexCoIndexesSharedLayouts)
+{
+    CacheConfig config = subConfig(4);
+    config.hashIndex = true;
+    SetAssocCache<int> cache(config);
+    // With hashed indexing the *shared* key picks the set, so
+    // same-layout tenants land in the same row and share its tag:
+    // four tenants, one way consumed.
+    for (uint32_t t = 1; t <= 4; ++t)
+        cache.insert(tenantKey(t, 0x7000), 0x7000, int(t));
+    EXPECT_EQ(cache.occupancy(), 4u);
+    size_t sets_seen = 0, last_set = 0;
+    cache.forEach([&](uint64_t, const int &, size_t set, size_t) {
+        if (sets_seen == 0 || set == last_set)
+            last_set = set;
+        ++sets_seen;
+        EXPECT_EQ(set, last_set);
+    });
+    EXPECT_EQ(sets_seen, 4u);
+}
+
 } // namespace
 } // namespace hypersio::cache

@@ -197,14 +197,21 @@ TEST(Device, PrefetchTriggersOncePerPacket)
               iommu::ContextCache::resolve(1).domain);
 }
 
+/** Dispatch + fill, as the System delivers prefetched pages. */
+void
+pbFill(Device &device, mem::DomainId did, mem::Iova iova,
+       mem::PageSize size, mem::Addr host_addr)
+{
+    device.prefetchFillDispatched(did, iova, size);
+    device.prefetchFill(did, iova, size, host_addr);
+}
+
 TEST(Device, PrefetchFillServesFromPb)
 {
     Fixture f;
     Device device(deviceConfig(true), f.queue, f.stats, f.ports());
-    device.prefetchFill(0, 0x34800000, mem::PageSize::Size4K,
-                        0xAA000);
-    device.prefetchFill(0, 0xbbe00000, mem::PageSize::Size2M,
-                        0xBB0000);
+    pbFill(device, 0, 0x34800000, mem::PageSize::Size4K, 0xAA000);
+    pbFill(device, 0, 0xbbe00000, mem::PageSize::Size2M, 0xBB0000);
     bool done = false;
     device.accept(packet(0), [&] { done = true; });
     f.queue.run();
@@ -227,7 +234,7 @@ TEST(Device, InvalidatePageDropsDevtlbAndPb)
     device.accept(packet(0), [&] { ++completed; });
     f.queue.run();
     EXPECT_EQ(completed, 1);
-    device.prefetchFill(0, 0xbbe00000, mem::PageSize::Size2M, 0xBB);
+    pbFill(device, 0, 0xbbe00000, mem::PageSize::Size2M, 0xBB);
 
     device.invalidatePage(0, 0xbbe00000, mem::PageSize::Size2M);
     const auto before = device.devtlbStats().hits;
@@ -237,6 +244,68 @@ TEST(Device, InvalidatePageDropsDevtlbAndPb)
     // Ring and notify still hit; the data page had to re-translate.
     EXPECT_EQ(device.devtlbStats().hits, before + 2);
     EXPECT_EQ(device.pbHits(), 0u);
+}
+
+TEST(Device, InvalidateSquashesInFlightDemandFill)
+{
+    Fixture f;
+    Device device(deviceConfig(), f.queue, f.stats, f.ports());
+    device.accept(packet(0), [] {});
+    f.queue.run();
+    ASSERT_EQ(f.requests.size(), 1u); // ring request on the wire
+
+    // The driver unmaps the ring page while the translation is in
+    // flight: the response races the invalidation and must not
+    // install the pre-unmap translation into the DevTLB.
+    device.invalidatePage(0, 0x34800000, mem::PageSize::Size4K);
+    f.respondAll();
+    f.queue.run();
+    EXPECT_EQ(device.demandFillsSquashed(), 1u);
+
+    f.respondAll(); // data response
+    f.queue.run();
+    // The notify request shares the ring page; with the stale ring
+    // fill squashed it must miss and go out to the chipset (with
+    // the bug it hit the stale entry and no request appeared).
+    ASSERT_EQ(f.requests.size(), 1u);
+    EXPECT_EQ(f.requests[0].iova, 0x34800f00u);
+    EXPECT_EQ(device.devtlbStats().hits, 0u);
+}
+
+TEST(Device, InvalidateSquashesInFlightPrefetchFill)
+{
+    Fixture f;
+    Device device(deviceConfig(true), f.queue, f.stats, f.ports());
+    // Fill dispatched by the chipset, then the page is unmapped
+    // while the fill crosses PCIe: the arrival must be dropped.
+    device.prefetchFillDispatched(0, 0xbbe00000,
+                                  mem::PageSize::Size2M);
+    device.invalidatePage(0, 0xbbe00000, mem::PageSize::Size2M);
+    device.prefetchFill(0, 0xbbe00000, mem::PageSize::Size2M,
+                        0xBB0000);
+    EXPECT_EQ(device.prefetchFillsSquashed(), 1u);
+    EXPECT_EQ(device.prefetchBufferOccupancy(), 0u);
+
+    // A fresh dispatch with no intervening invalidate installs.
+    pbFill(device, 0, 0xbbe00000, mem::PageSize::Size2M, 0xCC0000);
+    EXPECT_EQ(device.prefetchFillsSquashed(), 1u);
+    EXPECT_EQ(device.prefetchBufferOccupancy(), 1u);
+}
+
+TEST(Device, InvalidateDropsBothSizeFlavors)
+{
+    // A size-flip remap re-keys the translation; the device-side
+    // invalidate must drop the old flavor's entry whatever size the
+    // unmap op declared.
+    Fixture f;
+    Device device(deviceConfig(true), f.queue, f.stats, f.ports());
+    pbFill(device, 0, 0xbbe00000, mem::PageSize::Size2M, 0xBB0000);
+    device.invalidatePage(0, 0xbbe00000, mem::PageSize::Size4K);
+    EXPECT_EQ(device.prefetchBufferOccupancy(), 0u);
+
+    pbFill(device, 0, 0xbbe00000, mem::PageSize::Size4K, 0xCC000);
+    device.invalidatePage(0, 0xbbe00000, mem::PageSize::Size2M);
+    EXPECT_EQ(device.prefetchBufferOccupancy(), 0u);
 }
 
 TEST(Device, ContextCacheWarmsOnFirstUse)

@@ -427,6 +427,106 @@ TEST(TenantEviction, ChurnStormIsShadowCleanWhenChecked)
 }
 #endif
 
+core::SystemConfig
+mmuPrefetchConfig()
+{
+    core::SystemConfig config = core::SystemConfig::base();
+    config.name = "mmu-prefetch";
+    config.device.ptbEntries = 32;
+    config.device.prefetch.enabled = true;
+    config.device.prefetch.kind = core::PrefetchKind::MmuDma;
+    config.device.prefetch.bufferEntries = 32;
+    config.device.prefetch.pagesPerPrefetch = 2;
+    return config;
+}
+
+core::SystemConfig
+subEntryConfig()
+{
+    core::SystemConfig config = core::SystemConfig::base();
+    config.name = "sub-entry";
+    config.device.devtlb.subEntries = 4;
+    config.iommu.l2tlb.subEntries = 4;
+    config.iommu.l3tlb.subEntries = 4;
+    return config;
+}
+
+workload::ChurnConfig
+mechanismChurn()
+{
+    workload::ChurnConfig cfg;
+    cfg.population = 96;
+    cfg.slots = 6;
+    cfg.seed = 11;
+    cfg.minBudget = 24;
+    cfg.maxBudget = 64;
+    cfg.tailMin = 200;
+    cfg.tailMax = 300;
+    return cfg;
+}
+
+TEST(TenantEviction, ChurnDetachesMmuPrefetchStreams)
+{
+    // MMU-prefetch lifecycle under churn: stream detectors must
+    // retire with their tenant (Device::retireDomain), and the
+    // issue-to-completion pending counter must gate retirement so no
+    // in-flight MMU prefetch outlives its page tables.
+    const workload::ChurnConfig cfg = mechanismChurn();
+    core::System system(mmuPrefetchConfig());
+    workload::ChurnStream churn(cfg);
+    const core::RunResults results = system.runStream(churn);
+
+    EXPECT_GT(results.packetsProcessed, 0u);
+    EXPECT_EQ(system.streamRetirements().size(), cfg.population);
+    EXPECT_EQ(system.tables().size(), 0u);
+    // The detectors trained and then fully detached.
+    EXPECT_GT(system.device().prefetchesSent(), 0u);
+    EXPECT_EQ(system.device().mmuStreams(), 0u);
+    EXPECT_EQ(system.historyReader(), nullptr);
+}
+
+TEST(TenantEviction, ChurnDetachesSubEntrySharedState)
+{
+    // Sub-entry sharing lifecycle under churn: a retiring tenant's
+    // sub-entries must all leave the shared tags, so the caches end
+    // the run empty even though tags were co-resident across DIDs.
+    const workload::ChurnConfig cfg = mechanismChurn();
+    core::System system(subEntryConfig());
+    workload::ChurnStream churn(cfg);
+    const core::RunResults results = system.runStream(churn);
+
+    EXPECT_GT(results.packetsProcessed, 0u);
+    EXPECT_EQ(system.streamRetirements().size(), cfg.population);
+    EXPECT_EQ(system.tables().size(), 0u);
+    EXPECT_EQ(system.device().devtlbOccupancy(), 0u);
+}
+
+TEST(ShardedMultiSystem, JobsCountInvariantForNewMechanisms)
+{
+    // Bit-identical results at jobs=1 and jobs=3 for both mechanism
+    // configurations (the sub-entry and MMU-prefetch state must stay
+    // shard-private, with no hidden cross-thread coupling).
+    for (const core::SystemConfig &config :
+         {mmuPrefetchConfig(), subEntryConfig()}) {
+        auto factory = [](unsigned shard) {
+            workload::ChurnConfig cfg = mechanismChurn();
+            cfg.population = 40 + shard * 8;
+            cfg.seed = hashCombine(29, shard);
+            return std::make_unique<workload::ChurnStream>(cfg);
+        };
+        core::ShardedMultiSystem serial(config, 3, 1);
+        const core::ShardedRunResults a = serial.run(factory);
+        core::ShardedMultiSystem threaded(config, 3, 3);
+        const core::ShardedRunResults b = threaded.run(factory);
+        EXPECT_TRUE(a == b) << "config " << config.name;
+        for (unsigned s = 0; s < 3; ++s) {
+            EXPECT_EQ(statsJson(serial.shard(s)),
+                      statsJson(threaded.shard(s)))
+                << "config " << config.name << " shard " << s;
+        }
+    }
+}
+
 TEST(ShardedMultiSystem, MergesDeterministicRetirementTimeline)
 {
     auto factory = [](unsigned shard) {

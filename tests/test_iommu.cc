@@ -253,6 +253,102 @@ TEST(IommuTest, DemandWalksRunBeforeQueuedPrefetches)
     EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
 }
 
+TEST(IommuTest, AgingBoundPromotesStarvedPrefetch)
+{
+    // Sustained demand traffic must not starve a queued prefetch
+    // forever: after `prefetchAgingThreshold` consecutive demand
+    // dispatches past the waiting prefetch, it takes the next slot.
+    Fixture f;
+    IommuConfig config;
+    config.walkers = 1;
+    config.prefetchAgingThreshold = 2;
+    auto iommu = f.make(config);
+    for (mem::DomainId d = 1; d <= 7; ++d)
+        f.tables.get(d).map(0x1000, mem::PageSize::Size4K);
+
+    std::vector<int> order;
+    auto demand = [&](mem::DomainId d) {
+        iommu->translate({d, 0x1000, mem::PageSize::Size4K, false},
+                         [&order, d](const IommuResponse &) {
+                             order.push_back(static_cast<int>(d));
+                         });
+    };
+    // Occupy the walker, queue the prefetch, then pile up demand.
+    demand(1);
+    iommu->translate({2, 0x1000, mem::PageSize::Size4K, true},
+                     [&](const IommuResponse &) {
+                         order.push_back(-2);
+                     });
+    for (mem::DomainId d = 3; d <= 7; ++d)
+        demand(d);
+    f.queue.run();
+    // Two demand walks dispatch past the prefetch (streak 1, 2),
+    // then the aging bound promotes it ahead of the remaining three.
+    EXPECT_EQ(order, (std::vector<int>{1, 3, 4, -2, 5, 6, 7}));
+    EXPECT_EQ(iommu->prefetchPromotions(), 1u);
+}
+
+TEST(IommuTest, ZeroAgingThresholdKeepsStrictDemandFirst)
+{
+    Fixture f;
+    IommuConfig config;
+    config.walkers = 1;
+    config.prefetchAgingThreshold = 0;
+    auto iommu = f.make(config);
+    for (mem::DomainId d = 1; d <= 7; ++d)
+        f.tables.get(d).map(0x1000, mem::PageSize::Size4K);
+
+    std::vector<int> order;
+    iommu->translate({1, 0x1000, mem::PageSize::Size4K, false},
+                     [&](const IommuResponse &) {
+                         order.push_back(1);
+                     });
+    iommu->translate({2, 0x1000, mem::PageSize::Size4K, true},
+                     [&](const IommuResponse &) {
+                         order.push_back(-2);
+                     });
+    for (mem::DomainId d = 3; d <= 7; ++d)
+        iommu->translate({d, 0x1000, mem::PageSize::Size4K, false},
+                         [&order, d](const IommuResponse &) {
+                             order.push_back(static_cast<int>(d));
+                         });
+    f.queue.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 3, 4, 5, 6, 7, -2}));
+    EXPECT_EQ(iommu->prefetchPromotions(), 0u);
+}
+
+TEST(IommuTest, InvalidateDropsBothSizeKeysOnSizeFlip)
+{
+    // A remap that flips the page size re-keys the translation: an
+    // invalidate that only erased the op's declared size would leave
+    // the other flavor's entry alive and stale.
+    Fixture f;
+    auto iommu = f.make();
+    f.tables.get(1).map(0xbbe00000, mem::PageSize::Size2M);
+    iommu->translate({1, 0xbbe00000, mem::PageSize::Size2M, false},
+                     [](const IommuResponse &) {});
+    f.queue.run();
+    ASSERT_EQ(iommu->iotlbOccupancy(), 1u);
+
+    // Driver remaps the page as 4K and invalidates under the new
+    // size; the 2M-keyed entry must be dropped too.
+    f.tables.get(1).unmap(0xbbe00000);
+    f.tables.get(1).map(0xbbe00000, mem::PageSize::Size4K);
+    iommu->invalidate(1, 0xbbe00000, mem::PageSize::Size4K);
+    EXPECT_EQ(iommu->iotlbOccupancy(), 0u);
+
+    // The next 2M-declared request must re-walk and return the
+    // fresh 4K mapping, not a stale cached 2M translation.
+    IommuResponse seen;
+    iommu->translate({1, 0xbbe00000, mem::PageSize::Size2M, false},
+                     [&](const IommuResponse &r) { seen = r; });
+    f.queue.run();
+    ASSERT_TRUE(seen.valid);
+    EXPECT_FALSE(seen.iotlbHit);
+    EXPECT_EQ(seen.hostAddr,
+              f.tables.get(1).translate(0xbbe00000).hostAddr);
+}
+
 TEST(IommuTest, UnmappedPageFaults)
 {
     Fixture f;

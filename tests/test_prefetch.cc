@@ -344,6 +344,182 @@ TEST(HistoryReader, ChargesHistoryReadLatency)
     EXPECT_EQ(f.queue.now(), (2 + 24) * 50 * TicksPerNs);
 }
 
+// ---- MMU-aware DMA stride detector (PrefetchKind::MmuDma) ------------
+
+PrefetchConfig
+mmuConfig(unsigned pages = 2)
+{
+    PrefetchConfig config;
+    config.enabled = true;
+    config.kind = PrefetchKind::MmuDma;
+    config.bufferEntries = 8;
+    config.pagesPerPrefetch = pages;
+    return config;
+}
+
+TEST(MmuStride, LocksOntoStrideAndPredictsAhead)
+{
+    PrefetchUnit pu(mmuConfig());
+    mem::Iova pages[4] = {};
+    mem::PageSize size = mem::PageSize::Size2M;
+    // First access primes, second establishes the stride candidate
+    // (confidence 0 — no prediction yet).
+    pu.observeAccess(1, trace::ReqClass::Data, 0x1000,
+                     mem::PageSize::Size4K);
+    pu.observeAccess(1, trace::ReqClass::Data, 0x2010,
+                     mem::PageSize::Size4K);
+    EXPECT_EQ(pu.predictStrided(1, trace::ReqClass::Data, pages,
+                                size),
+              0u);
+    // Third access confirms the +0x1000 stride.
+    pu.observeAccess(1, trace::ReqClass::Data, 0x3400,
+                     mem::PageSize::Size4K);
+    ASSERT_EQ(pu.predictStrided(1, trace::ReqClass::Data, pages,
+                                size),
+              2u);
+    EXPECT_EQ(pages[0], 0x4000u);
+    EXPECT_EQ(pages[1], 0x5000u);
+    EXPECT_EQ(size, mem::PageSize::Size4K);
+}
+
+TEST(MmuStride, RingPollsCarryNoInformation)
+{
+    // Repeats of the current page (descriptor-ring polls) neither
+    // build nor break confidence.
+    PrefetchUnit pu(mmuConfig());
+    mem::Iova pages[4] = {};
+    mem::PageSize size = mem::PageSize::Size4K;
+    pu.observeAccess(2, trace::ReqClass::Ring, 0x10000,
+                     mem::PageSize::Size4K);
+    pu.observeAccess(2, trace::ReqClass::Ring, 0x11000,
+                     mem::PageSize::Size4K);
+    for (int i = 0; i < 5; ++i) {
+        pu.observeAccess(2, trace::ReqClass::Ring, 0x11080,
+                         mem::PageSize::Size4K);
+    }
+    pu.observeAccess(2, trace::ReqClass::Ring, 0x12000,
+                     mem::PageSize::Size4K);
+    ASSERT_EQ(pu.predictStrided(2, trace::ReqClass::Ring, pages,
+                                size),
+              2u);
+    EXPECT_EQ(pages[0], 0x13000u);
+}
+
+TEST(MmuStride, StrideBreakResetsConfidence)
+{
+    PrefetchUnit pu(mmuConfig());
+    mem::Iova pages[4] = {};
+    mem::PageSize size = mem::PageSize::Size4K;
+    for (mem::Iova page = 0; page < 4; ++page) {
+        pu.observeAccess(3, trace::ReqClass::Data, page << 12,
+                         mem::PageSize::Size4K);
+    }
+    ASSERT_GT(pu.predictStrided(3, trace::ReqClass::Data, pages,
+                                size),
+              0u);
+    // A jump breaks the stream: no prediction until the new stride
+    // repeats once.
+    pu.observeAccess(3, trace::ReqClass::Data, 0x900000,
+                     mem::PageSize::Size4K);
+    EXPECT_EQ(pu.predictStrided(3, trace::ReqClass::Data, pages,
+                                size),
+              0u);
+    pu.observeAccess(3, trace::ReqClass::Data, 0x902000,
+                     mem::PageSize::Size4K);
+    pu.observeAccess(3, trace::ReqClass::Data, 0x904000,
+                     mem::PageSize::Size4K);
+    ASSERT_EQ(pu.predictStrided(3, trace::ReqClass::Data, pages,
+                                size),
+              2u);
+    EXPECT_EQ(pages[0], 0x906000u);
+}
+
+TEST(MmuStride, PageSizeFlipRestartsDetection)
+{
+    PrefetchUnit pu(mmuConfig());
+    mem::Iova pages[4] = {};
+    mem::PageSize size = mem::PageSize::Size4K;
+    for (mem::Iova page = 0; page < 4; ++page) {
+        pu.observeAccess(4, trace::ReqClass::Data, page << 12,
+                         mem::PageSize::Size4K);
+    }
+    ASSERT_GT(pu.predictStrided(4, trace::ReqClass::Data, pages,
+                                size),
+              0u);
+    pu.observeAccess(4, trace::ReqClass::Data, 0x400000,
+                     mem::PageSize::Size2M);
+    EXPECT_EQ(pu.predictStrided(4, trace::ReqClass::Data, pages,
+                                size),
+              0u);
+    // The 2M stream builds its own stride at 2M granularity.
+    pu.observeAccess(4, trace::ReqClass::Data, 0x600000,
+                     mem::PageSize::Size2M);
+    pu.observeAccess(4, trace::ReqClass::Data, 0x800000,
+                     mem::PageSize::Size2M);
+    ASSERT_EQ(pu.predictStrided(4, trace::ReqClass::Data, pages,
+                                size),
+              2u);
+    EXPECT_EQ(pages[0], 0xA00000u);
+    EXPECT_EQ(size, mem::PageSize::Size2M);
+}
+
+TEST(MmuStride, StreamsAreIndependentPerTenantAndClass)
+{
+    PrefetchUnit pu(mmuConfig());
+    mem::Iova pages[4] = {};
+    mem::PageSize size = mem::PageSize::Size4K;
+    // Interleaved: tenant 5's data stream ascends, its ring stream
+    // descends, and tenant 6's data stream stays cold.
+    for (int i = 0; i < 4; ++i) {
+        pu.observeAccess(5, trace::ReqClass::Data,
+                         mem::Iova(i) << 12, mem::PageSize::Size4K);
+        pu.observeAccess(5, trace::ReqClass::Ring,
+                         mem::Iova(16 - i) << 12,
+                         mem::PageSize::Size4K);
+        pu.observeAccess(6, trace::ReqClass::Data, 0x7000,
+                         mem::PageSize::Size4K);
+    }
+    ASSERT_EQ(pu.predictStrided(5, trace::ReqClass::Data, pages,
+                                size),
+              2u);
+    EXPECT_EQ(pages[0], 0x4000u);
+    ASSERT_EQ(pu.predictStrided(5, trace::ReqClass::Ring, pages,
+                                size),
+              2u);
+    EXPECT_EQ(pages[0], 12u << 12); // descending stride
+    EXPECT_EQ(pu.predictStrided(6, trace::ReqClass::Data, pages,
+                                size),
+              0u);
+    EXPECT_EQ(pu.mmuStreams(), 3u);
+}
+
+TEST(MmuStride, RetireDomainDropsEveryStream)
+{
+    PrefetchUnit pu(mmuConfig());
+    for (int i = 0; i < 4; ++i) {
+        pu.observeAccess(7, trace::ReqClass::Data,
+                         mem::Iova(i) << 12, mem::PageSize::Size4K);
+        pu.observeAccess(7, trace::ReqClass::Notify,
+                         mem::Iova(i) << 13, mem::PageSize::Size4K);
+        pu.observeAccess(8, trace::ReqClass::Data,
+                         mem::Iova(i) << 14, mem::PageSize::Size4K);
+    }
+    EXPECT_EQ(pu.mmuStreams(), 3u);
+    pu.retireDomain(7);
+    EXPECT_EQ(pu.mmuStreams(), 1u);
+    mem::Iova pages[4] = {};
+    mem::PageSize size = mem::PageSize::Size4K;
+    EXPECT_EQ(pu.predictStrided(7, trace::ReqClass::Data, pages,
+                                size),
+              0u);
+    // The surviving tenant's detector is untouched.
+    EXPECT_GT(pu.predictStrided(8, trace::ReqClass::Data, pages,
+                                size),
+              0u);
+    pu.retireDomain(8);
+    EXPECT_EQ(pu.mmuStreams(), 0u);
+}
+
 TEST(HistoryReader, HistoryDepthBoundsMemory)
 {
     ReaderFixture f;
