@@ -185,6 +185,63 @@ progressSink(const core::BenchOptions &opts)
     return opts.verbose ? &std::cerr : nullptr;
 }
 
+// ---------------------------------------------------------------
+// A-vs-B microbench helpers (event_kernel_microbench,
+// translation_path_microbench, event_fusion_microbench). The
+// timing, rate-conversion, and `--check-speedup` fragments used to
+// be copy-pasted per binary; they live here so the gate wording and
+// the zero-wall / zero-rate edge cases stay identical everywhere.
+// ---------------------------------------------------------------
+
+/** Wall seconds elapsed since `t0` (steady clock). */
+inline double
+wallSeconds(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** count/wall per second; 0 when the wall time is degenerate. */
+inline double
+perSecond(uint64_t count, double wall)
+{
+    return wall <= 0.0 ? 0.0 : static_cast<double>(count) / wall;
+}
+
+/** Million events per second (the event-kernel bench's unit). */
+inline double
+meps(uint64_t events, double wall)
+{
+    return perSecond(events, wall) / 1e6;
+}
+
+/** A/B ratio fast/slow; 0 when either side is degenerate. */
+inline double
+speedupRatio(double fast_rate, double slow_rate)
+{
+    return fast_rate > 0.0 && slow_rate > 0.0
+               ? fast_rate / slow_rate
+               : 0.0;
+}
+
+/**
+ * The `--check-speedup X` gate: true when `measured` meets the
+ * `required` floor (or no floor was requested, `required <= 0`).
+ * On failure prints the FAIL line the repo gates grep for; the
+ * caller exits nonzero.
+ */
+inline bool
+checkSpeedup(const char *what, double measured, double required)
+{
+    if (required <= 0.0 || measured >= required)
+        return true;
+    std::fprintf(stderr,
+                 "FAIL: %s speedup %.2fx below the required %.2fx\n",
+                 what, measured, required);
+    return false;
+}
+
 } // namespace hypersio::bench
 
 #endif // HYPERSIO_BENCH_COMMON_HH

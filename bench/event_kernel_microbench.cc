@@ -37,6 +37,7 @@
 #include <cstring>
 #include <string>
 
+#include "bench_common.hh"
 #include "core/bench_options.hh"
 #include "json_report.hh"
 #include "sim/event_queue.hh"
@@ -73,13 +74,7 @@ struct Payload
     std::array<uint64_t, Bytes / 8> words;
 };
 
-double
-seconds(std::chrono::steady_clock::time_point t0)
-{
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now() - t0)
-        .count();
-}
+using bench::wallSeconds;
 
 /**
  * schedule_fire mix: rounds of `Batch` events at pseudo-random
@@ -108,7 +103,7 @@ scheduleFire(uint64_t events, uint64_t &executed, uint64_t &sink)
         }
         q.run();
     }
-    const double wall = seconds(t0);
+    const double wall = wallSeconds(t0);
     executed = q.executed();
     sink += local_sink;
     return wall;
@@ -151,7 +146,7 @@ scheduleCancelFire(uint64_t events, uint64_t &processed,
             cancelled += q.cancel(h) ? 1 : 0;
         q.run();
     }
-    const double wall = seconds(t0);
+    const double wall = wallSeconds(t0);
     HYPERSIO_ASSERT(cancelled == events / 2,
                     "cancel bookkeeping went wrong");
     processed = q.executed() + cancelled;
@@ -218,13 +213,6 @@ parseArgs(int argc, char **argv)
     return opts;
 }
 
-double
-meps(uint64_t events, double wall)
-{
-    return wall <= 0.0 ? 0.0
-                       : static_cast<double>(events) / wall / 1e6;
-}
-
 } // namespace
 
 int
@@ -245,12 +233,10 @@ main(int argc, char **argv)
 
     auto emit = [&](const char *mix, uint64_t count,
                     double legacy_wall, double slab_wall) {
-        const double legacy_meps = meps(count, legacy_wall);
-        const double slab_meps = meps(count, slab_wall);
+        const double legacy_meps = bench::meps(count, legacy_wall);
+        const double slab_meps = bench::meps(count, slab_wall);
         const double speedup =
-            slab_meps > 0.0 && legacy_meps > 0.0
-                ? slab_meps / legacy_meps
-                : 0.0;
+            bench::speedupRatio(slab_meps, legacy_meps);
         std::printf("%-28s %12.2f %12.2f %8.2fx\n", mix,
                     legacy_meps, slab_meps, speedup);
         report.addScalar(std::string(mix) + "_events",
@@ -318,15 +304,10 @@ main(int argc, char **argv)
     // also keeps the whole pipeline observable (no dead-code wins).
     std::printf("checksum: %016llx\n", (unsigned long long)sink);
 
-    report.write(seconds(wall0));
+    report.write(wallSeconds(wall0));
 
-    if (opts.checkSpeedup > 0.0 &&
-        headline_speedup < opts.checkSpeedup) {
-        std::fprintf(stderr,
-                     "FAIL: schedule_fire speedup %.2fx below the "
-                     "required %.2fx\n",
-                     headline_speedup, opts.checkSpeedup);
+    if (!bench::checkSpeedup("schedule_fire", headline_speedup,
+                             opts.checkSpeedup))
         return 1;
-    }
     return 0;
 }

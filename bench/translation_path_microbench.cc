@@ -55,6 +55,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hh"
 #include "cache/set_assoc_cache.hh"
 #include "core/prefetch.hh"
 #include "core/runner.hh"
@@ -145,13 +146,7 @@ parseArgs(int argc, char **argv)
     return opts;
 }
 
-double
-seconds(std::chrono::steady_clock::time_point t0)
-{
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now() - t0)
-        .count();
-}
+using bench::wallSeconds;
 
 /** The probe counters one pattern run produces (deterministic). */
 struct ProbeCounts
@@ -562,7 +557,7 @@ main(int argc, char **argv)
             core::System system(cfg);
             const auto t0 = std::chrono::steady_clock::now();
             const core::RunResults results = system.run(trace);
-            const double dt = seconds(t0);
+            const double dt = wallSeconds(t0);
             wall = rep == 0 ? dt : std::min(wall, dt);
 
             // A run that fails to process the whole trace must not
@@ -609,8 +604,7 @@ main(int argc, char **argv)
             total_packets += packets;
             total_wall += wall;
             const double pps =
-                wall > 0.0 ? static_cast<double>(packets) / wall
-                           : 0.0;
+                bench::perSecond(packets, wall);
             std::printf("%-16s %12.0f %10llu %10llu %10llu %10llu "
                         "%10llu %10llu\n",
                         name, pps, (unsigned long long)probes.walks,
@@ -657,7 +651,7 @@ main(int argc, char **argv)
             FunctionalPath path(cfg);
             const auto t0 = std::chrono::steady_clock::now();
             path.replay(trace);
-            const double dt = seconds(t0);
+            const double dt = wallSeconds(t0);
             fn_wall = rep == 0 ? dt : std::min(fn_wall, dt);
 
             HYPERSIO_ASSERT(path.translations() ==
@@ -679,10 +673,7 @@ main(int argc, char **argv)
                                 "across reps");
             }
         }
-        const double fn_pps =
-            fn_wall > 0.0
-                ? static_cast<double>(packets) / fn_wall
-                : 0.0;
+        const double fn_pps = bench::perSecond(packets, fn_wall);
         std::printf("%-16s %12.0f   (functional replay, %llu probes)\n",
                     name, fn_pps, (unsigned long long)fn_lookups);
         total_fn_packets += packets;
@@ -711,7 +702,7 @@ main(int argc, char **argv)
             WalkStorm storm(cfg);
             const auto t0 = std::chrono::steady_clock::now();
             storm.replay(schedule);
-            const double dt = seconds(t0);
+            const double dt = wallSeconds(t0);
             ws_wall = rep == 0 ? dt : std::min(ws_wall, dt);
 
             HYPERSIO_ASSERT(storm.walks() ==
@@ -732,10 +723,7 @@ main(int argc, char **argv)
                                 "reps");
             }
         }
-        const double ws_pps =
-            ws_wall > 0.0
-                ? static_cast<double>(packets) / ws_wall
-                : 0.0;
+        const double ws_pps = bench::perSecond(packets, ws_wall);
         std::printf("%-16s %12.0f   (walk storm, %llu walks)\n",
                     name, ws_pps, (unsigned long long)ws_walks);
         total_ws_packets += packets;
@@ -778,7 +766,7 @@ main(int argc, char **argv)
                 core::System system(cfg);
                 const auto t0 = std::chrono::steady_clock::now();
                 const core::RunResults results = system.run(trace);
-                const double dt = seconds(t0);
+                const double dt = wallSeconds(t0);
                 wall = rep == 0 ? dt : std::min(wall, dt);
 
                 HYPERSIO_ASSERT(results.packetsProcessed ==
@@ -800,10 +788,7 @@ main(int argc, char **argv)
                 }
             }
             const double pps =
-                wall > 0.0 ? static_cast<double>(
-                                 trace.packets.size()) /
-                                 wall
-                           : 0.0;
+                bench::perSecond(trace.packets.size(), wall);
             std::printf("%-16u %12.0f %10llu %10llu\n", batch, pps,
                         (unsigned long long)drops,
                         (unsigned long long)walks);
@@ -818,13 +803,9 @@ main(int argc, char **argv)
     }
 
     const double total_pps =
-        total_wall > 0.0
-            ? static_cast<double>(total_packets) / total_wall
-            : 0.0;
+        bench::perSecond(total_packets, total_wall);
     const double total_fn_pps =
-        total_fn_wall > 0.0
-            ? static_cast<double>(total_fn_packets) / total_fn_wall
-            : 0.0;
+        bench::perSecond(total_fn_packets, total_fn_wall);
     std::printf("total: %llu packets in %.2f s = %.0f packets/s "
                 "(timed), %.0f packets/s (functional)\n",
                 (unsigned long long)total_packets, total_wall,
@@ -850,12 +831,10 @@ main(int argc, char **argv)
     report.addScalar("total_functional_packets_per_sec",
                      total_fn_pps);
     const double total_ws_pps =
-        total_ws_wall > 0.0
-            ? static_cast<double>(total_ws_packets) / total_ws_wall
-            : 0.0;
+        bench::perSecond(total_ws_packets, total_ws_wall);
     std::printf("walk storm total: %.0f packets/s\n", total_ws_pps);
     report.addScalar("total_walkstorm_packets_per_sec",
                      total_ws_pps);
-    report.write(seconds(wall0));
+    report.write(wallSeconds(wall0));
     return 0;
 }

@@ -16,10 +16,13 @@
 # best-of-reps rates (and check_repo.sh gate 7) are the measurement.
 #
 # Usage:
-#   scripts/profile.sh [-n TOP] [target [args...]]
+#   scripts/profile.sh [-n TOP] [target] [args...]
 #
 #   scripts/profile.sh
 #       profiles translation_path_microbench on its default workload
+#   scripts/profile.sh --packets 200000
+#       same target; a leading dash means "args for the default
+#       target", so flags work without naming it
 #   scripts/profile.sh -n 40 fig10_scalability --quick --tenants 8
 #       profiles the fig10 sweep, printing the top 40 symbols
 set -eu
@@ -31,8 +34,13 @@ if [ "${1:-}" = "-n" ]; then
     TOP="$2"
     shift 2
 fi
-TARGET="${1:-translation_path_microbench}"
-[ "$#" -gt 0 ] && shift
+TARGET=translation_path_microbench
+if [ "$#" -gt 0 ]; then
+    case "$1" in
+        -*) ;; # flags go to the default target
+        *) TARGET="$1"; shift ;;
+    esac
+fi
 
 PROFILE_DIR=build-profile
 cmake -B "$PROFILE_DIR" -S . -DHYPERSIO_CHECKED=OFF \

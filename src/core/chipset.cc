@@ -99,9 +99,14 @@ HistoryReader::issueTranslations(mem::DomainId did)
         req.iova = page.pageBase;
         req.size = page.size;
         req.prefetch = true;
+        // may_fuse stays false: the loop keeps issuing after each
+        // translate returns, so this is not a tail position — a
+        // fused IOTLB hit would deliver (and advance time) before
+        // the burst's remaining pages were even issued.
         _iommu.translate(
-            req, [this, did, page, remaining](
-                     const iommu::IommuResponse &resp) {
+            req,
+            [this, did, page, remaining](
+                const iommu::IommuResponse &resp) {
                 if (resp.valid && _fill)
                     _fill(did, page.pageBase, page.size,
                           resp.hostAddr);
@@ -111,7 +116,8 @@ HistoryReader::issueTranslations(mem::DomainId did)
                                        "under an in-flight burst");
                     h->inFlight = false;
                 }
-            });
+            },
+            /*may_fuse=*/false);
     }
 }
 

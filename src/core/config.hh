@@ -115,6 +115,15 @@ struct SystemConfig
      * arrival event, exactly as in the per-slot process.
      */
     unsigned admitBatch = 1;
+    /**
+     * Hit-path event fusion (sim/event_queue.hh::tryFuseAdvance):
+     * deterministic translation hops run as synchronous
+     * continuations instead of separate events. Results are
+     * bit-identical either way (gate 12 enforces it); OFF pins the
+     * event-per-hop reference kernel for A/B measurement. Clamped to
+     * off in -DHYPERSIO_EVENT_FUSION=OFF builds.
+     */
+    bool eventFusion = true;
 
     /**
      * The paper's Base configuration (Table IV): single-entry PTB,

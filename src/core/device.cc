@@ -119,7 +119,10 @@ Device::accept(const trace::PacketRecord &packet,
 {
     const unsigned idx = admit(packet);
     _ptb.entry(idx).sink = &sink;
-    issueNext(idx);
+    // The arrival event keeps working after accept() returns (batch
+    // admission, scheduling the next arrival), so the chain start is
+    // not in tail position: the first hop is always a real event.
+    issueNext(idx, /*may_fuse=*/false);
 }
 
 void
@@ -128,40 +131,49 @@ Device::accept(const trace::PacketRecord &packet,
 {
     const unsigned idx = admit(packet);
     _ptb.entry(idx).done = std::move(done);
-    issueNext(idx);
+    issueNext(idx, /*may_fuse=*/false);
 }
 
 void
-Device::issueNext(unsigned idx)
+Device::issueNext(unsigned idx, bool may_fuse)
 {
-    PtbEntry &entry = _ptb.entry(idx);
-    if (entry.nextReq >= trace::NumReqClasses) {
-        // All three translations done: packet fully processed.
-        _packetLatency.sample(ticksToNs(now() - entry.accepted));
-        if (CompletionSink *sink = entry.sink) {
-            // The sink path frees the entry before notifying, like
-            // the callback path — the sink may accept a new packet
-            // reentrantly — so the record is copied out first.
-            const trace::PacketRecord packet = entry.packet;
-            entry.sink = nullptr;
+    // Each loop iteration is one request whose hit hop was fused:
+    // resolve() already advanced time to the tick the hop event
+    // would have fired at, so issuing the next request here is
+    // exactly the work that event's callback would have done.
+    for (;;) {
+        PtbEntry &entry = _ptb.entry(idx);
+        if (entry.nextReq >= trace::NumReqClasses) {
+            // All three translations done: packet fully processed.
+            _packetLatency.sample(ticksToNs(now() - entry.accepted));
+            if (CompletionSink *sink = entry.sink) {
+                // The sink path frees the entry before notifying,
+                // like the callback path — the sink may accept a new
+                // packet reentrantly — so the record is copied out
+                // first.
+                const trace::PacketRecord packet = entry.packet;
+                entry.sink = nullptr;
+                _ptb.release(idx);
+                HYPERSIO_SHADOW(
+                    devicePacketCompleted(idx, _ptb.inUse()));
+                sink->packetDone(packet);
+                return;
+            }
+            std::function<void()> done = std::move(entry.done);
             _ptb.release(idx);
             HYPERSIO_SHADOW(devicePacketCompleted(idx, _ptb.inUse()));
-            sink->packetDone(packet);
+            done();
             return;
         }
-        std::function<void()> done = std::move(entry.done);
-        _ptb.release(idx);
-        HYPERSIO_SHADOW(devicePacketCompleted(idx, _ptb.inUse()));
-        done();
-        return;
+        const auto cls = static_cast<trace::ReqClass>(entry.nextReq);
+        ++entry.nextReq;
+        if (!resolve(idx, cls, may_fuse))
+            return;
     }
-    const auto cls = static_cast<trace::ReqClass>(entry.nextReq);
-    ++entry.nextReq;
-    resolve(idx, cls);
 }
 
-void
-Device::resolve(unsigned idx, trace::ReqClass cls)
+bool
+Device::resolve(unsigned idx, trace::ReqClass cls, bool may_fuse)
 {
     PtbEntry &entry = _ptb.entry(idx);
     const trace::PacketRecord &pkt = entry.packet;
@@ -230,9 +242,17 @@ Device::resolve(unsigned idx, trace::ReqClass cls)
                      size == mem::PageSize::Size2M ? " 2M" : "");
 
     if (pb_hit || tlb_hit) {
-        eventQueue().scheduleAfter(_config.devtlbHitLatency,
-                                   [this, idx] { issueNext(idx); });
-        return;
+        // Deterministic hit: the continuation is "issue the next
+        // request devtlbHitLatency later". In tail position with a
+        // clear window the hop event is elided and the caller's loop
+        // continues at the hit's exact tick.
+        if (may_fuse &&
+            eventQueue().tryFuseAdvance(_config.devtlbHitLatency))
+            return true;
+        eventQueue().scheduleAfter(
+            _config.devtlbHitLatency,
+            [this, idx] { issueNext(idx, /*may_fuse=*/true); });
+        return false;
     }
 
     // Miss in both: consult the SID-predictor (prefetch trigger; at
@@ -250,10 +270,11 @@ Device::resolve(unsigned idx, trace::ReqClass cls)
     }
 
     markFillInFlight(addr.key);
-    _ports.translate(did, iova, size,
+    _ports.translate(did, iova, size, may_fuse,
                      [this, idx](const iommu::IommuResponse &resp) {
                          onTranslateResponse(idx, resp);
                      });
+    return false;
 }
 
 void
@@ -308,7 +329,10 @@ Device::onTranslateResponse(unsigned idx,
             evicted ? std::optional<uint64_t>(evicted->key)
                     : std::nullopt));
     }
-    issueNext(idx);
+    // Response deliveries arrive in tail position (the end of a
+    // respond event, a fused continuation of one, or outside run()
+    // where fusion refuses anyway), so the chain may keep fusing.
+    issueNext(idx, /*may_fuse=*/true);
 }
 
 void

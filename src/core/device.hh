@@ -32,13 +32,22 @@ namespace hypersio::core
  * Device-to-chipset ports, wired by the System. `translate` must
  * eventually call the response function exactly once; `prefetch`
  * is fire-and-forget (results come back via prefetchFill()).
+ *
+ * `translate`'s bool is the may-fuse flag: true when the caller is
+ * in tail position of an event callback, so the port may collapse
+ * its deterministic hops via EventQueue::tryFuseAdvance() and run
+ * the continuation synchronously at the same (tick, priority, seq)
+ * a scheduled hop would have had. With false the port must schedule
+ * event-per-hop. The response function must likewise be invoked
+ * only from tail position (a scheduled event's end, or a fused
+ * continuation of one) or outside run() entirely.
  */
 struct DevicePorts
 {
     using ResponseFn =
         std::function<void(const iommu::IommuResponse &)>;
 
-    std::function<void(mem::DomainId, mem::Iova, mem::PageSize,
+    std::function<void(mem::DomainId, mem::Iova, mem::PageSize, bool,
                        ResponseFn)>
         translate;
     std::function<void(mem::DomainId)> prefetch;
@@ -167,13 +176,23 @@ class Device : public sim::SimObject
     /** Shared accept() front half; returns the allocated PTB index. */
     unsigned admit(const trace::PacketRecord &packet);
     /**
-     * Issues the next translation request of PTB entry `idx`. All
-     * in-flight state lives in the entry itself, so the continuation
-     * events only carry (this, idx).
+     * Issues the remaining translation requests of PTB entry `idx`,
+     * fusing consecutive deterministic hits into one dispatch when
+     * `may_fuse` (the caller is in tail position of an event
+     * callback — the chain events and response deliveries are; the
+     * admission path inside an arrival event is not). All in-flight
+     * state lives in the entry itself, so the continuation events
+     * only carry (this, idx).
      */
-    void issueNext(unsigned idx);
-    /** Resolves one request through PB → DevTLB → chipset. */
-    void resolve(unsigned idx, trace::ReqClass cls);
+    void issueNext(unsigned idx, bool may_fuse);
+    /**
+     * Resolves one request through PB → DevTLB → chipset.
+     * @return true when the hit hop was fused (time already advanced
+     *         to the hit's tick) and the caller may continue the
+     *         chain synchronously; false when the continuation was
+     *         scheduled or handed to the translate port.
+     */
+    bool resolve(unsigned idx, trace::ReqClass cls, bool may_fuse);
     /** The chipset answered entry `idx`'s outstanding request. */
     void onTranslateResponse(unsigned idx,
                              const iommu::IommuResponse &resp);

@@ -21,6 +21,8 @@ MultiSystem::MultiSystem(const SystemConfig &config,
         fatal("oracle DevTLB replacement is not supported in "
               "multi-device mode");
 
+    // Runtime leg of the event-fusion knob (see System's ctor).
+    _queue.setFusionEnabled(_config.eventFusion);
     _memory = std::make_unique<mem::MemoryModel>(_config.memory,
                                                  _queue, _stats);
     _iommu = std::make_unique<iommu::Iommu>(
@@ -68,9 +70,10 @@ MultiSystem::MultiSystem(const SystemConfig &config,
         DevicePorts ports;
         ports.translate = [port = _xlatePorts.back().get()](
                               mem::DomainId did, mem::Iova iova,
-                              mem::PageSize size,
+                              mem::PageSize size, bool may_fuse,
                               DevicePorts::ResponseFn done) {
-            port->translate(did, iova, size, std::move(done));
+            port->translate(did, iova, size, may_fuse,
+                            std::move(done));
         };
         if (reader) {
             ports.prefetch = [this, reader,

@@ -71,6 +71,9 @@ class MultiSystem
         return static_cast<unsigned>(_devices.size());
     }
 
+    /** The shared event queue (fusion telemetry in tests/benches). */
+    const sim::EventQueue &eventQueue() const { return _queue; }
+
     /** Dumps the statistics tree (shared chipset + per device). */
     void dumpStats(std::ostream &os) const;
 

@@ -27,9 +27,9 @@ System::makeDevicePorts()
     DevicePorts ports;
     ports.translate = [port = _xlatePort.get()](
                           mem::DomainId did, mem::Iova iova,
-                          mem::PageSize size,
+                          mem::PageSize size, bool may_fuse,
                           DevicePorts::ResponseFn done) {
-        port->translate(did, iova, size, std::move(done));
+        port->translate(did, iova, size, may_fuse, std::move(done));
     };
     if (_historyReader) {
         ports.prefetch = [this](mem::DomainId did) {
@@ -105,6 +105,10 @@ System::dispatchPrefetchFill(mem::DomainId did, mem::Iova iova,
 System::System(const SystemConfig &config)
     : _config(config), _stats("system"), _tables(config.seed)
 {
+    // Runtime leg of the event-fusion knob (the compile-time leg is
+    // -DHYPERSIO_EVENT_FUSION); results are bit-identical either
+    // way, so this only selects the kernel being measured.
+    _queue.setFusionEnabled(_config.eventFusion);
     _memory = std::make_unique<mem::MemoryModel>(_config.memory,
                                                  _queue, _stats);
     _iommu = std::make_unique<iommu::Iommu>(

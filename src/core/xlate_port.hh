@@ -42,10 +42,17 @@ class XlatePort
           _pcie(pcie_one_way)
     {}
 
-    /** Starts one translation round trip (DevicePorts::translate). */
+    /**
+     * Starts one translation round trip (DevicePorts::translate).
+     * With `may_fuse` (the caller is in tail position) the outbound
+     * PCIe hop collapses into a synchronous continuation when the
+     * event window is clear; otherwise — and whenever anything
+     * nondeterministic could interleave — it is a real event at the
+     * identical (tick, priority, seq).
+     */
     void
     translate(mem::DomainId did, mem::Iova iova, mem::PageSize size,
-              DevicePorts::ResponseFn done)
+              bool may_fuse, DevicePorts::ResponseFn done)
     {
         const uint32_t op = _ops.alloc();
         Op &rec = _ops.at(op);
@@ -53,6 +60,10 @@ class XlatePort
         rec.iova = iova;
         rec.size = size;
         rec.done = std::move(done);
+        if (may_fuse && _queue.tryFuseAdvance(_pcie)) {
+            atChipset(op);
+            return;
+        }
         _queue.scheduleAfter(_pcie, [this, op] { atChipset(op); });
     }
 
@@ -81,12 +92,25 @@ class XlatePort
         req.domain = rec.did;
         req.iova = rec.iova;
         req.size = rec.size;
+        // atChipset is always the tail of its event (or of a fused
+        // continuation of one), so the IOMMU may fuse its hit
+        // latency. The return hop may fuse only when the IOMMU says
+        // the delivery itself is in tail position — a page-table
+        // walk's completion fans out to coalesced waiters and keeps
+        // working afterwards, so those deliveries always schedule.
         _iommu.translate(
-            req, [this, op](const iommu::IommuResponse &resp) {
+            req,
+            [this, op](const iommu::IommuResponse &resp) {
+                if (_iommu.fusedDelivery() &&
+                    _queue.tryFuseAdvance(_pcie)) {
+                    respond(op, resp);
+                    return;
+                }
                 _queue.scheduleAfter(_pcie, [this, op, resp] {
                     respond(op, resp);
                 });
-            });
+            },
+            /*may_fuse=*/true);
     }
 
     /** Back at the device: recycle the record, then complete. */

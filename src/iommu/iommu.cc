@@ -46,7 +46,8 @@ Iommu::Iommu(const IommuConfig &config, sim::EventQueue &queue,
 }
 
 void
-Iommu::translate(const IommuRequest &req, ResponseFn done)
+Iommu::translate(const IommuRequest &req, ResponseFn done,
+                 bool may_fuse)
 {
     ++_requests;
     if (req.prefetch)
@@ -55,7 +56,13 @@ Iommu::translate(const IommuRequest &req, ResponseFn done)
     const uint64_t key = translationKey(req.domain, req.iova, req.size);
     const uint64_t index = translationIndex(req.iova, req.size);
 
-    // 1. IOTLB: final-translation cache.
+    // 1. IOTLB: final-translation cache. The hit's latency is fixed,
+    // so the delivery goes through a pooled HitDelivery slot either
+    // way: fused (tail caller, clear window) it runs synchronously
+    // at the hit's exact tick; otherwise it is the hit event, whose
+    // (this, slot) closure stays inline in the event slab. Both
+    // deliveries run inside the fusedDelivery() scope — they are the
+    // tail of their dispatch, unlike a walk's waiter fan-out.
     IommuResponse *hit = _iotlb.lookup(key, index, req.domain);
     HYPERSIO_SHADOW(iommuIotlbLookup(
         req.domain, req.iova, req.size,
@@ -63,11 +70,19 @@ Iommu::translate(const IommuRequest &req, ResponseFn done)
         hit ? hit->hostAddr : 0));
     if (hit) {
         ++_iotlbHits;
-        IommuResponse resp = *hit;
-        resp.iotlbHit = true;
+        const uint32_t slot = _hits.alloc();
+        HitDelivery &pending = _hits.at(slot);
+        pending.done = std::move(done);
+        pending.resp = *hit;
+        pending.resp.iotlbHit = true;
+        if (may_fuse &&
+            eventQueue().tryFuseAdvance(_config.iotlbHitLatency)) {
+            deliverHit(slot);
+            return;
+        }
         eventQueue().scheduleAfter(
             _config.iotlbHitLatency,
-            [done = std::move(done), resp]() { done(resp); });
+            [this, slot]() { deliverHit(slot); });
         return;
     }
 
@@ -97,6 +112,24 @@ Iommu::translate(const IommuRequest &req, ResponseFn done)
     } else {
         _demandQueue.push_back(key);
     }
+}
+
+void
+Iommu::deliverHit(uint32_t slot)
+{
+    // Move the record out and recycle the slot before delivering:
+    // the callback may translate again (chained requests) and reuse
+    // the pool reentrantly, exactly like XlatePort::respond.
+    HitDelivery pending = std::move(_hits.at(slot));
+    _hits.at(slot).done = nullptr;
+    _hits.release(slot);
+    // Save/restore rather than clear: a delivery may chain into
+    // another translate() whose hit delivers (and unwinds) nested
+    // inside this one.
+    const bool prev = _fusedDelivery;
+    _fusedDelivery = true;
+    pending.done(pending.resp);
+    _fusedDelivery = prev;
 }
 
 unsigned

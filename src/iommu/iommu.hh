@@ -25,6 +25,7 @@
 #include "mem/page_table.hh"
 #include "sim/sim_object.hh"
 #include "util/flat_map.hh"
+#include "util/pool.hh"
 
 namespace hypersio::iommu
 {
@@ -180,8 +181,26 @@ class Iommu : public sim::SimObject
           stats::StatGroup &parent, mem::MemoryModel &memory,
           PageTableDirectory &tables);
 
-    /** Asynchronously translates `req`; `done` fires on completion. */
-    void translate(const IommuRequest &req, ResponseFn done);
+    /**
+     * Asynchronously translates `req`; `done` fires on completion.
+     * With `may_fuse` (the caller is in tail position of an event
+     * callback) an IOTLB hit's fixed latency may collapse into a
+     * synchronous `done` at the identical (tick, priority, seq) the
+     * hit event would have had; walks and coalesced requests always
+     * take the event path.
+     */
+    void translate(const IommuRequest &req, ResponseFn done,
+                   bool may_fuse = false);
+
+    /**
+     * True while a `done` callback is being delivered from tail
+     * position — the end of an IOTLB-hit event or a fused
+     * continuation of one. Callers that want to fuse their own next
+     * hop inside `done` (the XlatePort's PCIe return leg) must check
+     * this: walk completions fan out to coalesced waiters and keep
+     * working afterwards, so their deliveries are never fusible.
+     */
+    bool fusedDelivery() const { return _fusedDelivery; }
 
     /**
      * Invalidates any cached final translation of the page at `iova`
@@ -232,6 +251,16 @@ class Iommu : public sim::SimObject
     void dispatchQueued();
     unsigned walkAccessesFor(const IommuRequest &req);
 
+    /** One IOTLB hit awaiting delivery: the hit event captures only
+     *  (this, slot) so the closure stays inline in the event slab. */
+    struct HitDelivery
+    {
+        ResponseFn done;
+        IommuResponse resp;
+    };
+    /** Delivers pooled hit `slot` with the fused-delivery scope set. */
+    void deliverHit(uint32_t slot);
+
     IommuConfig _config;
     mem::MemoryModel &_memory;
     PageTableDirectory &_tables;
@@ -243,6 +272,10 @@ class Iommu : public sim::SimObject
 
     /** In-flight walks by translation key (MSHR coalescing). */
     util::FlatMap<uint64_t, Walk> _mshr;
+    /** Pending IOTLB-hit deliveries (see HitDelivery). */
+    util::SlabPool<HitDelivery> _hits;
+    /** See fusedDelivery(). */
+    bool _fusedDelivery = false;
     unsigned _activeWalks = 0;
     std::deque<uint64_t> _demandQueue;
     std::deque<uint64_t> _prefetchQueue;

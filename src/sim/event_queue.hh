@@ -18,6 +18,19 @@
  * (its callback destroyed immediately) and its slot recycles when
  * the key pops. Handles carry (slot, generation), so cancelling an
  * already-fired or already-cancelled event is a detected no-op.
+ *
+ * Event fusion (DESIGN.md "Hit-path event fusion"): a component
+ * sitting in tail position of an event callback may collapse its
+ * next deterministic hop — "schedule myself `delay` later" — into a
+ * synchronous continuation via tryFuseAdvance(). The queue advances
+ * _now to the exact tick the hop event would have fired at and burns
+ * the sequence number that event would have consumed, so every
+ * observable total-order key (tick, priority, seq) is identical to
+ * the event-per-hop schedule. Fusion is refused whenever any pending
+ * event would fire at or before the hop's tick, so fused work can
+ * never run ahead of (or tie with) a legacy event — interleaving is
+ * bit-identical by construction. -DHYPERSIO_EVENT_FUSION=OFF
+ * compiles the fast path away entirely.
  */
 
 #ifndef HYPERSIO_SIM_EVENT_QUEUE_HH
@@ -84,6 +97,18 @@ class EventQueue
      */
     static constexpr size_t CallbackInlineSize = 48;
 
+    /**
+     * True when the fused hit path is compiled in (the default).
+     * -DHYPERSIO_EVENT_FUSION=OFF pins the event-per-hop reference
+     * kernel; scripts/check_repo.sh gate 12 builds both and requires
+     * every deterministic bench count to match exactly.
+     */
+#ifdef HYPERSIO_NO_EVENT_FUSION
+    static constexpr bool FusionCompiledIn = false;
+#else
+    static constexpr bool FusionCompiledIn = true;
+#endif
+
     EventQueue() = default;
 
     EventQueue(const EventQueue &) = delete;
@@ -124,6 +149,68 @@ class EventQueue
     size_t poolCapacity() const { return _slabSize; }
 
     /**
+     * Enables/disables the fused fast path at runtime (tests compare
+     * fused and unfused runs inside one binary). A no-op when fusion
+     * is compiled out; on() then keeps reporting false.
+     */
+    void
+    setFusionEnabled(bool on)
+    {
+        _fusionEnabled = on && FusionCompiledIn;
+    }
+    bool fusionEnabled() const { return _fusionEnabled; }
+
+    /** Hop events elided by tryFuseAdvance() so far (diagnostics
+     *  only — never part of a simulation result). */
+    uint64_t fusedHops() const { return _fusedHops; }
+
+    /**
+     * Fused-completion fast path. The caller is an event callback in
+     * *tail position* — nothing after the call site reads now() or
+     * schedules with pre-call expectations — that would otherwise
+     * `scheduleAfter(delay, continuation)` exactly one event and
+     * return. On success the queue warps _now to that event's tick
+     * and burns the one sequence number it would have consumed; the
+     * caller then runs the continuation synchronously. On failure
+     * the caller must schedule exactly as before.
+     *
+     * Success requires, conservatively:
+     *  - fusion enabled and a run() in progress (never during step(),
+     *    which promises one callback per call);
+     *  - the hop's tick not beyond the run limit (legacy leaves the
+     *    event pending past the limit; so do we);
+     *  - every pending event STRICTLY later than the hop's tick — a
+     *    tombstoned top counts as pending (it may hide a later live
+     *    key, so skipping fusion is the safe direction), and
+     *    same-tick events of any priority refuse fusion even when
+     *    the elided event would have ordered first.
+     */
+    bool
+    tryFuseAdvance(Tick delay)
+    {
+#ifdef HYPERSIO_NO_EVENT_FUSION
+        (void)delay;
+        return false;
+#else
+        if (!_fusionEnabled || !_inRun)
+            return false;
+        const Tick when = _now + delay;
+        HYPERSIO_ASSERT(when >= _now,
+                        "fused hop overflows Tick: now %llu + %llu",
+                        (unsigned long long)_now,
+                        (unsigned long long)delay);
+        if (when > _runLimit)
+            return false;
+        if (!_heap.empty() && _heap.front().when <= when)
+            return false;
+        ++_nextSeq; // the elided event's slot in the total order
+        ++_fusedHops;
+        _now = when;
+        return true;
+#endif
+    }
+
+    /**
      * Schedules `fn` to run at absolute tick `when` (>= now()).
      * Same-tick events run in priority order, then insertion order.
      * Any callable convertible to void() is accepted; its captures
@@ -153,7 +240,13 @@ class EventQueue
     scheduleAfter(Tick delay, F &&fn,
                   Priority priority = DefaultPriority)
     {
-        return schedule(_now + delay, std::forward<F>(fn), priority);
+        const Tick when = _now + delay;
+        HYPERSIO_ASSERT(when >= _now,
+                        "scheduleAfter overflows Tick: now %llu + "
+                        "delay %llu wraps",
+                        (unsigned long long)_now,
+                        (unsigned long long)delay);
+        return schedule(when, std::forward<F>(fn), priority);
     }
 
     /**
@@ -193,6 +286,12 @@ class EventQueue
     Tick
     run(Tick limit = MaxTick)
     {
+        // Publish the horizon for tryFuseAdvance(): a fused hop may
+        // never warp past `limit`, and fusion is only meaningful
+        // while this loop is driving execution (run() never nests —
+        // callbacks do not call run()).
+        _inRun = true;
+        _runLimit = limit;
         while (!_heap.empty()) {
             const HeapItem top = _heap.front();
             if (top.when > limit)
@@ -212,6 +311,8 @@ class EventQueue
             ++_executed;
             cb();
         }
+        _inRun = false;
+        _runLimit = MaxTick;
         if (_now < limit && limit != MaxTick)
             _now = limit;
         return _now;
@@ -466,6 +567,11 @@ class EventQueue
     Tick _now = 0;
     uint64_t _nextSeq = 0;
     uint64_t _executed = 0;
+    uint64_t _fusedHops = 0;
+    /** run()'s `limit` while a run is in progress (fusion horizon). */
+    Tick _runLimit = MaxTick;
+    bool _inRun = false;
+    bool _fusionEnabled = FusionCompiledIn;
 };
 
 } // namespace hypersio::sim

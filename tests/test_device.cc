@@ -31,7 +31,7 @@ struct Fixture
         DevicePorts p;
         p.translate = [this, latency](mem::DomainId did,
                                       mem::Iova iova,
-                                      mem::PageSize size,
+                                      mem::PageSize size, bool,
                                       DevicePorts::ResponseFn done) {
             if (latency == 0) {
                 requests.push_back(

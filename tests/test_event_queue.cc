@@ -361,5 +361,178 @@ TEST(EventQueue, StepRefusesToRunPastCancelledTop)
     EXPECT_FALSE(q.step());
 }
 
+// now + delay wrapping Tick used to silently schedule in the past
+// (the schedule() precondition then fired with a misleading message,
+// or worse, passed when now was 0). The overflow is its own fatal
+// assert now, at the scheduleAfter boundary where the bad delay is
+// still visible.
+TEST(EventQueueDeathTest, ScheduleAfterOverflowPanics)
+{
+    EXPECT_DEATH(
+        {
+            EventQueue q;
+            q.schedule(10, [] {});
+            q.run();
+            q.scheduleAfter(MaxTick - 5, [] {});
+        },
+        "scheduleAfter overflows Tick");
+}
+
+TEST(EventQueueDeathTest, FusedHopOverflowPanics)
+{
+    if (!EventQueue::FusionCompiledIn)
+        GTEST_SKIP() << "fusion compiled out";
+    EXPECT_DEATH(
+        {
+            EventQueue q;
+            q.schedule(10, [&] { q.tryFuseAdvance(MaxTick - 5); });
+            q.run();
+        },
+        "fused hop overflows Tick");
+}
+
+// The fast path must refuse outside run(): manual drivers (step(),
+// direct calls between runs) rely on every hop being a real event.
+TEST(EventQueueFusion, RefusesOutsideRun)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.tryFuseAdvance(5));
+    EXPECT_EQ(q.now(), 0u);
+    EXPECT_EQ(q.fusedHops(), 0u);
+}
+
+TEST(EventQueueFusion, WarpsNowAndBurnsExactlyOneSeq)
+{
+    if (!EventQueue::FusionCompiledIn)
+        GTEST_SKIP() << "fusion compiled out";
+    EventQueue q;
+    Tick fused_at = 0;
+    uint64_t seq_before = 0;
+    uint64_t seq_after = 0;
+    q.schedule(10, [&] {
+        seq_before = q.scheduledSeq();
+        ASSERT_TRUE(q.tryFuseAdvance(3)); // heap empty: fusible
+        seq_after = q.scheduledSeq();
+        fused_at = q.now();
+    });
+    q.run();
+    // The elided event's tick and its slot in the (tick, priority,
+    // seq) total order are both preserved, so a fused run's sequence
+    // ledger is indistinguishable from the event-per-hop run's.
+    EXPECT_EQ(fused_at, 13u);
+    EXPECT_EQ(seq_after, seq_before + 1);
+    EXPECT_EQ(q.now(), 13u);
+    EXPECT_EQ(q.fusedHops(), 1u);
+    EXPECT_EQ(q.executed(), 1u); // only the real event counts
+}
+
+// Fusion would reorder execution if any pending event were due at or
+// before the hop's tick, so those cases must fall back — including
+// the exact-tie, where the elided event's later seq would still have
+// ordered it last. Strictly-later pending work is safe.
+TEST(EventQueueFusion, RefusesUnlessHeapTopStrictlyLater)
+{
+    if (!EventQueue::FusionCompiledIn)
+        GTEST_SKIP() << "fusion compiled out";
+    EventQueue q;
+    bool other_ran = false;
+    q.schedule(12, [&] { other_ran = true; });
+    q.schedule(10, [&] {
+        EXPECT_FALSE(q.tryFuseAdvance(3)); // 13 past the top (12)
+        EXPECT_FALSE(q.tryFuseAdvance(2)); // 12 ties the top
+        EXPECT_TRUE(q.tryFuseAdvance(1));  // 11 strictly earlier
+        EXPECT_EQ(q.now(), 11u);
+    });
+    q.run();
+    EXPECT_TRUE(other_ran);
+    EXPECT_EQ(q.fusedHops(), 1u);
+}
+
+// A tombstoned top refuses fusion too: the cancelled key may hide a
+// later live event, and skipping fusion is the safe direction.
+TEST(EventQueueFusion, RefusesOnTombstonedTop)
+{
+    if (!EventQueue::FusionCompiledIn)
+        GTEST_SKIP() << "fusion compiled out";
+    EventQueue q;
+    EventHandle dead = q.schedule(12, [] {});
+    q.schedule(10, [&] { EXPECT_FALSE(q.tryFuseAdvance(2)); });
+    EXPECT_TRUE(q.cancel(dead));
+    q.run();
+    EXPECT_EQ(q.fusedHops(), 0u);
+}
+
+// run(limit) leaves past-limit events pending; a fused hop past the
+// limit would instead execute its continuation, so it must refuse.
+TEST(EventQueueFusion, RefusesPastRunLimit)
+{
+    if (!EventQueue::FusionCompiledIn)
+        GTEST_SKIP() << "fusion compiled out";
+    EventQueue q;
+    q.schedule(10, [&] {
+        EXPECT_FALSE(q.tryFuseAdvance(6)); // 16 past the limit
+        EXPECT_TRUE(q.tryFuseAdvance(5));  // 15 exactly the limit
+    });
+    q.run(15);
+    EXPECT_EQ(q.now(), 15u);
+    EXPECT_EQ(q.fusedHops(), 1u);
+}
+
+TEST(EventQueueFusion, RuntimeKnobDisablesAndReenables)
+{
+    EventQueue q;
+    int fused = 0;
+    q.setFusionEnabled(false);
+    EXPECT_FALSE(q.fusionEnabled());
+    q.schedule(10, [&] { fused += q.tryFuseAdvance(1) ? 1 : 0; });
+    q.schedule(20, [&] {
+        q.setFusionEnabled(true);
+        fused += q.tryFuseAdvance(1) ? 1 : 0;
+    });
+    q.run();
+    // Re-enabling only takes effect when fusion is compiled in; the
+    // knob never reports (or does) more than the build allows.
+    const int expect = EventQueue::FusionCompiledIn ? 1 : 0;
+    EXPECT_EQ(fused, expect);
+    EXPECT_EQ(q.fusedHops(), static_cast<uint64_t>(expect));
+}
+
+// End-to-end ledger parity: a chain run with fusion (fall back when
+// refused) must land on the same final now() and scheduledSeq() as
+// the same chain run event-per-hop — the property the full-system
+// golden tests check through RunResults and stat bytes.
+TEST(EventQueueFusion, ChainLedgerMatchesEventPerHop)
+{
+    auto drive = [](EventQueue &q, bool use_fusion) {
+        q.setFusionEnabled(use_fusion);
+        std::function<void(int)> hop = [&](int left) {
+            if (left == 0)
+                return;
+            if (q.tryFuseAdvance(7)) {
+                hop(left - 1); // synchronous continuation
+                return;
+            }
+            q.scheduleAfter(7, [&hop, left] { hop(left - 1); });
+        };
+        q.schedule(1, [&hop] { hop(16); });
+        // A cross-cutting event mid-chain forces at least one
+        // fallback in the fused run.
+        q.schedule(50, [] {});
+        q.run();
+        return std::pair(q.now(), q.scheduledSeq());
+    };
+    EventQueue fused;
+    EventQueue perhop;
+    const auto a = drive(fused, true);
+    const auto b = drive(perhop, false);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(perhop.fusedHops(), 0u);
+    if (EventQueue::FusionCompiledIn) {
+        EXPECT_GT(fused.fusedHops(), 0u);
+        EXPECT_EQ(perhop.executed(),
+                  fused.executed() + fused.fusedHops());
+    }
+}
+
 } // namespace
 } // namespace hypersio::sim
